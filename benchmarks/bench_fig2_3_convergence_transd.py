@@ -1,0 +1,78 @@
+"""Figures 2-3 — convergence of testing MRR / Hits@10 vs clock time (TransD).
+
+Bernoulli vs KBGAN vs NSCaching (both from scratch) on the four dataset
+analogues, with periodic filtered evaluation against the *training* clock
+(evaluation time excluded, as in the paper).  Shapes: all methods converge;
+NSCaching reaches the highest MRR; Bernoulli plateaus lowest.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.bench.harness import build_model, make_config
+from repro.bench.tables import format_table
+from repro.data.benchmarks import BENCHMARKS
+from repro.sampling import make_sampler
+from repro.train.callbacks import EvalCallback
+from repro.train.trainer import Trainer
+
+MODEL = "TransD"
+EPOCHS = 30
+EVERY = 5
+SCALE = 0.25
+N1 = N2 = 30
+
+SAMPLERS = {
+    "Bernoulli": {},
+    "KBGAN": {"candidate_size": N1},
+    "NSCaching": {"cache_size": N1, "candidate_size": N2},
+}
+
+
+def _convergence_rows(dataset):
+    rows = []
+    finals = {}
+    for sampler_name, kwargs in SAMPLERS.items():
+        model = build_model(MODEL, dataset, dim=32, seed=BENCH_SEED)
+        probe = EvalCallback(split="test", every=EVERY, hits_at=(10,))
+        trainer = Trainer(
+            model, dataset, make_sampler(sampler_name, **kwargs),
+            make_config(MODEL, EPOCHS, seed=BENCH_SEED),
+            callbacks=[probe],
+        )
+        trainer.run()
+        for epoch, seconds, mrr, hits in zip(
+            probe.epochs,
+            probe.times,
+            probe.series["mrr"].values,
+            probe.series["hits@10"].values,
+        ):
+            rows.append((sampler_name, epoch, f"{seconds:.1f}", mrr, hits))
+        finals[sampler_name] = probe.series["mrr"].values[-1]
+    return rows, finals
+
+
+def test_fig2_3_convergence_transd(benchmark, report):
+    def run():
+        blocks = []
+        all_finals = {}
+        for paper_name, loader in BENCHMARKS.items():
+            dataset = loader(seed=BENCH_SEED, scale=SCALE)
+            rows, finals = _convergence_rows(dataset)
+            blocks.append(
+                format_table(
+                    ("sampler", "epoch", "train time (s)", "test MRR", "test Hits@10"),
+                    rows,
+                    title=f"[{MODEL} on {paper_name} analogue]",
+                )
+            )
+            all_finals[paper_name] = finals
+        return "\n\n".join(blocks), all_finals
+
+    text, finals = run_once(benchmark, run)
+    report("fig2_3_convergence_transd", text)
+    wins = sum(
+        1
+        for per_dataset in finals.values()
+        if per_dataset["NSCaching"] >= per_dataset["Bernoulli"]
+    )
+    assert wins >= 3, f"NSCaching converged above Bernoulli on only {wins}/4: {finals}"

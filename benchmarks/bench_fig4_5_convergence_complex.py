@@ -1,0 +1,80 @@
+"""Figures 4-5 — convergence of testing MRR / Hits@10 vs clock time (ComplEx).
+
+Same protocol as Figures 2-3 but on the semantic matching representative.
+Shapes: Bernoulli and NSCaching converge stably; NSCaching leads; KBGAN
+is the unstable one on semantic matching models (it may overfit/turn
+down), which is why no assertion constrains it here.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.bench.harness import build_model, make_config
+from repro.bench.tables import format_table
+from repro.data.benchmarks import BENCHMARKS
+from repro.sampling import make_sampler
+from repro.train.callbacks import EvalCallback
+from repro.train.trainer import Trainer
+
+MODEL = "ComplEx"
+EPOCHS = 50
+EVERY = 10
+SCALE = 0.4
+N1 = N2 = 30
+
+SAMPLERS = {
+    "Bernoulli": {},
+    "KBGAN": {"candidate_size": N1},
+    "NSCaching": {"cache_size": N1, "candidate_size": N2},
+}
+
+
+def test_fig4_5_convergence_complex(benchmark, report):
+    def run():
+        blocks = []
+        all_finals = {}
+        for paper_name, loader in BENCHMARKS.items():
+            dataset = loader(seed=BENCH_SEED, scale=SCALE)
+            rows = []
+            finals = {}
+            for sampler_name, kwargs in SAMPLERS.items():
+                model = build_model(MODEL, dataset, dim=32, seed=BENCH_SEED)
+                probe = EvalCallback(split="test", every=EVERY, hits_at=(10,))
+                trainer = Trainer(
+                    model, dataset, make_sampler(sampler_name, **kwargs),
+                    make_config(MODEL, EPOCHS, seed=BENCH_SEED),
+                    callbacks=[probe],
+                )
+                trainer.run()
+                for epoch, seconds, mrr, hits in zip(
+                    probe.epochs,
+                    probe.times,
+                    probe.series["mrr"].values,
+                    probe.series["hits@10"].values,
+                ):
+                    rows.append((sampler_name, epoch, f"{seconds:.1f}", mrr, hits))
+                finals[sampler_name] = probe.series["mrr"].values[-1]
+            blocks.append(
+                format_table(
+                    ("sampler", "epoch", "train time (s)", "test MRR", "test Hits@10"),
+                    rows,
+                    title=f"[{MODEL} on {paper_name} analogue]",
+                )
+            )
+            all_finals[paper_name] = finals
+        return "\n\n".join(blocks), all_finals
+
+    text, finals = run_once(benchmark, run)
+    report("fig4_5_convergence_complex", text)
+    # Semantic matching at miniature scale is the noisiest corner of the
+    # reproduction: require NSCaching to win on at least half the datasets
+    # AND on the aggregate mean (the paper's large-scale claim is uniform
+    # dominance; EXPERIMENTS.md records the per-dataset outcomes).
+    wins = sum(
+        1
+        for per_dataset in finals.values()
+        if per_dataset["NSCaching"] >= per_dataset["Bernoulli"]
+    )
+    mean_ns = sum(f["NSCaching"] for f in finals.values()) / len(finals)
+    mean_bern = sum(f["Bernoulli"] for f in finals.values()) / len(finals)
+    assert wins >= 2, f"NSCaching converged above Bernoulli on only {wins}/4: {finals}"
+    assert mean_ns >= mean_bern, finals

@@ -1,0 +1,73 @@
+"""Figure 7 — exploration (RR) and exploitation (NZL) of sampling strategies.
+
+Repeat ratio of sampled negatives (left plot) and non-zero-loss ratio
+(right plot) per epoch for Bernoulli and the three sample-from-cache
+strategies.  Paper shapes: RR ordering Bernoulli ~ 0 < uniform < IS < top;
+Bernoulli's NZL collapses while the cache strategies stay high.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.bench.harness import build_model, make_config
+from repro.bench.tables import format_table
+from repro.core.nscaching import NSCachingSampler
+from repro.data.benchmarks import wn18_like
+from repro.sampling import BernoulliSampler
+from repro.train.trainer import Trainer
+
+MODEL = "TransD"
+EPOCHS = 20
+N1 = N2 = 30
+
+
+def _run(dataset, sampler, label):
+    model = build_model(MODEL, dataset, dim=32, seed=BENCH_SEED)
+    config = make_config(MODEL, EPOCHS, seed=BENCH_SEED, track_negatives=True)
+    trainer = Trainer(model, dataset, sampler, config)
+    history = trainer.run()
+    rr = history["repeat_ratio"].values
+    nzl = history["nzl"].values
+    return [
+        (label, epoch, rr[epoch], nzl[epoch])
+        for epoch in range(0, EPOCHS, 4)
+    ], rr[-1], nzl[-1]
+
+
+def test_fig7_exploration_exploitation(benchmark, report):
+    dataset = wn18_like(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+    def run():
+        rows = []
+        final_rr = {}
+        final_nzl = {}
+        settings = [
+            ("Bernoulli", BernoulliSampler()),
+            ("NSCaching uniform", NSCachingSampler(
+                cache_size=N1, candidate_size=N2, sample_strategy="uniform")),
+            ("NSCaching IS", NSCachingSampler(
+                cache_size=N1, candidate_size=N2, sample_strategy="importance")),
+            ("NSCaching top", NSCachingSampler(
+                cache_size=N1, candidate_size=N2, sample_strategy="top")),
+        ]
+        for label, sampler in settings:
+            sampled_rows, rr, nzl = _run(dataset, sampler, label)
+            rows.extend(sampled_rows)
+            final_rr[label] = rr
+            final_nzl[label] = nzl
+        return rows, final_rr, final_nzl
+
+    rows, final_rr, final_nzl = run_once(benchmark, run)
+    report(
+        "fig7_exploration",
+        format_table(
+            ("strategy", "epoch", "repeat ratio", "non-zero-loss ratio"),
+            rows,
+            title="Figure 7 analogue: RR (exploration) and NZL (exploitation)",
+            precision=3,
+        ),
+    )
+    # Paper shapes.
+    assert final_rr["Bernoulli"] < 0.1
+    assert final_rr["Bernoulli"] <= final_rr["NSCaching uniform"]
+    assert final_rr["NSCaching uniform"] <= final_rr["NSCaching top"]
+    assert final_nzl["NSCaching uniform"] > final_nzl["Bernoulli"]

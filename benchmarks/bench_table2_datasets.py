@@ -1,0 +1,34 @@
+"""Table II — statistics of the four benchmark dataset analogues."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.bench.tables import format_table
+from repro.data.benchmarks import BENCHMARKS
+
+
+def test_table2_dataset_statistics(benchmark, report):
+    def run():
+        rows = []
+        for paper_name, loader in BENCHMARKS.items():
+            ds = loader(seed=BENCH_SEED, scale=BENCH_SCALE)
+            s = ds.summary()
+            rows.append(
+                (paper_name, ds.name, s["entities"], s["relations"],
+                 s["train"], s["valid"], s["test"])
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        "table2_datasets",
+        format_table(
+            ("paper dataset", "analogue", "#entity", "#relation",
+             "#train", "#valid", "#test"),
+            rows,
+            title="Table II analogue: dataset statistics "
+            f"(scale={BENCH_SCALE}, seed={BENCH_SEED})",
+        ),
+    )
+    # The WN18 -> WN18RR relation-count drop (inverse removal) must show.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["WN18"][3] > by_name["WN18RR"][3]

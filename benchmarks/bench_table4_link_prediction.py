@@ -1,0 +1,96 @@
+"""Table IV — the paper's main result: link prediction across samplers.
+
+For every scoring function x dataset, compare Bernoulli against
+KBGAN(+-pretrain) and NSCaching(+-pretrain) on filtered MRR / MR / Hits@10.
+Shape to reproduce (DESIGN.md §5): NSCaching wins MRR/Hits@10 everywhere;
+NSCaching-from-scratch stays close to NSCaching-with-pretrain; KBGAN
+benefits from pretrain much more.
+
+Scaled down relative to the paper (synthetic analogues, fewer epochs);
+one pytest-benchmark entry per scoring function keeps the suite's timing
+table readable.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.bench.harness import run_setting
+from repro.bench.tables import format_table
+from repro.data.benchmarks import BENCHMARKS
+from repro.models import PAPER_MODELS
+from repro.train.pretrain import pretrain
+from repro.bench.harness import build_model, make_config
+
+EPOCHS = {"TransE": 25, "TransH": 25, "TransD": 25, "DistMult": 35, "ComplEx": 35}
+PRETRAIN_EPOCHS = 8
+DIM = 32
+N1 = N2 = 30
+
+SETTINGS = (
+    ("Bernoulli", "baseline"),
+    ("KBGAN", "pretrain"),
+    ("KBGAN", "scratch"),
+    ("NSCaching", "pretrain"),
+    ("NSCaching", "scratch"),
+)
+
+
+def _sampler_kwargs(sampler_name):
+    if sampler_name == "KBGAN":
+        return {"candidate_size": N1}
+    if sampler_name == "NSCaching":
+        return {"cache_size": N1, "candidate_size": N2}
+    return {}
+
+
+@pytest.mark.parametrize("model_name", PAPER_MODELS)
+def test_table4_link_prediction(benchmark, report, model_name):
+    def run():
+        lines = []
+        winners = []
+        for paper_name, loader in BENCHMARKS.items():
+            dataset = loader(seed=BENCH_SEED, scale=BENCH_SCALE)
+            # One shared Bernoulli pretrain per (model, dataset), as in the paper.
+            warm = build_model(model_name, dataset, dim=DIM, seed=BENCH_SEED)
+            state = pretrain(
+                warm, dataset, PRETRAIN_EPOCHS,
+                make_config(model_name, PRETRAIN_EPOCHS, seed=BENCH_SEED),
+            )
+            rows = []
+            for sampler_name, regime in SETTINGS:
+                result = run_setting(
+                    dataset,
+                    model_name,
+                    sampler_name,
+                    regime=regime,
+                    epochs=EPOCHS[model_name],
+                    dim=DIM,
+                    seed=BENCH_SEED,
+                    sampler_kwargs=_sampler_kwargs(sampler_name),
+                    pretrained_state=state if regime == "pretrain" else None,
+                )
+                rows.append(result.row(keys=("mrr", "mr", "hits@10")))
+            lines.append(
+                format_table(
+                    ("sampler", "MRR", "MR", "Hits@10"),
+                    rows,
+                    title=f"[{model_name} on {paper_name} analogue]",
+                )
+            )
+            best_mrr = max(r[1] for r in rows)
+            nscaching_best = max(r[1] for r in rows if str(r[0]).startswith("NSCaching"))
+            bernoulli_mrr = next(r[1] for r in rows if r[0] == "Bernoulli")
+            winners.append((paper_name, nscaching_best, bernoulli_mrr, best_mrr))
+        return "\n\n".join(lines), winners
+
+    text, winners = run_once(benchmark, run)
+    report(f"table4_{model_name.lower()}", text)
+    # Shape check: NSCaching's best regime beats Bernoulli on MRR on the
+    # majority of datasets AND on the cross-dataset mean (the paper's
+    # full-scale claim is per-cell dominance; EXPERIMENTS.md records the
+    # per-cell outcomes at this miniature scale).
+    n_wins = sum(1 for _, ns, bern, _ in winners if ns > bern)
+    mean_ns = sum(ns for _, ns, _, _ in winners) / len(winners)
+    mean_bern = sum(bern for _, _, bern, _ in winners) / len(winners)
+    assert n_wins >= 2, f"NSCaching won only {n_wins}/4 datasets: {winners}"
+    assert mean_ns > mean_bern, winners

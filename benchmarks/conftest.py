@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure (see DESIGN.md §4):
+it runs the experiment once inside ``benchmark.pedantic`` (so
+pytest-benchmark records its wall time), prints the paper-shaped rows to
+the real terminal (bypassing capture, so ``pytest benchmarks/
+--benchmark-only | tee`` keeps them), and writes the same text under
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Global scale knob: dataset size multiplier for benchmark runs.  The
+#: experiments keep their shape at this scale while the full suite stays
+#: in the tens of minutes on a laptop CPU.
+BENCH_SCALE = 0.3
+BENCH_SEED = 0
+
+
+@pytest.fixture
+def report(capsys):
+    """Print benchmark output past pytest's capture and persist it."""
+
+    def _report(exp_id: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n===== {exp_id} =====")
+            print(text)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

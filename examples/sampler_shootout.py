@@ -1,0 +1,46 @@
+"""Sampler shoot-out: every negative-sampling strategy on one dataset.
+
+Reproduces the Table IV experience interactively: Bernoulli, KBGAN, IGAN,
+self-adversarial and NSCaching train the same TransD model on the FB15K237
+analogue; the script reports filtered metrics, training time and the
+non-zero-loss ratio that explains the differences.
+
+Run with:  python examples/sampler_shootout.py
+"""
+
+from repro import TrainConfig, Trainer, evaluate, fb15k237_like, make_model
+from repro.sampling import make_sampler
+
+SAMPLERS = {
+    "Uniform": {},
+    "Bernoulli": {},
+    "KBGAN": {"candidate_size": 30},
+    "IGAN": {"expectation_samples": 8},
+    "SelfAdv": {"candidate_size": 30, "alpha": 1.0},
+    "NSCaching": {"cache_size": 30, "candidate_size": 30},
+}
+
+
+def main() -> None:
+    dataset = fb15k237_like(seed=0, scale=0.3)
+    print(f"dataset {dataset.name}: {dataset.summary()}\n")
+    print(f"{'sampler':12s} {'MRR':>8s} {'Hits@10':>8s} {'MR':>7s} {'NZL':>6s} {'time':>7s}")
+
+    config = TrainConfig(
+        epochs=25, batch_size=256, learning_rate=0.01, margin=2.0, seed=0
+    )
+    for name, kwargs in SAMPLERS.items():
+        model = make_model("TransD", dataset.n_entities, dataset.n_relations, 32, rng=0)
+        sampler = make_sampler(name, **kwargs)
+        trainer = Trainer(model, dataset, sampler, config)
+        history = trainer.run()
+        metrics = evaluate(model, dataset, "test")
+        print(
+            f"{name:12s} {metrics['mrr']:8.4f} {metrics['hits@10']:8.4f} "
+            f"{metrics['mr']:7.1f} {history.last('nzl'):6.2f} "
+            f"{trainer.train_seconds:6.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

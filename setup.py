@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships a setuptools too old for PEP 660 editable
+installs (no ``bdist_wheel``); this file lets ``pip install -e .`` fall back
+to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

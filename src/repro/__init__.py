@@ -1,0 +1,132 @@
+"""repro — a full reproduction of *NSCaching: Simple and Efficient Negative
+Sampling for Knowledge Graph Embedding* (Zhang et al., ICDE 2019).
+
+The package is organised around the paper's stack (see DESIGN.md):
+
+* :mod:`repro.data` — KG datasets: containers, IO, relation statistics,
+  and synthetic benchmark analogues of WN18 / WN18RR / FB15K / FB15K237;
+* :mod:`repro.models` — nine scoring functions with hand-derived analytic
+  gradients (TransE/H/D/R, DistMult, ComplEx, RESCAL, HolE, SimplE);
+* :mod:`repro.optim` — sparse SGD / AdaGrad / Adam;
+* :mod:`repro.sampling` — negative-sampling baselines (uniform, Bernoulli,
+  KBGAN, IGAN, self-adversarial);
+* :mod:`repro.core` — **the contribution**: NSCaching's head/tail caches,
+  sampling and update strategies, instrumentation, hashed-cache extension;
+* :mod:`repro.train` — the mini-batch trainer, callbacks, pretraining and
+  grid search;
+* :mod:`repro.eval` — filtered link prediction, triplet classification and
+  negative-score CCDF analysis;
+* :mod:`repro.bench` — the experiment registry and reporting harness that
+  regenerates every table and figure.
+
+Quickstart::
+
+    from repro import (NSCachingSampler, TrainConfig, Trainer, TransE,
+                       evaluate, wn18rr_like)
+
+    dataset = wn18rr_like(seed=0, scale=0.5)
+    model = TransE(dataset.n_entities, dataset.n_relations, dim=32, rng=0)
+    sampler = NSCachingSampler(cache_size=50, candidate_size=50)
+    Trainer(model, dataset, sampler, TrainConfig(epochs=40)).run()
+    print(evaluate(model, dataset, "test"))
+"""
+
+from repro.core import (
+    HashedNegativeCache,
+    NegativeCache,
+    NSCachingSampler,
+    SampleStrategy,
+    UpdateStrategy,
+)
+from repro.data import (
+    KGDataset,
+    SyntheticKGConfig,
+    Vocabulary,
+    fb13_like,
+    fb15k237_like,
+    fb15k_like,
+    generate_kg,
+    load_benchmark,
+    wn18_like,
+    wn18rr_like,
+)
+from repro.eval import (
+    evaluate,
+    link_prediction,
+    per_category_link_prediction,
+    triplet_classification,
+)
+from repro.models import (
+    ComplEx,
+    DistMult,
+    HolE,
+    KGEModel,
+    RESCAL,
+    RotatE,
+    SimplE,
+    TransD,
+    TransE,
+    TransH,
+    TransR,
+    make_model,
+)
+from repro.models.persistence import load_model, save_model
+from repro.sampling import (
+    BernoulliSampler,
+    IGANSampler,
+    KBGANSampler,
+    NegativeSampler,
+    SelfAdversarialSampler,
+    UniformSampler,
+    make_sampler,
+)
+from repro.train import TrainConfig, Trainer, pretrain, warm_start
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliSampler",
+    "ComplEx",
+    "DistMult",
+    "HashedNegativeCache",
+    "HolE",
+    "IGANSampler",
+    "KBGANSampler",
+    "KGDataset",
+    "KGEModel",
+    "NSCachingSampler",
+    "NegativeCache",
+    "NegativeSampler",
+    "RESCAL",
+    "RotatE",
+    "SampleStrategy",
+    "SelfAdversarialSampler",
+    "SimplE",
+    "SyntheticKGConfig",
+    "TrainConfig",
+    "Trainer",
+    "TransD",
+    "TransE",
+    "TransH",
+    "TransR",
+    "UniformSampler",
+    "UpdateStrategy",
+    "Vocabulary",
+    "evaluate",
+    "fb13_like",
+    "fb15k237_like",
+    "fb15k_like",
+    "generate_kg",
+    "link_prediction",
+    "load_model",
+    "load_benchmark",
+    "make_model",
+    "make_sampler",
+    "per_category_link_prediction",
+    "pretrain",
+    "save_model",
+    "triplet_classification",
+    "warm_start",
+    "wn18_like",
+    "wn18rr_like",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness: shared plumbing for the paper's tables and figures.
+
+* :mod:`repro.bench.tables` — fixed-width ASCII table rendering;
+* :mod:`repro.bench.harness` — one-call "train this model with this
+  sampler on this dataset" runners with the tuned per-model defaults
+  (the §IV-B2 grid winners);
+* :mod:`repro.bench.registry` — experiment ids mapped to the benchmark
+  that regenerates them (the DESIGN.md per-experiment index, in code).
+"""
+
+from repro.bench.harness import (
+    MODEL_DEFAULTS,
+    build_model,
+    build_sampler,
+    run_setting,
+    train_and_eval,
+)
+from repro.bench.registry import EXPERIMENTS, describe_experiments
+from repro.bench.tables import format_table, render_metrics_row
+
+__all__ = [
+    "EXPERIMENTS",
+    "MODEL_DEFAULTS",
+    "build_model",
+    "build_sampler",
+    "describe_experiments",
+    "format_table",
+    "render_metrics_row",
+    "run_setting",
+    "train_and_eval",
+]

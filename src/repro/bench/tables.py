@@ -1,0 +1,70 @@
+"""ASCII table rendering for benchmark reports.
+
+Every benchmark prints the rows the corresponding paper table/figure
+reports, in a fixed-width layout that survives ``tee`` into a text file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "render_metrics_row", "format_float"]
+
+
+def format_float(value: float, precision: int = 4) -> str:
+    """Compact float formatting: NaN-safe, trims integer-valued floats."""
+    if value != value:  # NaN
+        return "--"
+    if abs(value - round(value)) < 1e-9 and abs(value) >= 10:
+        return str(int(round(value)))
+    return f"{value:.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as a boxed fixed-width table string."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell, precision))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(separator)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    for row in rendered_rows:
+        parts.append(line(row))
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def render_metrics_row(
+    label: str, metrics: dict[str, float], keys: Sequence[str] = ("mrr", "mr", "hits@10")
+) -> list[object]:
+    """A table row of ``label`` plus the selected metric values."""
+    return [label, *(metrics.get(key, float("nan")) for key in keys)]

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Four subcommands cover the reproduction workflow end to end::
+
+    python -m repro datasets
+    python -m repro train --dataset WN18RR --model TransE --sampler NSCaching \
+        --epochs 40 --out transe.npz
+    python -m repro evaluate --checkpoint transe.npz --dataset WN18RR
+    python -m repro experiments
+
+Dataset names are the paper's (``WN18``, ``WN18RR``, ``FB15K``,
+``FB15K237``); they resolve to the seeded synthetic analogues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.harness import MODEL_DEFAULTS, build_model, make_config
+from repro.bench.registry import describe_experiments
+from repro.bench.tables import format_table
+from repro.data.benchmarks import BENCHMARKS, load_benchmark
+from repro.eval.per_relation import per_category_link_prediction
+from repro.eval.protocol import evaluate
+from repro.models import MODEL_REGISTRY
+from repro.models.persistence import load_model, save_model
+from repro.sampling import SAMPLER_NAMES, make_sampler
+from repro.train.trainer import Trainer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NSCaching (ICDE 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="print Table II analogue statistics")
+    datasets.add_argument("--scale", type=float, default=0.3)
+    datasets.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train a model and report test metrics")
+    train.add_argument("--dataset", required=True, choices=sorted(BENCHMARKS))
+    train.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    train.add_argument("--sampler", default="NSCaching", choices=SAMPLER_NAMES)
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--dim", type=int, default=32)
+    train.add_argument("--scale", type=float, default=0.3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--learning-rate", type=float, default=None)
+    train.add_argument("--margin", type=float, default=None)
+    train.add_argument("--l2-weight", type=float, default=None)
+    train.add_argument("--cache-size", type=int, default=50, help="N1")
+    train.add_argument("--candidate-size", type=int, default=50, help="N2")
+    train.add_argument("--lazy-epochs", type=int, default=0, help="lazy-update n")
+    train.add_argument("--out", default=None, help="checkpoint path (.npz)")
+    train.add_argument(
+        "--per-category", action="store_true",
+        help="also print the 1-1/1-N/N-1/N-N Hits@10 breakdown",
+    )
+
+    ev = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    ev.add_argument("--checkpoint", required=True)
+    ev.add_argument("--dataset", required=True, choices=sorted(BENCHMARKS))
+    ev.add_argument("--scale", type=float, default=0.3)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--split", default="test", choices=("valid", "test"))
+    ev.add_argument("--per-category", action="store_true")
+
+    sub.add_parser("experiments", help="print the paper-artefact index")
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in BENCHMARKS:
+        summary = load_benchmark(name, seed=args.seed, scale=args.scale).summary()
+        rows.append(
+            (name, summary["entities"], summary["relations"],
+             summary["train"], summary["valid"], summary["test"])
+        )
+    print(
+        format_table(
+            ("dataset", "#entity", "#relation", "#train", "#valid", "#test"),
+            rows,
+            title=f"benchmark analogues (scale={args.scale}, seed={args.seed})",
+        )
+    )
+    return 0
+
+
+def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    if args.sampler == "NSCaching":
+        return {
+            "cache_size": args.cache_size,
+            "candidate_size": args.candidate_size,
+            "lazy_epochs": args.lazy_epochs,
+        }
+    if args.sampler in ("KBGAN", "SelfAdv"):
+        return {"candidate_size": args.candidate_size}
+    return {}
+
+
+def _print_metrics(metrics: dict[str, float]) -> None:
+    print(
+        format_table(
+            ("metric", "value"),
+            sorted(metrics.items()),
+        )
+    )
+
+
+def _print_breakdown(model, dataset, split: str) -> None:
+    breakdown = per_category_link_prediction(model, dataset, split)
+    print(
+        format_table(
+            ("category", "#triples", "head Hits@10", "tail Hits@10"),
+            breakdown.rows(),
+            title="per-relation-category breakdown",
+        )
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+    print(f"dataset {dataset.name}: {dataset.summary()}")
+    overrides = {}
+    if args.learning_rate is not None:
+        overrides["learning_rate"] = args.learning_rate
+    if args.margin is not None:
+        overrides["margin"] = args.margin
+    if args.l2_weight is not None:
+        overrides["l2_weight"] = args.l2_weight
+    config = make_config(args.model, args.epochs, seed=args.seed, **overrides)
+    model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
+    sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
+    trainer = Trainer(model, dataset, sampler, config)
+    trainer.run()
+    print(f"trained {args.epochs} epochs in {trainer.train_seconds:.1f}s")
+    _print_metrics(evaluate(model, dataset, "test"))
+    if args.per_category:
+        _print_breakdown(model, dataset, "test")
+    if args.out:
+        path = save_model(model, args.out)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+    model = load_model(args.checkpoint)
+    if model.n_entities != dataset.n_entities:
+        print(
+            f"error: checkpoint has {model.n_entities} entities but the "
+            f"dataset (scale={args.scale}, seed={args.seed}) has "
+            f"{dataset.n_entities}; pass the --scale/--seed used at training",
+            file=sys.stderr,
+        )
+        return 2
+    _print_metrics(evaluate(model, dataset, args.split))
+    if args.per_category:
+        _print_breakdown(model, dataset, args.split)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiments":
+        print(describe_experiments())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

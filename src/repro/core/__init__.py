@@ -1,0 +1,36 @@
+"""The paper's contribution: cache-based negative sampling.
+
+* :mod:`repro.core.cache` — the head/tail negative cache (ids only,
+  §III-B3);
+* :mod:`repro.core.strategies` — sample-from-cache and update-cache
+  strategies with the exploration/exploitation trade-offs of Figure 6;
+* :mod:`repro.core.nscaching` — :class:`NSCachingSampler`, Algorithms 2-3;
+* :mod:`repro.core.hashed` — memory-bounded hashed cache (§VI future work);
+* :mod:`repro.core.stats` — RR / NZL / CE instrumentation (Figures 7-8).
+"""
+
+from repro.core.cache import NegativeCache
+from repro.core.hashed import HashedNegativeCache, stable_key_hash
+from repro.core.nscaching import NSCachingSampler
+from repro.core.stats import EpochSeries, NegativeTracker
+from repro.core.strategies import (
+    SampleStrategy,
+    UpdateStrategy,
+    duplicate_mask,
+    sample_from_cache,
+    select_cache_survivors,
+)
+
+__all__ = [
+    "EpochSeries",
+    "HashedNegativeCache",
+    "NSCachingSampler",
+    "NegativeCache",
+    "NegativeTracker",
+    "SampleStrategy",
+    "UpdateStrategy",
+    "duplicate_mask",
+    "sample_from_cache",
+    "select_cache_survivors",
+    "stable_key_hash",
+]

@@ -1,0 +1,154 @@
+"""The negative-sample cache (paper §III-B).
+
+NSCaching maintains a *head cache* ``H`` indexed by ``(r, t)`` and a *tail
+cache* ``T`` indexed by ``(h, r)``; each entry holds ``N1`` entity ids whose
+corruptions currently score high.  Only indices are stored (§III-B3), so
+memory is ``O(|S| * N1)`` integers worst-case and much less in practice
+because 1-N / N-1 / N-N triples share entries.
+
+Entries are created lazily with uniformly random entities the first time a
+key is touched, which is the "from scratch" initialisation the paper trains
+with.  Optionally each entry also stores the scores from its last refresh —
+needed only by the IS/top *sampling* strategies of the Figure 6(a) ablation
+(the paper notes this as their extra memory cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["NegativeCache"]
+
+Key = tuple[int, int]
+
+
+class NegativeCache:
+    """A mapping ``(id, id) -> N1 cached entity ids (+ optional scores)``."""
+
+    def __init__(
+        self,
+        size: int,
+        n_entities: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        store_scores: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"cache size N1 must be > 0, got {size}")
+        if n_entities <= 0:
+            raise ValueError(f"n_entities must be > 0, got {n_entities}")
+        self.size = int(size)
+        self.n_entities = int(n_entities)
+        self.store_scores = bool(store_scores)
+        self.rng = ensure_rng(rng)
+        self._ids: dict[Key, np.ndarray] = {}
+        self._scores: dict[Key, np.ndarray] = {}
+        #: Total cache elements replaced since construction (the CE metric).
+        self.changed_elements = 0
+        #: Number of entries created lazily.
+        self.initialised_entries = 0
+
+    # -- access ------------------------------------------------------------
+    def get(self, key: Key) -> np.ndarray:
+        """Entity ids cached under ``key`` (random-initialised on first touch)."""
+        entry = self._ids.get(key)
+        if entry is None:
+            entry = self.rng.integers(0, self.n_entities, size=self.size, dtype=np.int64)
+            self._ids[key] = entry
+            if self.store_scores:
+                self._scores[key] = np.zeros(self.size, dtype=np.float64)
+            self.initialised_entries += 1
+        return entry
+
+    def scores(self, key: Key) -> np.ndarray:
+        """Stored scores for ``key`` (zeros until the first refresh)."""
+        if not self.store_scores:
+            raise RuntimeError("cache was built with store_scores=False")
+        self.get(key)  # ensure the entry exists
+        return self._scores[key]
+
+    def get_many(self, keys: list[Key]) -> np.ndarray:
+        """Stack cached ids for a batch of keys; shape ``[len(keys), N1]``."""
+        return np.stack([self.get(key) for key in keys])
+
+    def scores_many(self, keys: list[Key]) -> np.ndarray:
+        """Stack stored scores for a batch of keys."""
+        return np.stack([self.scores(key) for key in keys])
+
+    # -- mutation -------------------------------------------------------------
+    def put(self, key: Key, ids: np.ndarray, scores: np.ndarray | None = None) -> int:
+        """Replace the entry under ``key``; returns #elements that changed.
+
+        The changed-element count compares id multisets, which is the CE
+        metric of Figure 8: a refresh that re-selects the same entities
+        counts as zero change.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape != (self.size,):
+            raise ValueError(f"entry must have shape ({self.size},), got {ids.shape}")
+        old = self._ids.get(key)
+        if old is None:
+            changed = self.size
+            self.initialised_entries += 1
+        else:
+            # Multiset difference size via sorted comparison.
+            changed = self.size - _multiset_overlap(old, ids)
+        self._ids[key] = ids.copy()
+        if self.store_scores:
+            if scores is None:
+                raise ValueError("store_scores=True cache requires scores on put()")
+            self._scores[key] = np.asarray(scores, dtype=np.float64).copy()
+        self.changed_elements += changed
+        return changed
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Number of materialised cache entries."""
+        return len(self._ids)
+
+    def keys(self) -> list[Key]:
+        """All materialised keys."""
+        return list(self._ids.keys())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the stored arrays."""
+        total = sum(a.nbytes for a in self._ids.values())
+        total += sum(a.nbytes for a in self._scores.values())
+        return total
+
+    def reset_counters(self) -> None:
+        """Zero the CE / initialisation counters (per-epoch accounting)."""
+        self.changed_elements = 0
+        self.initialised_entries = 0
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self.size}, entries={self.n_entries}, "
+            f"store_scores={self.store_scores})"
+        )
+
+
+def _multiset_overlap(a: np.ndarray, b: np.ndarray) -> int:
+    """Size of the multiset intersection of two equal-length id arrays."""
+    a = np.sort(a)
+    b = np.sort(b)
+    i = j = overlap = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            overlap += 1
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            i += 1
+        else:
+            j += 1
+    return overlap

@@ -1,0 +1,81 @@
+"""Memory-bounded hashed cache — the paper's §VI future-work direction.
+
+"When dealing with millions scale KG, memory of storing the cache becomes
+a problem.  Using distributed computation or *hashing* will be pursued as
+future works."  This module implements the hashing variant: cache keys are
+mapped onto a fixed number of buckets, so memory is ``O(buckets * N1)``
+regardless of ``|S|``.  Colliding keys share one entry, trading sampling
+precision for bounded memory; the extension benchmark measures that
+trade-off (bench_ext_hashed_cache).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import Key, NegativeCache
+
+__all__ = ["HashedNegativeCache", "stable_key_hash"]
+
+# Knuth-style multiplicative mixing constants (deterministic across runs,
+# unlike Python's salted hash()).
+_MIX_A = 0x9E3779B97F4A7C15
+_MIX_B = 0xC2B2AE3D27D4EB4F
+_MASK = (1 << 64) - 1
+
+
+def stable_key_hash(key: Key) -> int:
+    """Deterministic 64-bit hash of an ``(id, id)`` cache key."""
+    a, b = int(key[0]), int(key[1])
+    x = (a * _MIX_A + b * _MIX_B) & _MASK
+    x ^= x >> 29
+    x = (x * _MIX_A) & _MASK
+    x ^= x >> 32
+    return x
+
+
+class HashedNegativeCache(NegativeCache):
+    """A :class:`NegativeCache` whose keys share ``n_buckets`` slots."""
+
+    def __init__(
+        self,
+        size: int,
+        n_entities: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        n_buckets: int = 1024,
+        store_scores: bool = False,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
+        super().__init__(size, n_entities, rng, store_scores=store_scores)
+        self.n_buckets = int(n_buckets)
+
+    def _bucket(self, key: Key) -> Key:
+        return (stable_key_hash(key) % self.n_buckets, 0)
+
+    def get(self, key: Key) -> np.ndarray:
+        """Cached ids for ``key``'s bucket (shared across colliding keys)."""
+        return super().get(self._bucket(key))
+
+    def scores(self, key: Key) -> np.ndarray:
+        """Stored scores for ``key``'s bucket."""
+        return super().scores(self._bucket(key))
+
+    def put(self, key: Key, ids: np.ndarray, scores: np.ndarray | None = None) -> int:
+        """Replace ``key``'s bucket contents; returns #changed elements."""
+        return super().put(self._bucket(key), ids, scores)
+
+    def __contains__(self, key: Key) -> bool:
+        return super().__contains__(self._bucket(key))
+
+    def memory_bound_bytes(self) -> int:
+        """Worst-case memory if every bucket materialises."""
+        per_entry = self.size * 8 * (2 if self.store_scores else 1)
+        return self.n_buckets * per_entry
+
+    def __repr__(self) -> str:
+        return (
+            f"HashedNegativeCache(size={self.size}, n_buckets={self.n_buckets}, "
+            f"entries={self.n_entries})"
+        )

@@ -1,0 +1,225 @@
+"""NSCaching — the paper's contribution (Algorithms 2 and 3).
+
+For every positive triple ``(h, r, t)`` the sampler keeps a head cache
+``H[(r, t)]`` and a tail cache ``T[(h, r)]`` of ``N1`` entity ids each:
+
+* **sample** (Alg. 2 steps 5-7): index both caches, draw one candidate
+  head and one candidate tail (uniformly by default — §III-B1), then keep
+  either the head- or the tail-corruption via the Bernoulli coin;
+* **update** (Alg. 2 step 8 / Alg. 3): union each cache entry with ``N2``
+  fresh uniform entities, score all ``N1 + N2`` corruptions with the
+  *current* model, and resample ``N1`` survivors without replacement with
+  probability ``softmax(score)`` (importance sampling — §III-B2).
+
+Exploration/exploitation: larger ``N1`` = more exploitation (more stored
+hard negatives), larger ``N2`` = more exploration (faster refresh).  The
+cache update may be applied lazily every ``lazy_epochs + 1`` epochs,
+dividing its cost by ``n + 1`` (Table I).
+
+Batching note: the paper updates caches triple-by-triple; this
+implementation vectorises over the batch.  When two rows of one batch share
+a cache key, both read the same pre-batch entry and the later write wins —
+an O(1/|S|) -probability event that only delays one refresh.
+
+No trainable parameters are added, and the KG embedding model trains with
+plain gradient descent from scratch — the two properties Table I
+contrasts with IGAN/KBGAN.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cache import NegativeCache
+from repro.core.strategies import (
+    SampleStrategy,
+    UpdateStrategy,
+    sample_from_cache,
+    select_cache_survivors,
+)
+from repro.data.dataset import KGDataset
+from repro.data.triples import HEAD, REL, TAIL
+from repro.models.base import KGEModel
+from repro.sampling.base import NegativeSampler
+
+__all__ = ["NSCachingSampler"]
+
+CacheFactory = Callable[..., NegativeCache]
+
+
+class NSCachingSampler(NegativeSampler):
+    """Cache-based negative sampling (Algorithm 2)."""
+
+    name = "NSCaching"
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 50,
+        candidate_size: int = 50,
+        sample_strategy: SampleStrategy | str = SampleStrategy.UNIFORM,
+        update_strategy: UpdateStrategy | str = UpdateStrategy.IMPORTANCE,
+        lazy_epochs: int = 0,
+        bernoulli: bool = True,
+        cache_factory: CacheFactory | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        cache_size:
+            ``N1``, entities kept per cache entry (paper default 50).
+        candidate_size:
+            ``N2``, fresh uniform candidates per refresh (paper default 50).
+        sample_strategy:
+            Step 6 strategy; the paper selects ``uniform`` (Fig. 6a).
+        update_strategy:
+            Alg. 3 strategy; the paper selects ``importance`` (Fig. 6b).
+        lazy_epochs:
+            ``n`` — skip cache refreshes except every ``n+1``-th epoch.
+        bernoulli:
+            Use the relation-aware head/tail coin (paper §IV-B1).
+        cache_factory:
+            Alternative cache constructor (e.g.
+            :class:`~repro.core.hashed.HashedNegativeCache` for the
+            memory-bounded extension).
+        """
+        super().__init__(bernoulli=bernoulli)
+        if cache_size <= 0 or candidate_size <= 0:
+            raise ValueError(
+                f"cache_size and candidate_size must be > 0, got "
+                f"({cache_size}, {candidate_size})"
+            )
+        if lazy_epochs < 0:
+            raise ValueError(f"lazy_epochs must be >= 0, got {lazy_epochs}")
+        self.cache_size = int(cache_size)
+        self.candidate_size = int(candidate_size)
+        self.sample_strategy = SampleStrategy(sample_strategy)
+        self.update_strategy = UpdateStrategy(update_strategy)
+        self.lazy_epochs = int(lazy_epochs)
+        self._cache_factory = cache_factory or NegativeCache
+        self.head_cache: NegativeCache | None = None
+        self.tail_cache: NegativeCache | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def bind(
+        self,
+        model: KGEModel,
+        dataset: KGDataset,
+        rng: np.random.Generator | int | None = None,
+    ) -> "NSCachingSampler":
+        """Create the head/tail caches sized for ``dataset`` (lazy entries).
+
+        Scores are co-stored only when the sampling strategy needs them
+        (the paper's extra-memory note for IS/top sampling).
+        """
+        super().bind(model, dataset, rng)
+        store_scores = self.sample_strategy is not SampleStrategy.UNIFORM
+        self.head_cache = self._cache_factory(
+            self.cache_size,
+            dataset.n_entities,
+            self.rng,
+            store_scores=store_scores,
+        )
+        self.tail_cache = self._cache_factory(
+            self.cache_size,
+            dataset.n_entities,
+            self.rng,
+            store_scores=store_scores,
+        )
+        return self
+
+    def _head_keys(self, batch: np.ndarray) -> list[tuple[int, int]]:
+        """Head cache keys: ``(r, t)`` per Alg. 2 step 5."""
+        return [(int(r), int(t)) for r, t in zip(batch[:, REL], batch[:, TAIL])]
+
+    def _tail_keys(self, batch: np.ndarray) -> list[tuple[int, int]]:
+        """Tail cache keys: ``(h, r)``."""
+        return [(int(h), int(r)) for h, r in zip(batch[:, HEAD], batch[:, REL])]
+
+    # -- Alg. 2 steps 5-7 ---------------------------------------------------------
+    def sample(self, batch: np.ndarray) -> np.ndarray:
+        """Draw one negative per positive from the caches (Alg. 2 steps 5-7)."""
+        self._require_bound()
+        assert self.head_cache is not None and self.tail_cache is not None
+        batch = np.asarray(batch, dtype=np.int64)
+
+        head_keys = self._head_keys(batch)
+        tail_keys = self._tail_keys(batch)
+        head_ids = self.head_cache.get_many(head_keys)  # [B, N1]
+        tail_ids = self.tail_cache.get_many(tail_keys)
+
+        need_scores = self.sample_strategy is not SampleStrategy.UNIFORM
+        head_scores = self.head_cache.scores_many(head_keys) if need_scores else None
+        tail_scores = self.tail_cache.scores_many(tail_keys) if need_scores else None
+
+        sampled_heads = sample_from_cache(
+            head_ids, head_scores, self.sample_strategy, self.rng
+        )
+        sampled_tails = sample_from_cache(
+            tail_ids, tail_scores, self.sample_strategy, self.rng
+        )
+
+        negatives = batch.copy()
+        head_mask = self.choose_head_corruption(batch[:, REL])
+        negatives[head_mask, HEAD] = sampled_heads[head_mask]
+        negatives[~head_mask, TAIL] = sampled_tails[~head_mask]
+        return negatives
+
+    # -- Alg. 3 --------------------------------------------------------------------
+    def update(self, batch: np.ndarray, negatives: np.ndarray) -> None:
+        """Refresh both caches for the batch's keys (Alg. 3), unless lazy."""
+        if self.epoch % (self.lazy_epochs + 1) != 0:
+            return  # lazy update: skip this epoch entirely
+        self._require_bound()
+        batch = np.asarray(batch, dtype=np.int64)
+        self._refresh_side(batch, head_side=True)
+        self._refresh_side(batch, head_side=False)
+
+    def _refresh_side(self, batch: np.ndarray, *, head_side: bool) -> None:
+        """Run Algorithm 3 for one cache, vectorised over the batch."""
+        assert self.head_cache is not None and self.tail_cache is not None
+        cache = self.head_cache if head_side else self.tail_cache
+        keys = self._head_keys(batch) if head_side else self._tail_keys(batch)
+
+        current = cache.get_many(keys)  # [B, N1]
+        fresh = self.rng.integers(
+            0, self.dataset.n_entities, size=(len(batch), self.candidate_size),
+            dtype=np.int64,
+        )
+        union = np.concatenate([current, fresh], axis=1)  # [B, N1+N2]
+
+        if head_side:
+            scores = self.model.score_heads(union, batch[:, REL], batch[:, TAIL])
+        else:
+            scores = self.model.score_tails(batch[:, HEAD], batch[:, REL], union)
+
+        new_ids, new_scores = select_cache_survivors(
+            union, scores, self.cache_size, self.update_strategy, self.rng
+        )
+        store_scores = cache.store_scores
+        for i, key in enumerate(keys):
+            cache.put(key, new_ids[i], new_scores[i] if store_scores else None)
+
+    # -- introspection ---------------------------------------------------------------
+    def cache_memory_bytes(self) -> int:
+        """Combined footprint of both caches."""
+        assert self.head_cache is not None and self.tail_cache is not None
+        return self.head_cache.memory_bytes() + self.tail_cache.memory_bytes()
+
+    def changed_elements(self, reset: bool = False) -> int:
+        """CE metric: cache elements replaced since the last reset (Fig. 8)."""
+        assert self.head_cache is not None and self.tail_cache is not None
+        total = self.head_cache.changed_elements + self.tail_cache.changed_elements
+        if reset:
+            self.head_cache.reset_counters()
+            self.tail_cache.reset_counters()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"NSCachingSampler(N1={self.cache_size}, N2={self.candidate_size}, "
+            f"sample={self.sample_strategy.value}, update={self.update_strategy.value}, "
+            f"lazy={self.lazy_epochs})"
+        )

@@ -1,0 +1,85 @@
+"""Instrumentation behind the paper's exploration/exploitation study.
+
+Three quantities are tracked across training (Figures 7 and 8):
+
+* **RR** (repeat ratio) — fraction of negative triples within a sliding
+  window of epochs that are repeats; high RR = poor exploration;
+* **NZL** (non-zero-loss ratio) — fraction of pairs whose loss gradient is
+  non-vanishing; high NZL = good exploitation (computed by the loss class,
+  recorded here);
+* **CE** (changed elements) — number of cache slots replaced per epoch;
+  low CE = a stale cache (top update's failure mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.data.triples import as_triple_array
+
+__all__ = ["NegativeTracker", "EpochSeries"]
+
+
+class NegativeTracker:
+    """Sliding-window accounting of sampled negative triples (RR metric)."""
+
+    def __init__(self, window_epochs: int = 20) -> None:
+        if window_epochs <= 0:
+            raise ValueError(f"window_epochs must be > 0, got {window_epochs}")
+        self.window_epochs = int(window_epochs)
+        self._window: deque[list[tuple[int, int, int]]] = deque(maxlen=window_epochs)
+        self._current: list[tuple[int, int, int]] = []
+
+    def record(self, negatives: np.ndarray) -> None:
+        """Record a batch of negative triples for the current epoch."""
+        array = as_triple_array(negatives)
+        self._current.extend(map(tuple, array.tolist()))
+
+    def end_epoch(self) -> None:
+        """Seal the current epoch's record and slide the window."""
+        self._window.append(self._current)
+        self._current = []
+
+    def repeat_ratio(self) -> float:
+        """1 - unique/total over the window (plus the open epoch)."""
+        all_triples: list[tuple[int, int, int]] = []
+        for epoch_record in self._window:
+            all_triples.extend(epoch_record)
+        all_triples.extend(self._current)
+        if not all_triples:
+            return 0.0
+        return 1.0 - len(set(all_triples)) / len(all_triples)
+
+    def total_recorded(self) -> int:
+        """Number of negatives currently inside the window."""
+        return sum(len(r) for r in self._window) + len(self._current)
+
+
+class EpochSeries:
+    """A named scalar-per-epoch series (the raw material of every figure)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.epochs: list[int] = []
+        self.values: list[float] = []
+
+    def append(self, epoch: int, value: float) -> None:
+        """Record ``value`` at ``epoch``."""
+        self.epochs.append(int(epoch))
+        self.values.append(float(value))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(epochs, values)`` as numpy arrays."""
+        return np.asarray(self.epochs), np.asarray(self.values)
+
+    def last(self) -> float:
+        """Most recent value (NaN when empty)."""
+        return self.values[-1] if self.values else float("nan")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"EpochSeries({self.name!r}, n={len(self.values)})"

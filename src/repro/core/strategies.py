@@ -1,0 +1,145 @@
+"""Sample-from-cache and update-cache strategies (paper §III-B1 / §III-B2).
+
+The paper's design space, studied in Figure 6:
+
+* **sampling** (Alg. 2 step 6) — how to pick the corrupting entity from a
+  cache entry: ``uniform`` (the paper's choice: unbiased, balances
+  exploration/exploitation), ``importance`` (probability proportional to
+  ``softmax(score)``; biased towards stale scores and false negatives) or
+  ``top`` (always the largest score; worst — it locks onto false
+  negatives);
+* **updating** (Alg. 3) — how to select the ``N1`` survivors from the
+  ``N1 + N2`` union of cache and fresh candidates: ``importance``
+  (sampling *without replacement* proportional to ``softmax(score)``, the
+  paper's choice), ``top`` (deterministic top-N1; under-explores, Fig. 8)
+  or ``uniform`` (ignores scores; loses the hard-negative signal).
+
+Without-replacement softmax sampling is implemented with the Gumbel-top-k
+trick so whole batches are processed with one vectorised ``argpartition``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "SampleStrategy",
+    "UpdateStrategy",
+    "duplicate_mask",
+    "sample_from_cache",
+    "select_cache_survivors",
+]
+
+
+class SampleStrategy(str, Enum):
+    """How to draw the corrupting entity from a cache entry."""
+
+    UNIFORM = "uniform"
+    IMPORTANCE = "importance"
+    TOP = "top"
+
+
+class UpdateStrategy(str, Enum):
+    """How to select the new cache contents from the candidate union."""
+
+    IMPORTANCE = "importance"
+    TOP = "top"
+    UNIFORM = "uniform"
+
+
+def duplicate_mask(ids: np.ndarray) -> np.ndarray:
+    """True at positions holding a *repeat* of an id earlier in the row.
+
+    The Alg. 3 union ``H ∪ Rm`` can contain the same entity twice (cache
+    hit in the random draw, or repeats inside the draw); masking repeats
+    prevents double probability mass and duplicate cache entries.
+    """
+    ids = np.asarray(ids)
+    order = np.argsort(ids, axis=1, kind="stable")
+    sorted_ids = np.take_along_axis(ids, order, axis=1)
+    dup_sorted = np.zeros_like(ids, dtype=bool)
+    dup_sorted[:, 1:] = sorted_ids[:, 1:] == sorted_ids[:, :-1]
+    mask = np.zeros_like(dup_sorted)
+    np.put_along_axis(mask, order, dup_sorted, axis=1)
+    return mask
+
+
+def _gumbel(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    u = rng.random(shape)
+    return -np.log(-np.log(np.clip(u, 1e-300, 1.0)))
+
+
+def sample_from_cache(
+    ids: np.ndarray,
+    scores: np.ndarray | None,
+    strategy: SampleStrategy,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Pick one entity per row from cached ``ids``; returns shape ``[B]``.
+
+    ``scores`` (same shape as ``ids``) is required for the importance and
+    top strategies; the uniform strategy ignores it.
+    """
+    rng = ensure_rng(rng)
+    ids = np.asarray(ids, dtype=np.int64)
+    b, n = ids.shape
+    strategy = SampleStrategy(strategy)
+    if strategy is SampleStrategy.UNIFORM:
+        cols = rng.integers(0, n, size=b)
+    else:
+        if scores is None:
+            raise ValueError(f"strategy {strategy.value!r} requires scores")
+        scores = np.asarray(scores, dtype=np.float64)
+        if strategy is SampleStrategy.TOP:
+            cols = np.argmax(scores, axis=1)
+        else:  # IMPORTANCE: one softmax draw == Gumbel argmax.
+            cols = np.argmax(scores + _gumbel(scores.shape, rng), axis=1)
+    return ids[np.arange(b), cols]
+
+
+def select_cache_survivors(
+    candidate_ids: np.ndarray,
+    candidate_scores: np.ndarray,
+    n_keep: int,
+    strategy: UpdateStrategy,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select ``n_keep`` entries per row from the Alg. 3 candidate union.
+
+    Returns ``(ids, scores)`` each of shape ``[B, n_keep]``.  Duplicate ids
+    within a row are suppressed before selection.  Importance selection is
+    sampling *without replacement* with probability ``softmax(score)``
+    (Eq. 6), realised as top-``n_keep`` of ``score + Gumbel noise``.
+    """
+    rng = ensure_rng(rng)
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    candidate_scores = np.asarray(candidate_scores, dtype=np.float64)
+    if candidate_ids.shape != candidate_scores.shape:
+        raise ValueError(
+            f"ids {candidate_ids.shape} and scores {candidate_scores.shape} disagree"
+        )
+    b, n = candidate_ids.shape
+    if n_keep > n:
+        raise ValueError(f"cannot keep {n_keep} of {n} candidates")
+    strategy = UpdateStrategy(strategy)
+
+    # Suppress within-row duplicates; -inf keys are never selected unless a
+    # row has fewer uniques than n_keep, in which case duplicates fill in
+    # (harmless: the cache then holds a repeat, as the paper's would).
+    dup = duplicate_mask(candidate_ids)
+    if strategy is UpdateStrategy.TOP:
+        keys = np.where(dup, -np.inf, candidate_scores)
+    elif strategy is UpdateStrategy.IMPORTANCE:
+        keys = candidate_scores + _gumbel(candidate_scores.shape, rng)
+        keys = np.where(dup, -np.inf, keys)
+    else:  # UNIFORM
+        keys = rng.random((b, n))
+        keys = np.where(dup, -np.inf, keys)
+
+    top = np.argpartition(-keys, n_keep - 1, axis=1)[:, :n_keep]
+    rows = np.arange(b)[:, None]
+    return candidate_ids[rows, top], candidate_scores[rows, top]

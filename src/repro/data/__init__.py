@@ -1,0 +1,71 @@
+"""Knowledge-graph data substrate.
+
+This package provides everything the paper gets from "download WN18/FB15K":
+
+* :mod:`repro.data.triples` — typed containers for triple arrays and
+  vocabularies;
+* :mod:`repro.data.dataset` — :class:`KGDataset`, the train/valid/test
+  bundle with filtered-ranking indexes;
+* :mod:`repro.data.io` — TSV load/save in the standard ``h \\t r \\t t``
+  benchmark format;
+* :mod:`repro.data.relations` — relation cardinality analysis and the
+  Bernoulli corruption statistics of Wang et al. (2014);
+* :mod:`repro.data.synthetic` — a latent-structure generator that plants a
+  learnable ground truth (the offline stand-in for the public benchmarks);
+* :mod:`repro.data.benchmarks` — named, seeded configurations mirroring
+  WN18 / WN18RR / FB15K / FB15K237 at laptop scale;
+* :mod:`repro.data.fb13` — a small interpretable typed KG (people,
+  professions, nationalities) used for the cache-evolution study;
+* :mod:`repro.data.negatives` — labelled negative triples for the triplet
+  classification task and false-negative accounting.
+"""
+
+from repro.data.benchmarks import (
+    BENCHMARKS,
+    fb15k237_like,
+    fb15k_like,
+    load_benchmark,
+    wn18_like,
+    wn18rr_like,
+)
+from repro.data.dataset import KGDataset
+from repro.data.fb13 import fb13_like
+from repro.data.io import load_triples_tsv, save_triples_tsv
+from repro.data.negatives import (
+    classification_split,
+    corrupt_uniform,
+    false_negative_rate,
+)
+from repro.data.relations import (
+    RelationCategory,
+    bernoulli_head_probabilities,
+    categorize_relations,
+    relation_cardinalities,
+)
+from repro.data.synthetic import SyntheticKGConfig, generate_kg
+from repro.data.triples import Vocabulary, as_triple_array, triple_key_set
+
+__all__ = [
+    "BENCHMARKS",
+    "KGDataset",
+    "RelationCategory",
+    "SyntheticKGConfig",
+    "Vocabulary",
+    "as_triple_array",
+    "bernoulli_head_probabilities",
+    "categorize_relations",
+    "classification_split",
+    "corrupt_uniform",
+    "false_negative_rate",
+    "fb13_like",
+    "fb15k237_like",
+    "fb15k_like",
+    "generate_kg",
+    "load_benchmark",
+    "load_triples_tsv",
+    "relation_cardinalities",
+    "save_triples_tsv",
+    "triple_key_set",
+    "wn18_like",
+    "wn18rr_like",
+]

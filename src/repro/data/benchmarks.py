@@ -1,0 +1,133 @@
+"""Named, seeded dataset configurations mirroring the paper's benchmarks.
+
+The four public datasets of Table II cannot be downloaded offline, so each
+gets a laptop-scale synthetic analogue (see :mod:`repro.data.synthetic` and
+DESIGN.md §2 for why the substitution preserves the relevant behaviour):
+
+=============  =====================================================
+``wn18_like``     few relations, hierarchy-flavoured, *with* inverse
+                  duplicates -> strong test leakage, high absolute
+                  metrics, like WN18
+``wn18rr_like``   same generator, inverse duplicates removed and fewer
+                  triples -> harder, like WN18RR
+``fb15k_like``    many relations, dense, some inverse duplicates,
+                  heavy 1-N/N-N mix, like FB15K
+``fb15k237_like`` many relations, no inverse duplicates, like FB15K237
+=============  =====================================================
+
+Every loader takes a ``scale`` multiplier so tests can shrink the datasets
+further, and a ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import KGDataset
+from repro.data.synthetic import SyntheticKGConfig, generate_kg
+
+__all__ = [
+    "BENCHMARKS",
+    "fb15k237_like",
+    "fb15k_like",
+    "load_benchmark",
+    "wn18_like",
+    "wn18rr_like",
+]
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(int(round(value * scale)), minimum)
+
+
+def wn18_like(seed: int = 0, scale: float = 1.0) -> KGDataset:
+    """WN18 analogue: hierarchical, few relations, inverse-duplicate leakage."""
+    config = SyntheticKGConfig(
+        name="wn18_like",
+        n_entities=_scaled(1200, scale, 60),
+        n_relations=12,
+        latent_dim=12,
+        triples_per_relation=_scaled(700, scale, 40),
+        category_mix=(0.25, 0.3, 0.3, 0.15),
+        fan_out_max=4,
+        range_fraction=0.4,
+        diagonal_fraction=0.35,
+        inverse_fraction=0.5,
+        noise=0.04,
+        popularity_exponent=0.9,
+    )
+    return generate_kg(config, rng=seed).dataset
+
+
+def wn18rr_like(seed: int = 0, scale: float = 1.0) -> KGDataset:
+    """WN18RR analogue: WN18-like with inverse duplicates removed, sparser."""
+    config = SyntheticKGConfig(
+        name="wn18rr_like",
+        n_entities=_scaled(1200, scale, 60),
+        n_relations=11,
+        latent_dim=12,
+        triples_per_relation=_scaled(500, scale, 30),
+        category_mix=(0.25, 0.3, 0.3, 0.15),
+        fan_out_max=4,
+        range_fraction=0.4,
+        diagonal_fraction=0.35,
+        inverse_fraction=0.0,
+        noise=0.06,
+        popularity_exponent=0.9,
+    )
+    return generate_kg(config, rng=seed).dataset
+
+
+def fb15k_like(seed: int = 0, scale: float = 1.0) -> KGDataset:
+    """FB15K analogue: many relations, dense, heavy 1-N/N-N, some leakage."""
+    config = SyntheticKGConfig(
+        name="fb15k_like",
+        n_entities=_scaled(900, scale, 60),
+        n_relations=40,
+        latent_dim=14,
+        triples_per_relation=_scaled(400, scale, 30),
+        category_mix=(0.1, 0.3, 0.3, 0.3),
+        fan_out_max=6,
+        range_fraction=0.3,
+        diagonal_fraction=0.5,
+        inverse_fraction=0.3,
+        noise=0.05,
+        popularity_exponent=1.0,
+    )
+    return generate_kg(config, rng=seed).dataset
+
+
+def fb15k237_like(seed: int = 0, scale: float = 1.0) -> KGDataset:
+    """FB15K237 analogue: FB15K-like without inverse duplicates."""
+    config = SyntheticKGConfig(
+        name="fb15k237_like",
+        n_entities=_scaled(900, scale, 60),
+        n_relations=35,
+        latent_dim=14,
+        triples_per_relation=_scaled(300, scale, 25),
+        category_mix=(0.1, 0.3, 0.3, 0.3),
+        fan_out_max=6,
+        range_fraction=0.3,
+        diagonal_fraction=0.5,
+        inverse_fraction=0.0,
+        noise=0.07,
+        popularity_exponent=1.0,
+    )
+    return generate_kg(config, rng=seed).dataset
+
+
+#: Registry of the four Table II analogues, keyed by paper dataset name.
+BENCHMARKS: dict[str, Callable[..., KGDataset]] = {
+    "WN18": wn18_like,
+    "WN18RR": wn18rr_like,
+    "FB15K": fb15k_like,
+    "FB15K237": fb15k237_like,
+}
+
+
+def load_benchmark(name: str, seed: int = 0, scale: float = 1.0) -> KGDataset:
+    """Load a Table II analogue by paper dataset name (case-insensitive)."""
+    key = name.upper().replace("-", "")
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; options: {sorted(BENCHMARKS)}")
+    return BENCHMARKS[key](seed=seed, scale=scale)

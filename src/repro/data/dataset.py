@@ -1,0 +1,266 @@
+"""The train/valid/test dataset bundle used throughout the library.
+
+:class:`KGDataset` owns the vocabulary, the three splits, and the *filter
+indexes* needed by filtered link-prediction evaluation (Bordes et al. 2013):
+for a query ``(h, r, ?)`` every known true tail across all splits must be
+discounted when ranking.  Those indexes are built lazily and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.io import load_label_triples, save_label_triples
+from repro.data.triples import (
+    HEAD,
+    REL,
+    TAIL,
+    Vocabulary,
+    as_triple_array,
+    entity_degrees,
+    relation_counts,
+    triple_key_set,
+    unique_triples,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = ["KGDataset"]
+
+
+def _pair_index(
+    triples: np.ndarray, key_cols: tuple[int, int], value_col: int
+) -> dict[tuple[int, int], np.ndarray]:
+    """Group ``value_col`` by the pair of ``key_cols``.
+
+    Returns a dict mapping each observed key pair to a sorted, deduplicated
+    ``int64`` array of values.  Built with one lexsort rather than a Python
+    loop per row.
+    """
+    if len(triples) == 0:
+        return {}
+    keys = triples[:, list(key_cols)]
+    values = triples[:, value_col]
+    order = np.lexsort((values, keys[:, 1], keys[:, 0]))
+    keys = keys[order]
+    values = values[order]
+    # boundaries where the (k0, k1) pair changes
+    change = np.any(np.diff(keys, axis=0) != 0, axis=1)
+    boundaries = np.concatenate(([0], np.flatnonzero(change) + 1, [len(keys)]))
+    index: dict[tuple[int, int], np.ndarray] = {}
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        key = (int(keys[start, 0]), int(keys[start, 1]))
+        index[key] = np.unique(values[start:stop])
+    return index
+
+
+@dataclass
+class KGDataset:
+    """A knowledge graph with train/valid/test splits.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset name (used in reports).
+    vocab:
+        Entity/relation vocabulary; embedding tables are sized from it.
+    train, valid, test:
+        ``int64`` triple arrays of shape ``[n, 3]``.
+    """
+
+    name: str
+    vocab: Vocabulary
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+    _tail_filter: dict[tuple[int, int], np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _head_filter: dict[tuple[int, int], np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _all_keys: set[tuple[int, int, int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.train = as_triple_array(self.train)
+        self.valid = as_triple_array(self.valid)
+        self.test = as_triple_array(self.test)
+        for split_name, split in (
+            ("train", self.train),
+            ("valid", self.valid),
+            ("test", self.test),
+        ):
+            if len(split) == 0:
+                continue
+            if split[:, [HEAD, TAIL]].max() >= self.vocab.n_entities:
+                raise ValueError(f"{split_name} split references unknown entity ids")
+            if split[:, REL].max() >= self.vocab.n_relations:
+                raise ValueError(f"{split_name} split references unknown relation ids")
+            if split.min() < 0:
+                raise ValueError(f"{split_name} split contains negative ids")
+
+    # -- sizes ------------------------------------------------------------
+    @property
+    def n_entities(self) -> int:
+        """Number of entities |E|."""
+        return self.vocab.n_entities
+
+    @property
+    def n_relations(self) -> int:
+        """Number of relations |R|."""
+        return self.vocab.n_relations
+
+    @property
+    def n_train(self) -> int:
+        """Number of training triples."""
+        return len(self.train)
+
+    def all_triples(self) -> np.ndarray:
+        """All triples across the three splits, shape ``[n, 3]``."""
+        return np.concatenate([self.train, self.valid, self.test], axis=0)
+
+    # -- membership and filters -------------------------------------------
+    @property
+    def known_triples(self) -> set[tuple[int, int, int]]:
+        """Set of every (h, r, t) across all splits (the 'filtered' universe)."""
+        if self._all_keys is None:
+            self._all_keys = triple_key_set(self.all_triples())
+        return self._all_keys
+
+    def is_known(self, h: int, r: int, t: int) -> bool:
+        """Whether ``(h, r, t)`` appears in any split."""
+        return (int(h), int(r), int(t)) in self.known_triples
+
+    @property
+    def tail_filter(self) -> dict[tuple[int, int], np.ndarray]:
+        """Map ``(h, r) -> sorted array of true tails`` across all splits."""
+        if self._tail_filter is None:
+            self._tail_filter = _pair_index(self.all_triples(), (HEAD, REL), TAIL)
+        return self._tail_filter
+
+    @property
+    def head_filter(self) -> dict[tuple[int, int], np.ndarray]:
+        """Map ``(r, t) -> sorted array of true heads`` across all splits."""
+        if self._head_filter is None:
+            self._head_filter = _pair_index(self.all_triples(), (REL, TAIL), HEAD)
+        return self._head_filter
+
+    def true_tails(self, h: int, r: int) -> np.ndarray:
+        """All known tails for ``(h, r, ?)`` (empty array if none)."""
+        return self.tail_filter.get((int(h), int(r)), np.empty(0, dtype=np.int64))
+
+    def true_heads(self, r: int, t: int) -> np.ndarray:
+        """All known heads for ``(?, r, t)`` (empty array if none)."""
+        return self.head_filter.get((int(r), int(t)), np.empty(0, dtype=np.int64))
+
+    # -- statistics ---------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Entity degrees over the training split."""
+        return entity_degrees(self.train, self.n_entities)
+
+    def relation_frequencies(self) -> np.ndarray:
+        """Training triple count per relation."""
+        return relation_counts(self.train, self.n_relations)
+
+    def summary(self) -> dict[str, int]:
+        """Table II-style statistics dict."""
+        return {
+            "entities": self.n_entities,
+            "relations": self.n_relations,
+            "train": len(self.train),
+            "valid": len(self.valid),
+            "test": len(self.test),
+        }
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_triples(
+        cls,
+        name: str,
+        triples: np.ndarray,
+        vocab: Vocabulary,
+        *,
+        valid_fraction: float = 0.05,
+        test_fraction: float = 0.05,
+        rng: np.random.Generator | int | None = None,
+    ) -> "KGDataset":
+        """Split a deduplicated triple array into train/valid/test.
+
+        The split is random but *coverage-preserving*: any triple whose head,
+        tail or relation would otherwise vanish from the training split is
+        pulled back into train, so every embedding row receives gradient
+        signal.  This mirrors how the public benchmarks were constructed.
+        """
+        if valid_fraction < 0 or test_fraction < 0 or valid_fraction + test_fraction >= 1:
+            raise ValueError(
+                "valid_fraction and test_fraction must be non-negative and sum to < 1"
+            )
+        rng = ensure_rng(rng)
+        triples = unique_triples(triples)
+        n = len(triples)
+        order = rng.permutation(n)
+        n_valid = int(round(n * valid_fraction))
+        n_test = int(round(n * test_fraction))
+        held = order[: n_valid + n_test]
+        train_idx = order[n_valid + n_test :]
+
+        # Coverage fix-up: move held-out triples mentioning unseen ids to train.
+        train = triples[train_idx]
+        seen_entities = np.zeros(vocab.n_entities, dtype=bool)
+        seen_relations = np.zeros(vocab.n_relations, dtype=bool)
+        if len(train):
+            seen_entities[train[:, HEAD]] = True
+            seen_entities[train[:, TAIL]] = True
+            seen_relations[train[:, REL]] = True
+
+        keep_mask = np.ones(len(held), dtype=bool)
+        pulled: list[np.ndarray] = []
+        for i, idx in enumerate(held):
+            h, r, t = triples[idx]
+            if not (seen_entities[h] and seen_entities[t] and seen_relations[r]):
+                keep_mask[i] = False
+                pulled.append(triples[idx])
+                seen_entities[h] = seen_entities[t] = True
+                seen_relations[r] = True
+        held = held[keep_mask]
+        if pulled:
+            train = np.concatenate([train, np.stack(pulled)], axis=0)
+
+        n_valid = min(n_valid, len(held))
+        valid = triples[held[:n_valid]]
+        test = triples[held[n_valid:]]
+        return cls(name=name, vocab=vocab, train=train, valid=valid, test=test)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Write ``train.txt`` / ``valid.txt`` / ``test.txt`` TSVs."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for split_name, split in (
+            ("train", self.train),
+            ("valid", self.valid),
+            ("test", self.test),
+        ):
+            save_label_triples(directory / f"{split_name}.txt", self.vocab.decode(split))
+
+    @classmethod
+    def load(cls, name: str, directory: str | Path) -> "KGDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        directory = Path(directory)
+        splits = {
+            split_name: load_label_triples(directory / f"{split_name}.txt")
+            for split_name in ("train", "valid", "test")
+        }
+        labelled = [t for split in splits.values() for t in split]
+        vocab = Vocabulary.from_triples(labelled)
+        return cls(
+            name=name,
+            vocab=vocab,
+            train=vocab.encode(splits["train"]),
+            valid=vocab.encode(splits["valid"]),
+            test=vocab.encode(splits["test"]),
+        )

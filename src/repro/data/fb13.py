@@ -1,0 +1,179 @@
+"""An interpretable typed knowledge graph in the style of FB13.
+
+Table VI of the paper inspects the *contents* of a tail cache for the fact
+``(manorama, profession, actor)`` on FB13 and shows it drifting from random
+entities to type-consistent professions — the self-paced-learning effect.
+FB13 is not available offline, so this module builds a small KG whose
+entities have human-readable labels and explicit types:
+
+* persons, each with a profession, nationality, gender and employer;
+* attribute relations: ``profession``, ``nationality``, ``gender``,
+  ``works_at`` (person -> typed value);
+* a social relation ``colleague_of`` between persons sharing an employer.
+
+Attributes are correlated (institutions concentrate professions), so the
+graph is learnable, and the entity labels let the cache-evolution study
+print recognisable snapshots exactly like the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.triples import Vocabulary, unique_triples
+from repro.utils.rng import ensure_rng
+
+__all__ = ["FB13Like", "fb13_like", "PROFESSIONS", "NATIONALITIES"]
+
+PROFESSIONS = (
+    "actor", "physician", "artist", "attorney", "accountant", "aviator",
+    "coach", "politician", "scientist", "musician", "journalist", "engineer",
+    "sex_worker", "teacher", "athlete",
+)
+
+NATIONALITIES = (
+    "american", "british", "indian", "french", "german", "chinese",
+    "japanese", "brazilian", "canadian", "italian",
+)
+
+GENDERS = ("male", "female")
+
+INSTITUTIONS = (
+    "general_hospital", "city_theatre", "state_university", "law_firm",
+    "national_lab", "film_studio", "news_desk", "sports_club",
+    "parliament", "conservatory",
+)
+
+#: Professions concentrated at each institution (first entry is dominant).
+_INSTITUTION_PROFESSIONS: dict[str, tuple[str, ...]] = {
+    "general_hospital": ("physician", "scientist", "accountant"),
+    "city_theatre": ("actor", "artist", "musician"),
+    "state_university": ("teacher", "scientist", "engineer"),
+    "law_firm": ("attorney", "accountant", "politician"),
+    "national_lab": ("scientist", "engineer", "physician"),
+    "film_studio": ("actor", "artist", "journalist"),
+    "news_desk": ("journalist", "politician", "artist"),
+    "sports_club": ("athlete", "coach", "physician"),
+    "parliament": ("politician", "attorney", "journalist"),
+    "conservatory": ("musician", "artist", "teacher"),
+}
+
+
+@dataclass
+class FB13Like:
+    """The generated dataset plus the type assignment used to build it."""
+
+    dataset: KGDataset
+    person_labels: tuple[str, ...]
+    profession_of: dict[str, str]  # person label -> profession label
+    type_of: dict[str, str]  # entity label -> {person, profession, ...}
+
+
+def fb13_like(
+    n_persons: int = 160,
+    rng: np.random.Generator | int | None = None,
+    *,
+    valid_fraction: float = 0.05,
+    test_fraction: float = 0.05,
+) -> FB13Like:
+    """Build the FB13 analogue.  See module docstring."""
+    if n_persons < 4:
+        raise ValueError(f"n_persons must be >= 4, got {n_persons}")
+    rng = ensure_rng(rng)
+
+    persons = tuple(f"person_{i:03d}" for i in range(n_persons))
+    entity_labels = list(persons) + list(PROFESSIONS) + list(NATIONALITIES)
+    entity_labels += list(GENDERS) + list(INSTITUTIONS)
+    relations = ("profession", "nationality", "gender", "works_at", "colleague_of")
+    vocab = Vocabulary(tuple(entity_labels), relations)
+
+    type_of: dict[str, str] = {}
+    for label in persons:
+        type_of[label] = "person"
+    for label in PROFESSIONS:
+        type_of[label] = "profession"
+    for label in NATIONALITIES:
+        type_of[label] = "nationality"
+    for label in GENDERS:
+        type_of[label] = "gender"
+    for label in INSTITUTIONS:
+        type_of[label] = "institution"
+
+    profession_of: dict[str, str] = {}
+    employer_of: dict[str, str] = {}
+    labelled: list[tuple[str, str, str]] = []
+    for person in persons:
+        institution = INSTITUTIONS[rng.integers(len(INSTITUTIONS))]
+        employer_of[person] = institution
+        pool = _INSTITUTION_PROFESSIONS[institution]
+        # Dominant profession with prob 0.6, other institutional ones 0.3,
+        # fully random 0.1 -> correlated but not deterministic.
+        u = rng.random()
+        if u < 0.6:
+            profession = pool[0]
+        elif u < 0.9:
+            profession = pool[1 + rng.integers(len(pool) - 1)]
+        else:
+            profession = PROFESSIONS[rng.integers(len(PROFESSIONS))]
+        profession_of[person] = profession
+        nationality = NATIONALITIES[rng.integers(len(NATIONALITIES))]
+        gender = GENDERS[rng.integers(len(GENDERS))]
+        labelled.append((person, "profession", profession))
+        labelled.append((person, "nationality", nationality))
+        labelled.append((person, "gender", gender))
+        labelled.append((person, "works_at", institution))
+
+    # colleague_of between persons at the same institution (sampled pairs).
+    by_institution: dict[str, list[str]] = {}
+    for person, institution in employer_of.items():
+        by_institution.setdefault(institution, []).append(person)
+    for members in by_institution.values():
+        if len(members) < 2:
+            continue
+        n_pairs = min(len(members) * 2, len(members) * (len(members) - 1) // 2)
+        for _ in range(n_pairs):
+            i, j = rng.choice(len(members), size=2, replace=False)
+            labelled.append((members[i], "colleague_of", members[j]))
+
+    triples = unique_triples(vocab.encode(labelled))
+    dataset = KGDataset.from_triples(
+        "fb13_like",
+        triples,
+        vocab,
+        valid_fraction=valid_fraction,
+        test_fraction=test_fraction,
+        rng=rng,
+    )
+    return FB13Like(
+        dataset=dataset,
+        person_labels=persons,
+        profession_of=profession_of,
+        type_of=type_of,
+    )
+
+
+def type_consistency(
+    fb13: FB13Like, relation_label: str, entity_ids: np.ndarray
+) -> float:
+    """Fraction of ``entity_ids`` whose type matches the relation's range.
+
+    Used by the Table VI reproduction: as training proceeds, the tail cache
+    of a ``profession`` fact should contain more ``profession``-typed
+    entities.
+    """
+    expected = {
+        "profession": "profession",
+        "nationality": "nationality",
+        "gender": "gender",
+        "works_at": "institution",
+        "colleague_of": "person",
+    }[relation_label]
+    ids = np.asarray(entity_ids, dtype=np.int64).ravel()
+    labels = [fb13.dataset.vocab.entity_label(int(e)) for e in ids]
+    if not labels:
+        return 0.0
+    matches = sum(1 for label in labels if fb13.type_of[label] == expected)
+    return matches / len(labels)

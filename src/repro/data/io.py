@@ -1,0 +1,57 @@
+"""TSV serialisation in the standard KG-benchmark format.
+
+The public benchmark releases (WN18, FB15K, ...) ship triples one per line
+as ``head<TAB>relation<TAB>tail``.  These helpers read and write that format
+so that locally generated datasets are interchangeable with the real files
+when they are available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.triples import Vocabulary, as_triple_array
+
+__all__ = ["load_triples_tsv", "save_triples_tsv", "load_label_triples", "save_label_triples"]
+
+
+def load_label_triples(path: str | Path) -> list[tuple[str, str, str]]:
+    """Read label triples from a TSV file, skipping blank lines."""
+    triples: list[tuple[str, str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def save_label_triples(
+    path: str | Path, triples: Iterable[tuple[str, str, str]]
+) -> int:
+    """Write label triples to a TSV file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for h, r, t in triples:
+            handle.write(f"{h}\t{r}\t{t}\n")
+            count += 1
+    return count
+
+
+def load_triples_tsv(path: str | Path, vocab: Vocabulary) -> np.ndarray:
+    """Read a TSV file and encode it against an existing vocabulary."""
+    return vocab.encode(load_label_triples(path))
+
+
+def save_triples_tsv(path: str | Path, triples: np.ndarray, vocab: Vocabulary) -> int:
+    """Encode-aware save: decode ids through ``vocab`` and write TSV."""
+    return save_label_triples(path, vocab.decode(as_triple_array(triples)))

@@ -1,0 +1,95 @@
+"""Negative-triple utilities shared by evaluation and analysis.
+
+* :func:`corrupt_uniform` — vectorised uniform corruption of heads/tails,
+  the raw material of every sampler baseline;
+* :func:`classification_split` — labelled positive/negative triples for the
+  triplet-classification task (the released ``valid_neg.txt`` files of
+  WN18RR / FB15K237 are reproduced by corruption that avoids all known
+  triples);
+* :func:`false_negative_rate` — how often a corruption procedure hits a
+  true triple, the quantity behind the paper's false-negative discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.triples import HEAD, TAIL, as_triple_array
+from repro.utils.rng import ensure_rng
+
+__all__ = ["corrupt_uniform", "classification_split", "false_negative_rate"]
+
+
+def corrupt_uniform(
+    triples: np.ndarray,
+    n_entities: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    head_probability: float | np.ndarray = 0.5,
+) -> np.ndarray:
+    """Corrupt each triple by replacing its head or tail with a uniform entity.
+
+    Parameters
+    ----------
+    head_probability:
+        Scalar, or per-triple array, giving the probability of corrupting
+        the head (Bernoulli sampling passes per-relation values here).
+    """
+    rng = ensure_rng(rng)
+    triples = as_triple_array(triples)
+    corrupted = triples.copy()
+    n = len(triples)
+    if n == 0:
+        return corrupted
+    replace_head = rng.random(n) < np.broadcast_to(head_probability, (n,))
+    replacements = rng.integers(0, n_entities, size=n)
+    corrupted[replace_head, HEAD] = replacements[replace_head]
+    corrupted[~replace_head, TAIL] = replacements[~replace_head]
+    return corrupted
+
+
+def classification_split(
+    dataset: KGDataset,
+    split: str = "test",
+    rng: np.random.Generator | int | None = None,
+    *,
+    max_resample: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Labelled triples for the triplet-classification task.
+
+    For every positive triple in the chosen split, one negative is produced
+    by corruption, re-drawn until it is not a known triple (matching how the
+    released ``*_neg`` files were constructed).  Returns ``(triples, labels)``
+    with ``labels`` in {+1, -1}, positives first.
+    """
+    if split not in ("valid", "test"):
+        raise ValueError(f"split must be 'valid' or 'test', got {split!r}")
+    rng = ensure_rng(rng)
+    positives = getattr(dataset, split)
+    known = dataset.known_triples
+    negatives = corrupt_uniform(positives, dataset.n_entities, rng)
+    for _ in range(max_resample):
+        bad = np.fromiter(
+            (tuple(row) in known for row in negatives.tolist()),
+            dtype=bool,
+            count=len(negatives),
+        )
+        if not bad.any():
+            break
+        negatives[bad] = corrupt_uniform(positives[bad], dataset.n_entities, rng)
+    triples = np.concatenate([positives, negatives], axis=0)
+    labels = np.concatenate(
+        [np.ones(len(positives), dtype=np.int64), -np.ones(len(negatives), dtype=np.int64)]
+    )
+    return triples, labels
+
+
+def false_negative_rate(candidates: np.ndarray, dataset: KGDataset) -> float:
+    """Fraction of candidate triples that are actually true (in any split)."""
+    candidates = as_triple_array(candidates)
+    if len(candidates) == 0:
+        return 0.0
+    known = dataset.known_triples
+    hits = sum(1 for row in candidates.tolist() if tuple(row) in known)
+    return hits / len(candidates)

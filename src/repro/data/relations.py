@@ -1,0 +1,108 @@
+"""Relation cardinality analysis and Bernoulli corruption statistics.
+
+TransH (Wang et al. 2014) categorises each relation by its average number of
+tails per head (``tph``) and heads per tail (``hpt``), and corrupts the head
+with probability ``tph / (tph + hpt)``.  Corrupting the *many* side of a
+one-to-many relation is much less likely to produce a false negative, which
+is the entire point of Bernoulli sampling; NSCaching and KBGAN reuse the
+same head-vs-tail coin (paper §IV-B1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.data.triples import HEAD, REL, TAIL, as_triple_array
+
+__all__ = [
+    "RelationCategory",
+    "RelationStats",
+    "bernoulli_head_probabilities",
+    "categorize_relations",
+    "relation_cardinalities",
+]
+
+#: Threshold separating "1" from "N" sides, following Wang et al. (2014).
+CARDINALITY_THRESHOLD = 1.5
+
+
+class RelationCategory(str, Enum):
+    """The four mapping categories of a relation."""
+
+    ONE_TO_ONE = "1-1"
+    ONE_TO_MANY = "1-N"
+    MANY_TO_ONE = "N-1"
+    MANY_TO_MANY = "N-N"
+
+
+class RelationStats:
+    """Per-relation ``tph`` / ``hpt`` statistics over a triple array."""
+
+    def __init__(self, triples: np.ndarray, n_relations: int) -> None:
+        triples = as_triple_array(triples)
+        self.n_relations = int(n_relations)
+        self.tph = np.zeros(n_relations, dtype=np.float64)
+        self.hpt = np.zeros(n_relations, dtype=np.float64)
+        for r in range(n_relations):
+            mask = triples[:, REL] == r
+            if not mask.any():
+                # Unobserved relation: neutral statistics.
+                self.tph[r] = 1.0
+                self.hpt[r] = 1.0
+                continue
+            heads = triples[mask, HEAD]
+            tails = triples[mask, TAIL]
+            n = int(mask.sum())
+            self.tph[r] = n / len(np.unique(heads))
+            self.hpt[r] = n / len(np.unique(tails))
+
+    def head_replace_probability(self) -> np.ndarray:
+        """Bernoulli probability of corrupting the *head*, per relation.
+
+        ``p = tph / (tph + hpt)``: for a one-to-many relation (large tph)
+        the head side is nearly unique, so replacing the head rarely creates
+        a false negative.
+        """
+        return self.tph / (self.tph + self.hpt)
+
+    def categories(
+        self, threshold: float = CARDINALITY_THRESHOLD
+    ) -> list[RelationCategory]:
+        """Classify every relation into 1-1 / 1-N / N-1 / N-N."""
+        result: list[RelationCategory] = []
+        for r in range(self.n_relations):
+            many_tails = self.tph[r] >= threshold
+            many_heads = self.hpt[r] >= threshold
+            if many_tails and many_heads:
+                result.append(RelationCategory.MANY_TO_MANY)
+            elif many_tails:
+                result.append(RelationCategory.ONE_TO_MANY)
+            elif many_heads:
+                result.append(RelationCategory.MANY_TO_ONE)
+            else:
+                result.append(RelationCategory.ONE_TO_ONE)
+        return result
+
+
+def relation_cardinalities(
+    triples: np.ndarray, n_relations: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(tph, hpt)`` arrays of shape ``[n_relations]``."""
+    stats = RelationStats(triples, n_relations)
+    return stats.tph, stats.hpt
+
+
+def bernoulli_head_probabilities(triples: np.ndarray, n_relations: int) -> np.ndarray:
+    """Per-relation probability of replacing the head under Bernoulli sampling."""
+    return RelationStats(triples, n_relations).head_replace_probability()
+
+
+def categorize_relations(
+    triples: np.ndarray,
+    n_relations: int,
+    threshold: float = CARDINALITY_THRESHOLD,
+) -> list[RelationCategory]:
+    """Classify relations into the four TransH mapping categories."""
+    return RelationStats(triples, n_relations).categories(threshold)

@@ -1,0 +1,384 @@
+"""Synthetic knowledge-graph generator with a planted, learnable ground truth.
+
+The paper evaluates on WN18 / FB15K and their harder variants, which cannot
+be downloaded in this offline environment.  This module is the documented
+substitution (DESIGN.md §2): it *plants* a latent structure —
+
+* every entity ``e`` gets a latent vector ``z_e`` on the unit sphere;
+* every relation ``r`` gets a latent map -- either a *translation*
+  ``z -> z + v_r`` (TransE-style geometry) or a *diagonal* sign flip
+  ``z -> s_r * z`` with ``s_r in {-1, +1}^k`` (multiplicative geometry
+  that DistMult/ComplEx-style models fit naturally) -- plus a mapping
+  category (1-1 / 1-N / N-1 / N-N) and a restricted *range* of admissible
+  tail entities (type structure);
+* a triple ``(h, r, t)`` is generated when ``z_t`` is among the nearest
+  neighbours of the mapped head ``map_r(z_h)`` inside the relation's range
+  (and symmetrically for the many-head side, using the inverse map).
+
+This reproduces the properties the paper's phenomena rest on:
+
+1. the data is low-dimensional and *realisable*, so embedding models train
+   to high accuracy and the differences between negative samplers show;
+2. hard negatives exist by construction — range-mates of the true tail are
+   "near misses" with large scores, giving the skewed score distribution of
+   Figure 1;
+3. one-to-many / many-to-one structure is explicit, which is what Bernoulli
+   sampling and the paper's head/tail caches key on;
+4. optional *inverse-duplicate* relations replicate the WN18-vs-WN18RR
+   test-leakage distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.relations import RelationCategory
+from repro.data.triples import Vocabulary, as_triple_array, unique_triples
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "RelationTransform",
+    "SyntheticKG",
+    "SyntheticKGConfig",
+    "SyntheticTruth",
+    "generate_kg",
+]
+
+_CATEGORIES = (
+    RelationCategory.ONE_TO_ONE,
+    RelationCategory.ONE_TO_MANY,
+    RelationCategory.MANY_TO_ONE,
+    RelationCategory.MANY_TO_MANY,
+)
+
+
+@dataclass(frozen=True)
+class SyntheticKGConfig:
+    """Knobs of the generator.  Defaults give a small, fast, learnable KG.
+
+    Attributes
+    ----------
+    n_entities, n_relations:
+        Vocabulary sizes.  ``n_relations`` counts *base* relations; inverse
+        duplicates (if any) are added on top.
+    latent_dim:
+        Dimension of the planted latent space; keep it well below the
+        model embedding dimension so the data is realisable.
+    triples_per_relation:
+        Approximate number of generated triples per base relation.
+    category_mix:
+        Probabilities of the four mapping categories, in the order
+        (1-1, 1-N, N-1, N-N).
+    fan_out_max:
+        Maximum neighbours on a "many" side (fan-outs are drawn uniformly
+        from ``2..fan_out_max``).
+    range_fraction:
+        Fraction of entities admissible as tails (and heads) of each
+        relation — smaller means stronger type structure and harder
+        negatives.
+    diagonal_fraction:
+        Fraction of base relations whose latent map is a diagonal sign
+        flip rather than a translation; gives semantic matching models
+        structure they can represent exactly.
+    inverse_fraction:
+        Fraction of base relations duplicated in inverse direction (WN18
+        leakage); 0 gives the "RR"-style variant.
+    noise:
+        Standard deviation of Gaussian jitter added to the query point,
+        which softens the nearest-neighbour rule.
+    popularity_exponent:
+        Zipf exponent for entity selection; larger means more skewed
+        degree distributions.
+    valid_fraction, test_fraction:
+        Split sizes passed to :meth:`KGDataset.from_triples`.
+    """
+
+    n_entities: int = 500
+    n_relations: int = 12
+    latent_dim: int = 12
+    triples_per_relation: int = 300
+    category_mix: tuple[float, float, float, float] = (0.15, 0.3, 0.3, 0.25)
+    fan_out_max: int = 6
+    range_fraction: float = 0.5
+    diagonal_fraction: float = 0.0
+    inverse_fraction: float = 0.0
+    noise: float = 0.05
+    popularity_exponent: float = 0.8
+    valid_fraction: float = 0.05
+    test_fraction: float = 0.05
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        check_positive("n_entities", self.n_entities)
+        check_positive("n_relations", self.n_relations)
+        check_positive("latent_dim", self.latent_dim)
+        check_positive("triples_per_relation", self.triples_per_relation)
+        check_positive("fan_out_max", self.fan_out_max)
+        check_probability("range_fraction", self.range_fraction)
+        check_probability("diagonal_fraction", self.diagonal_fraction)
+        check_probability("inverse_fraction", self.inverse_fraction)
+        check_probability("valid_fraction", self.valid_fraction)
+        check_probability("test_fraction", self.test_fraction)
+        if abs(sum(self.category_mix) - 1.0) > 1e-9:
+            raise ValueError(f"category_mix must sum to 1, got {self.category_mix}")
+
+
+@dataclass(frozen=True)
+class RelationTransform:
+    """The latent map of one relation: a translation or a diagonal flip."""
+
+    kind: str  # "translation" | "diagonal"
+    vector: np.ndarray  # v_r (translation) or s_r in {-1, +1}^k (diagonal)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("translation", "diagonal"):
+            raise ValueError(f"unknown transform kind {self.kind!r}")
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """Map head latents forward: where tails of this relation live."""
+        if self.kind == "translation":
+            return z + self.vector
+        return z * self.vector
+
+    def invert(self, z: np.ndarray) -> np.ndarray:
+        """Map tail latents backward: where heads of this relation live."""
+        if self.kind == "translation":
+            return z - self.vector
+        return z * self.vector  # sign flips are involutions
+
+    def inverse(self) -> "RelationTransform":
+        """The transform of the inverse relation."""
+        if self.kind == "translation":
+            return RelationTransform("translation", -self.vector)
+        return self
+
+
+@dataclass
+class SyntheticTruth:
+    """The planted ground truth, exposed for analysis and tests."""
+
+    entity_latents: np.ndarray  # [E, k]
+    relation_transforms: list[RelationTransform]  # length R_total
+    relation_categories: list[RelationCategory]  # length R_total
+    relation_ranges: list[np.ndarray]  # admissible tail ids per relation
+    inverse_of: dict[int, int] = field(default_factory=dict)  # r_inv -> r_base
+
+
+@dataclass
+class SyntheticKG:
+    """A generated dataset together with its ground truth."""
+
+    dataset: KGDataset
+    truth: SyntheticTruth
+
+
+def _popularity_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like sampling weights over a random entity permutation."""
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[rng.permutation(n)] = np.arange(1, n + 1)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def _nearest_in_range(
+    queries: np.ndarray,
+    latents: np.ndarray,
+    candidates: np.ndarray,
+    k: np.ndarray,
+    exclude: np.ndarray | None,
+) -> list[np.ndarray]:
+    """Per query, the ``k[i]`` candidates whose latents are nearest.
+
+    ``candidates`` is the relation's range; ``exclude[i]`` (an entity id or
+    -1) is removed from row ``i``'s candidates (no self-loops).
+    """
+    cand_lat = latents[candidates]  # [C, k]
+    # squared euclidean distance matrix [Q, C]
+    d2 = (
+        np.sum(queries**2, axis=1, keepdims=True)
+        - 2.0 * queries @ cand_lat.T
+        + np.sum(cand_lat**2, axis=1)
+    )
+    if exclude is not None:
+        for i, ent in enumerate(exclude):
+            if ent < 0:
+                continue
+            hits = np.flatnonzero(candidates == ent)
+            d2[i, hits] = np.inf
+    results: list[np.ndarray] = []
+    n_cand = len(candidates)
+    for i in range(len(queries)):
+        ki = min(int(k[i]), n_cand - 1 if exclude is not None else n_cand)
+        if ki <= 0:
+            results.append(np.empty(0, dtype=np.int64))
+            continue
+        top = np.argpartition(d2[i], ki - 1)[:ki]
+        results.append(candidates[top])
+    return results
+
+
+def _draw_categories(
+    n: int, mix: tuple[float, float, float, float], rng: np.random.Generator
+) -> list[RelationCategory]:
+    idx = rng.choice(len(_CATEGORIES), size=n, p=np.asarray(mix))
+    return [_CATEGORIES[i] for i in idx]
+
+
+def generate_kg(
+    config: SyntheticKGConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> SyntheticKG:
+    """Generate a dataset according to ``config`` (see module docstring)."""
+    config = config or SyntheticKGConfig()
+    rng = ensure_rng(rng)
+    n_ent = config.n_entities
+    k_dim = config.latent_dim
+
+    latents = rng.normal(size=(n_ent, k_dim))
+    latents /= np.linalg.norm(latents, axis=1, keepdims=True)
+    popularity = _popularity_weights(n_ent, config.popularity_exponent, rng)
+
+    categories = _draw_categories(config.n_relations, config.category_mix, rng)
+    transforms: list[RelationTransform] = []
+    ranges: list[np.ndarray] = []
+    triple_rows: list[np.ndarray] = []
+
+    n_diagonal = int(round(config.diagonal_fraction * config.n_relations))
+    range_size = max(int(config.range_fraction * n_ent), config.fan_out_max + 2)
+    for r, category in enumerate(categories):
+        if r < n_diagonal:
+            s_r = rng.choice([-1.0, 1.0], size=k_dim)
+            transform = RelationTransform("diagonal", s_r)
+        else:
+            v_r = rng.normal(size=k_dim)
+            v_r *= 0.8 / np.linalg.norm(v_r)
+            transform = RelationTransform("translation", v_r)
+        transforms.append(transform)
+        rel_range = np.sort(rng.choice(n_ent, size=range_size, replace=False))
+        ranges.append(rel_range)
+        triple_rows.append(
+            _generate_relation_triples(
+                r, category, transform, rel_range, latents, popularity, config, rng
+            )
+        )
+
+    triples = unique_triples(np.concatenate(triple_rows, axis=0))
+
+    # Inverse duplicates (WN18-style leakage).
+    inverse_of: dict[int, int] = {}
+    n_inverse = int(round(config.inverse_fraction * config.n_relations))
+    if n_inverse > 0:
+        base_ids = rng.choice(config.n_relations, size=n_inverse, replace=False)
+        extra_rows = []
+        for offset, base in enumerate(sorted(int(b) for b in base_ids)):
+            r_inv = config.n_relations + offset
+            inverse_of[r_inv] = base
+            base_triples = triples[triples[:, 1] == base]
+            # Subsample so the inverse is a near- (not exact-) duplicate.
+            keep = rng.random(len(base_triples)) < 0.9
+            inv = base_triples[keep][:, [2, 1, 0]].copy()
+            inv[:, 1] = r_inv
+            extra_rows.append(inv)
+            transforms.append(transforms[base].inverse())
+            categories.append(_invert_category(categories[base]))
+            ranges.append(ranges[base])
+        triples = unique_triples(np.concatenate([triples, *extra_rows], axis=0))
+
+    n_rel_total = config.n_relations + n_inverse
+    vocab = Vocabulary.anonymous(n_ent, n_rel_total)
+    dataset = KGDataset.from_triples(
+        config.name,
+        triples,
+        vocab,
+        valid_fraction=config.valid_fraction,
+        test_fraction=config.test_fraction,
+        rng=rng,
+    )
+    truth = SyntheticTruth(
+        entity_latents=latents,
+        relation_transforms=transforms,
+        relation_categories=categories,
+        relation_ranges=ranges,
+        inverse_of=inverse_of,
+    )
+    return SyntheticKG(dataset=dataset, truth=truth)
+
+
+def _invert_category(category: RelationCategory) -> RelationCategory:
+    if category is RelationCategory.ONE_TO_MANY:
+        return RelationCategory.MANY_TO_ONE
+    if category is RelationCategory.MANY_TO_ONE:
+        return RelationCategory.ONE_TO_MANY
+    return category
+
+
+def _generate_relation_triples(
+    relation: int,
+    category: RelationCategory,
+    transform: RelationTransform,
+    rel_range: np.ndarray,
+    latents: np.ndarray,
+    popularity: np.ndarray,
+    config: SyntheticKGConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate the triples of one relation according to its category."""
+    target = config.triples_per_relation
+    fan = lambda size: rng.integers(2, config.fan_out_max + 1, size=size)  # noqa: E731
+
+    def jitter(n: int) -> np.ndarray:
+        return config.noise * rng.normal(size=(n, latents.shape[1]))
+
+    rows: list[tuple[int, int, int]] = []
+    if category in (RelationCategory.ONE_TO_ONE, RelationCategory.ONE_TO_MANY):
+        if category is RelationCategory.ONE_TO_ONE:
+            fan_out = np.ones(target, dtype=np.int64)
+            n_heads = target
+        else:
+            fan_out = fan(max(target // 3, 1))
+            n_heads = len(fan_out)
+        heads = rng.choice(len(popularity), size=n_heads, p=popularity)
+        queries = transform.apply(latents[heads]) + jitter(n_heads)
+        tail_lists = _nearest_in_range(queries, latents, rel_range, fan_out, heads)
+        for h, tails in zip(heads, tail_lists):
+            rows.extend((int(h), relation, int(t)) for t in tails)
+    elif category is RelationCategory.MANY_TO_ONE:
+        fan_in = fan(max(target // 3, 1))
+        n_tails = len(fan_in)
+        tails = rng.choice(len(popularity), size=n_tails, p=popularity)
+        queries = transform.invert(latents[tails]) + jitter(n_tails)
+        head_lists = _nearest_in_range(queries, latents, rel_range, fan_in, tails)
+        for t, heads_for_t in zip(tails, head_lists):
+            rows.extend((int(h), relation, int(t)) for h in heads_for_t)
+    else:  # N-N: fan out from heads, then add extra heads per produced tail.
+        fan_out = fan(max(target // 5, 1))
+        n_heads = len(fan_out)
+        heads = rng.choice(len(popularity), size=n_heads, p=popularity)
+        queries = transform.apply(latents[heads]) + jitter(n_heads)
+        tail_lists = _nearest_in_range(queries, latents, rel_range, fan_out, heads)
+        produced_tails: list[int] = []
+        for h, tails in zip(heads, tail_lists):
+            rows.extend((int(h), relation, int(t)) for t in tails)
+            produced_tails.extend(int(t) for t in tails)
+        if produced_tails:
+            uniq_tails = np.unique(np.asarray(produced_tails, dtype=np.int64))
+            fan_in = rng.integers(1, 4, size=len(uniq_tails))
+            back_queries = transform.invert(latents[uniq_tails]) + jitter(
+                len(uniq_tails)
+            )
+            head_lists = _nearest_in_range(
+                back_queries, latents, rel_range, fan_in, uniq_tails
+            )
+            for t, extra_heads in zip(uniq_tails, head_lists):
+                rows.extend((int(h), relation, int(t)) for h in extra_heads)
+    if not rows:
+        # Degenerate configuration: fall back to a single random edge so the
+        # relation is observed at least once.
+        h = int(rng.integers(len(popularity)))
+        t = int(rel_range[rng.integers(len(rel_range))])
+        rows.append((h, relation, t))
+    return as_triple_array(rows)

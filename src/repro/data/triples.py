@@ -1,0 +1,158 @@
+"""Triple arrays and vocabularies.
+
+A triple store is just an ``int64`` array of shape ``[n, 3]`` whose columns
+are ``(head, relation, tail)`` ids.  Keeping the representation this bare
+lets every consumer (samplers, models, evaluators) stay fully vectorised.
+:class:`Vocabulary` maps those ids back to human-readable labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Vocabulary",
+    "as_triple_array",
+    "entity_degrees",
+    "relation_counts",
+    "triple_key_set",
+    "unique_triples",
+]
+
+#: Column indices in a triple array.
+HEAD, REL, TAIL = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Bidirectional label <-> id maps for entities and relations.
+
+    Instances are immutable; build them once per dataset.  Ids are dense and
+    start at zero, which is what the embedding tables index by.
+    """
+
+    entities: tuple[str, ...]
+    relations: tuple[str, ...]
+    _entity_ids: dict[str, int] = field(init=False, repr=False, compare=False)
+    _relation_ids: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        entity_ids = {label: i for i, label in enumerate(self.entities)}
+        relation_ids = {label: i for i, label in enumerate(self.relations)}
+        if len(entity_ids) != len(self.entities):
+            raise ValueError("duplicate entity labels in vocabulary")
+        if len(relation_ids) != len(self.relations):
+            raise ValueError("duplicate relation labels in vocabulary")
+        object.__setattr__(self, "_entity_ids", entity_ids)
+        object.__setattr__(self, "_relation_ids", relation_ids)
+
+    # -- sizes ------------------------------------------------------------
+    @property
+    def n_entities(self) -> int:
+        """Number of distinct entities."""
+        return len(self.entities)
+
+    @property
+    def n_relations(self) -> int:
+        """Number of distinct relations."""
+        return len(self.relations)
+
+    # -- lookups ----------------------------------------------------------
+    def entity_id(self, label: str) -> int:
+        """Return the id of an entity label (KeyError if unknown)."""
+        return self._entity_ids[label]
+
+    def relation_id(self, label: str) -> int:
+        """Return the id of a relation label (KeyError if unknown)."""
+        return self._relation_ids[label]
+
+    def entity_label(self, entity: int) -> str:
+        """Return the label of an entity id."""
+        return self.entities[entity]
+
+    def relation_label(self, relation: int) -> str:
+        """Return the label of a relation id."""
+        return self.relations[relation]
+
+    def encode(self, labelled: Iterable[tuple[str, str, str]]) -> np.ndarray:
+        """Encode ``(h, r, t)`` label triples into an id array ``[n, 3]``."""
+        rows = [
+            (self._entity_ids[h], self._relation_ids[r], self._entity_ids[t])
+            for h, r, t in labelled
+        ]
+        return as_triple_array(rows)
+
+    def decode(self, triples: np.ndarray) -> list[tuple[str, str, str]]:
+        """Decode an id array back into ``(h, r, t)`` label tuples."""
+        triples = as_triple_array(triples)
+        return [
+            (self.entities[h], self.relations[r], self.entities[t])
+            for h, r, t in triples
+        ]
+
+    @classmethod
+    def from_triples(
+        cls, labelled: Sequence[tuple[str, str, str]]
+    ) -> "Vocabulary":
+        """Build a vocabulary covering every label mentioned in ``labelled``.
+
+        Labels are sorted so the id assignment is deterministic regardless of
+        triple order.
+        """
+        entity_labels = sorted({h for h, _, _ in labelled} | {t for _, _, t in labelled})
+        relation_labels = sorted({r for _, r, _ in labelled})
+        return cls(tuple(entity_labels), tuple(relation_labels))
+
+    @classmethod
+    def anonymous(cls, n_entities: int, n_relations: int) -> "Vocabulary":
+        """Build a vocabulary of synthetic labels ``e0..`` / ``r0..``."""
+        width_e = len(str(max(n_entities - 1, 0)))
+        width_r = len(str(max(n_relations - 1, 0)))
+        return cls(
+            tuple(f"e{i:0{width_e}d}" for i in range(n_entities)),
+            tuple(f"r{i:0{width_r}d}" for i in range(n_relations)),
+        )
+
+
+def as_triple_array(triples: np.ndarray | Sequence[tuple[int, int, int]]) -> np.ndarray:
+    """Coerce ``triples`` into a contiguous ``int64`` array of shape ``[n, 3]``.
+
+    An empty input yields a ``[0, 3]`` array so downstream code never needs
+    special cases.
+    """
+    array = np.asarray(triples, dtype=np.int64)
+    if array.size == 0:
+        return array.reshape(0, 3)
+    if array.ndim == 1 and array.shape[0] == 3:
+        array = array.reshape(1, 3)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError(f"triples must have shape [n, 3], got {array.shape}")
+    return np.ascontiguousarray(array)
+
+
+def unique_triples(triples: np.ndarray) -> np.ndarray:
+    """Return ``triples`` with exact duplicates removed (order not preserved)."""
+    return np.unique(as_triple_array(triples), axis=0)
+
+
+def triple_key_set(triples: np.ndarray) -> set[tuple[int, int, int]]:
+    """Return the set of ``(h, r, t)`` tuples for O(1) membership tests."""
+    array = as_triple_array(triples)
+    return set(map(tuple, array.tolist()))
+
+
+def entity_degrees(triples: np.ndarray, n_entities: int) -> np.ndarray:
+    """Total degree (as head plus as tail) of every entity, shape ``[n_entities]``."""
+    array = as_triple_array(triples)
+    degrees = np.bincount(array[:, HEAD], minlength=n_entities)
+    degrees = degrees + np.bincount(array[:, TAIL], minlength=n_entities)
+    return degrees.astype(np.int64)
+
+
+def relation_counts(triples: np.ndarray, n_relations: int) -> np.ndarray:
+    """Number of triples per relation, shape ``[n_relations]``."""
+    array = as_triple_array(triples)
+    return np.bincount(array[:, REL], minlength=n_relations).astype(np.int64)

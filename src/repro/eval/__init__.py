@@ -1,0 +1,36 @@
+"""Evaluation protocols (paper §IV-A2/A3 and §IV-B5).
+
+* :mod:`repro.eval.ranking` — filtered/raw link prediction: MRR, MR and
+  Hits@k over both head and tail queries;
+* :mod:`repro.eval.classification` — triplet classification with
+  relation-specific thresholds tuned on the validation split (Table V);
+* :mod:`repro.eval.ccdf` — score-distribution analysis of negative
+  triples (Figure 1);
+* :mod:`repro.eval.per_relation` — Hits@k split by relation mapping
+  category and prediction side (the TransE/TransH breakdown);
+* :mod:`repro.eval.protocol` — the one-call bundle used by callbacks and
+  benchmarks.
+"""
+
+from repro.eval.ccdf import ccdf, negative_distances
+from repro.eval.classification import (
+    ClassificationResult,
+    fit_relation_thresholds,
+    triplet_classification,
+)
+from repro.eval.per_relation import CategoryBreakdown, per_category_link_prediction
+from repro.eval.protocol import evaluate
+from repro.eval.ranking import RankingResult, link_prediction
+
+__all__ = [
+    "CategoryBreakdown",
+    "ClassificationResult",
+    "RankingResult",
+    "ccdf",
+    "evaluate",
+    "fit_relation_thresholds",
+    "link_prediction",
+    "negative_distances",
+    "per_category_link_prediction",
+    "triplet_classification",
+]

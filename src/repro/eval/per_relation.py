@@ -1,0 +1,109 @@
+"""Per-relation-category link prediction breakdown.
+
+The TransE/TransH line of work (which the paper builds on) reports
+Hits@10 split by relation mapping category (1-1, 1-N, N-1, N-N) and by
+prediction side, because that is where Bernoulli sampling and the
+head/tail cache design earn their keep: predicting the "one" side of a
+1-N relation is much harder than the "many" side.  This module computes
+that table for any model/dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.relations import RelationCategory, categorize_relations
+from repro.data.triples import HEAD, REL, TAIL
+from repro.eval.ranking import rank_scores
+from repro.models.base import KGEModel
+
+__all__ = ["CategoryBreakdown", "per_category_link_prediction"]
+
+
+@dataclass
+class CategoryBreakdown:
+    """Hits@k per (relation category, prediction side)."""
+
+    k: int
+    #: category value -> {"head": hits@k, "tail": hits@k}
+    table: dict[str, dict[str, float]]
+    #: category value -> number of test triples in the category
+    counts: dict[str, int]
+
+    def hits(self, category: RelationCategory | str, side: str) -> float:
+        """Hits@k for one cell (NaN when the category has no test triples)."""
+        key = category.value if isinstance(category, RelationCategory) else category
+        return self.table.get(key, {}).get(side, float("nan"))
+
+    def rows(self) -> list[tuple[str, int, float, float]]:
+        """Report rows: (category, #test, head Hits@k, tail Hits@k)."""
+        ordered = [c.value for c in RelationCategory]
+        return [
+            (
+                key,
+                self.counts.get(key, 0),
+                self.table.get(key, {}).get("head", float("nan")),
+                self.table.get(key, {}).get("tail", float("nan")),
+            )
+            for key in ordered
+            if key in self.table
+        ]
+
+
+def per_category_link_prediction(
+    model: KGEModel,
+    dataset: KGDataset,
+    split: str = "test",
+    *,
+    k: int = 10,
+    filtered: bool = True,
+    batch_size: int = 128,
+) -> CategoryBreakdown:
+    """Hits@k per relation category and prediction side.
+
+    Categories are computed from the *training* split (as the baselines
+    do), so the breakdown is available before any test triple is touched.
+    """
+    categories = categorize_relations(dataset.train, dataset.n_relations)
+    triples = getattr(dataset, split)
+
+    head_hits: dict[str, list[float]] = {}
+    tail_hits: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    for start in range(0, len(triples), batch_size):
+        batch = triples[start : start + batch_size]
+        h, r, t = batch[:, HEAD], batch[:, REL], batch[:, TAIL]
+
+        tail_scores = model.score_all_tails(h, r)
+        tail_mask = (
+            [dataset.true_tails(int(hi), int(ri)) for hi, ri in zip(h, r)]
+            if filtered
+            else None
+        )
+        tail_ranks = rank_scores(tail_scores, t, tail_mask)
+
+        head_scores = model.score_all_heads(r, t)
+        head_mask = (
+            [dataset.true_heads(int(ri), int(ti)) for ri, ti in zip(r, t)]
+            if filtered
+            else None
+        )
+        head_ranks = rank_scores(head_scores, h, head_mask)
+
+        for i, rel in enumerate(r):
+            key = categories[int(rel)].value
+            counts[key] = counts.get(key, 0) + 1
+            head_hits.setdefault(key, []).append(float(head_ranks[i] <= k))
+            tail_hits.setdefault(key, []).append(float(tail_ranks[i] <= k))
+
+    table = {
+        key: {
+            "head": float(np.mean(head_hits[key])),
+            "tail": float(np.mean(tail_hits[key])),
+        }
+        for key in head_hits
+    }
+    return CategoryBreakdown(k=k, table=table, counts=counts)

@@ -1,0 +1,36 @@
+"""One-call evaluation bundle used by callbacks, examples and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.eval.ranking import link_prediction
+from repro.models.base import KGEModel
+
+__all__ = ["evaluate"]
+
+
+def evaluate(
+    model: KGEModel,
+    dataset: KGDataset,
+    split: str = "test",
+    *,
+    filtered: bool = True,
+    hits_at: tuple[int, ...] = (1, 3, 10),
+    batch_size: int = 128,
+) -> dict[str, float]:
+    """Filtered link-prediction metrics as a flat dict.
+
+    Returns keys ``mrr``, ``mr`` and ``hits@k`` for each requested ``k`` —
+    the Table IV columns.
+    """
+    result = link_prediction(
+        model,
+        dataset,
+        split,
+        filtered=filtered,
+        batch_size=batch_size,
+        hits_at=hits_at,
+    )
+    return dict(result.metrics)

@@ -1,0 +1,132 @@
+"""Link prediction: the paper's primary evaluation task (§IV-A2).
+
+For every test triple ``(h, r, t)``, rank the true tail among all entities
+scored as ``(h, r, ?)`` and the true head among all ``(?, r, t)``.  Metrics
+(§IV-A3): mean reciprocal rank (MRR), mean rank (MR) and Hits@k.  In the
+"filtered" setting every *other* known-true entity is removed from the
+candidate list before ranking, so a model is not punished for ranking a
+different correct answer above the queried one.
+
+Ties are scored with the *average* rank (mean of optimistic and
+pessimistic), which prevents constant-score models from appearing perfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.triples import HEAD, REL, TAIL
+from repro.models.base import KGEModel
+
+__all__ = ["RankingResult", "link_prediction", "rank_scores"]
+
+
+@dataclass
+class RankingResult:
+    """Per-query ranks plus the aggregate metrics computed from them."""
+
+    ranks: np.ndarray  # float ranks (average tie policy), head+tail queries
+    hits_at: tuple[int, ...] = (1, 3, 10)
+    metrics: dict[str, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        ranks = np.asarray(self.ranks, dtype=np.float64)
+        if len(ranks) == 0:
+            self.metrics = {"mrr": 0.0, "mr": 0.0}
+            self.metrics.update({f"hits@{k}": 0.0 for k in self.hits_at})
+            return
+        self.metrics = {
+            "mrr": float(np.mean(1.0 / ranks)),
+            "mr": float(np.mean(ranks)),
+        }
+        for k in self.hits_at:
+            self.metrics[f"hits@{k}"] = float(np.mean(ranks <= k))
+
+    @property
+    def mrr(self) -> float:
+        """Mean reciprocal rank."""
+        return self.metrics["mrr"]
+
+    @property
+    def mr(self) -> float:
+        """Mean rank."""
+        return self.metrics["mr"]
+
+    def hits(self, k: int) -> float:
+        """Hits@k (fraction of queries ranked in the top k)."""
+        return self.metrics[f"hits@{k}"]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}" for k, v in self.metrics.items())
+        return f"RankingResult({parts}, n={len(self.ranks)})"
+
+
+def rank_scores(
+    scores: np.ndarray, true_cols: np.ndarray, mask_cols: list[np.ndarray] | None
+) -> np.ndarray:
+    """Average-tie ranks of ``scores[i, true_cols[i]]`` within each row.
+
+    ``mask_cols[i]`` lists candidate columns to exclude (the filtered
+    setting); the true column is never excluded.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    b = len(scores)
+    rows = np.arange(b)
+    true_scores = scores[rows, true_cols].copy()
+    if mask_cols is not None:
+        scores = scores.copy()
+        for i in range(b):
+            cols = mask_cols[i]
+            if len(cols):
+                scores[i, cols] = -np.inf
+        scores[rows, true_cols] = true_scores
+    greater = np.sum(scores > true_scores[:, None], axis=1)
+    ties = np.sum(scores == true_scores[:, None], axis=1) - 1  # exclude self
+    return 1.0 + greater + 0.5 * ties
+
+
+def link_prediction(
+    model: KGEModel,
+    dataset: KGDataset,
+    split: str = "test",
+    *,
+    filtered: bool = True,
+    batch_size: int = 128,
+    hits_at: tuple[int, ...] = (1, 3, 10),
+) -> RankingResult:
+    """Evaluate link prediction over both head and tail queries.
+
+    Parameters
+    ----------
+    split:
+        ``"test"``, ``"valid"`` or ``"train"`` (the latter for diagnostics).
+    filtered:
+        Apply the filtered protocol (all corrupted triples existing in any
+        split are removed, §IV-A3).
+    """
+    triples = getattr(dataset, split)
+    all_ranks: list[np.ndarray] = []
+    for start in range(0, len(triples), batch_size):
+        batch = triples[start : start + batch_size]
+        h, r, t = batch[:, HEAD], batch[:, REL], batch[:, TAIL]
+
+        tail_scores = model.score_all_tails(h, r)
+        tail_mask = None
+        if filtered:
+            tail_mask = [
+                dataset.true_tails(int(hi), int(ri)) for hi, ri in zip(h, r)
+            ]
+        all_ranks.append(rank_scores(tail_scores, t, tail_mask))
+
+        head_scores = model.score_all_heads(r, t)
+        head_mask = None
+        if filtered:
+            head_mask = [
+                dataset.true_heads(int(ri), int(ti)) for ri, ti in zip(r, t)
+            ]
+        all_ranks.append(rank_scores(head_scores, h, head_mask))
+    ranks = np.concatenate(all_ranks) if all_ranks else np.empty(0)
+    return RankingResult(ranks=ranks, hits_at=hits_at)

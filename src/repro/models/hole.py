@@ -1,0 +1,91 @@
+"""HolE (Nickel et al. 2016) — extension beyond the paper's five models.
+
+Holographic embeddings score with circular correlation:
+
+``f(h, r, t) = r . (h ⋆ t)``, ``(h ⋆ t)_k = sum_i h_i t_{(k+i) mod d}``.
+
+Computed in O(d log d) via FFT.  The analytic gradients follow from the
+index algebra (verified by the gradient-check tests):
+
+* ``df/dr = h ⋆ t``  (circular correlation)
+* ``df/dh = r ⋆ t``  (circular correlation)
+* ``df/dt = r ∗ h``  (circular convolution)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import KGEModel
+from repro.models.initializers import xavier_uniform
+from repro.models.params import GradientBag
+
+__all__ = ["HolE"]
+
+
+def _ccorr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Circular correlation along the last axis via FFT."""
+    return np.fft.irfft(np.conj(np.fft.rfft(a)) * np.fft.rfft(b), n=a.shape[-1])
+
+
+def _cconv(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Circular convolution along the last axis via FFT."""
+    return np.fft.irfft(np.fft.rfft(a) * np.fft.rfft(b), n=a.shape[-1])
+
+
+class HolE(KGEModel):
+    """Holographic (circular-correlation) semantic matching model."""
+
+    default_loss = "logistic"
+    entity_params = ("entity",)
+    relation_params = ("relation",)
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        self.params["entity"] = xavier_uniform((self.n_entities, self.dim), rng)
+        self.params["relation"] = xavier_uniform((self.n_relations, self.dim), rng)
+
+    # -- forward -------------------------------------------------------------
+    def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        ent, rel = self.params["entity"], self.params["relation"]
+        return np.sum(rel[r] * _ccorr(ent[h], ent[t]), axis=-1)
+
+    def score_tails(
+        self, h: np.ndarray, r: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        # f(t) = (r * h-correlation kernel) . t: df/dt = r (*) h is linear in t,
+        # so f(t) = (r conv h) . t  -- score every candidate with one matmul.
+        ent, rel = self.params["entity"], self.params["relation"]
+        query = _cconv(rel[r], ent[h])  # [B, d]
+        return np.einsum("bd,bcd->bc", query, ent[candidates])
+
+    def score_heads(
+        self, candidates: np.ndarray, r: np.ndarray, t: np.ndarray
+    ) -> np.ndarray:
+        ent, rel = self.params["entity"], self.params["relation"]
+        query = _ccorr(rel[r], ent[t])  # f(h) = (r ccorr t) . h
+        return np.einsum("bd,bcd->bc", query, ent[candidates])
+
+    def score_all_tails(self, h: np.ndarray, r: np.ndarray, chunk: int = 64) -> np.ndarray:
+        ent, rel = self.params["entity"], self.params["relation"]
+        h = np.asarray(h, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        return _cconv(rel[r], ent[h]) @ ent.T
+
+    def score_all_heads(self, r: np.ndarray, t: np.ndarray, chunk: int = 64) -> np.ndarray:
+        ent, rel = self.params["entity"], self.params["relation"]
+        r = np.asarray(r, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        return _ccorr(rel[r], ent[t]) @ ent.T
+
+    # -- backward ------------------------------------------------------------
+    def grad(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray
+    ) -> GradientBag:
+        ent, rel = self.params["entity"], self.params["relation"]
+        eh, er, et = ent[h], rel[r], ent[t]
+        up = np.asarray(upstream, dtype=np.float64)[:, None]
+        bag = GradientBag()
+        bag.add("relation", r, up * _ccorr(eh, et))
+        bag.add("entity", h, up * _ccorr(er, et))
+        bag.add("entity", t, up * _cconv(er, eh))
+        return bag

@@ -1,0 +1,55 @@
+"""Embedding initialisers.
+
+The paper initialises all embeddings with the Xavier uniform scheme
+(Glorot & Bengio 2010) when training from scratch (§IV-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["xavier_uniform", "xavier_normal", "uniform_ball", "normalize_rows"]
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Xavier/Glorot uniform: U(-b, b) with ``b = sqrt(6 / (fan_in + fan_out))``.
+
+    For an embedding table ``[n, d]`` the fans are taken as ``(n, d)`` is
+    wrong — what matters is the row dimension, so we follow the common KG
+    convention of ``fan_in = fan_out = d`` (i.e. ``b = sqrt(6/(2d)) =
+    sqrt(3/d)``), matching the published implementations.
+    """
+    rng = ensure_rng(rng)
+    d = shape[-1]
+    bound = np.sqrt(6.0 / (2 * d))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Xavier/Glorot normal with std ``sqrt(2 / (fan_in + fan_out))``."""
+    rng = ensure_rng(rng)
+    d = shape[-1]
+    std = np.sqrt(2.0 / (2 * d))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_ball(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Rows drawn uniformly then projected to the unit l2 ball (TransE init)."""
+    rng = ensure_rng(rng)
+    array = rng.uniform(-1.0, 1.0, size=shape)
+    return normalize_rows(array)
+
+
+def normalize_rows(array: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Project rows with l2 norm above ``max_norm`` back onto the ball."""
+    norms = np.linalg.norm(array, axis=-1, keepdims=True)
+    scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-12), 1.0)
+    return array * scale

@@ -1,0 +1,102 @@
+"""Training losses and their derivatives w.r.t. the scores.
+
+Two loss families cover the paper's Eq. (1) and Eq. (2):
+
+* :class:`MarginRankingLoss` for translational distance models —
+  ``[gamma - f(pos) + f(neg)]_+`` (scores are plausibilities, so the
+  positive should exceed the negative by the margin);
+* :class:`LogisticLoss` for semantic matching models —
+  ``softplus(-f(pos)) + softplus(f(neg))``.
+
+Each loss exposes ``value`` and ``score_grads`` so the trainer can chain
+them with the models' analytic score gradients.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "MarginRankingLoss", "LogisticLoss", "sigmoid", "softplus"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+class Loss(ABC):
+    """A pairwise loss over (positive score, negative score) batches."""
+
+    @abstractmethod
+    def value(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> np.ndarray:
+        """Per-pair loss values, shape ``[B]``."""
+
+    @abstractmethod
+    def score_grads(
+        self, pos_scores: np.ndarray, neg_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(d loss / d pos_score, d loss / d neg_score)``, each ``[B]``."""
+
+    def nonzero_ratio(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+        """Fraction of pairs with a non-vanishing gradient (the NZL metric)."""
+        dpos, dneg = self.score_grads(pos_scores, neg_scores)
+        active = (np.abs(dpos) > 1e-12) | (np.abs(dneg) > 1e-12)
+        return float(np.mean(active)) if len(active) else 0.0
+
+
+class MarginRankingLoss(Loss):
+    """Eq. (1): ``[gamma - f(pos) + f(neg)]_+``."""
+
+    def __init__(self, gamma: float = 1.0) -> None:
+        if gamma <= 0:
+            raise ValueError(f"gamma must be > 0, got {gamma}")
+        self.gamma = float(gamma)
+
+    def value(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> np.ndarray:
+        return np.maximum(self.gamma - pos_scores + neg_scores, 0.0)
+
+    def score_grads(
+        self, pos_scores: np.ndarray, neg_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        active = (self.gamma - pos_scores + neg_scores) > 0
+        dpos = np.where(active, -1.0, 0.0)
+        dneg = np.where(active, 1.0, 0.0)
+        return dpos, dneg
+
+    def __repr__(self) -> str:
+        return f"MarginRankingLoss(gamma={self.gamma})"
+
+
+class LogisticLoss(Loss):
+    """Eq. (2): ``l(+1, f(pos)) + l(-1, f(neg))`` with ``l(a, b) = log(1+e^{-ab})``."""
+
+    def value(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> np.ndarray:
+        return softplus(-pos_scores) + softplus(neg_scores)
+
+    def score_grads(
+        self, pos_scores: np.ndarray, neg_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        dpos = -sigmoid(-pos_scores)
+        dneg = sigmoid(neg_scores)
+        return dpos, dneg
+
+    def nonzero_ratio(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+        """For smooth losses, count pairs whose gradient is non-negligible."""
+        dpos, dneg = self.score_grads(pos_scores, neg_scores)
+        active = (np.abs(dpos) > 1e-3) | (np.abs(dneg) > 1e-3)
+        return float(np.mean(active)) if len(active) else 0.0
+
+    def __repr__(self) -> str:
+        return "LogisticLoss()"

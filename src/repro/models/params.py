@@ -1,0 +1,90 @@
+"""Parameter and gradient containers.
+
+Embedding models hold their parameters as plain numpy arrays in a
+``dict[str, np.ndarray]``.  A training step touches only a few rows of each
+table, so gradients are exchanged as a :class:`GradientBag` — a collection
+of ``(row indices, row gradients)`` pairs per parameter — which the sparse
+optimisers consume without ever materialising a dense gradient.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["GradientBag"]
+
+
+class GradientBag:
+    """Accumulates sparse row gradients for named parameters.
+
+    Multiple ``add`` calls may reference the same rows; :meth:`compacted`
+    sums duplicates so each row appears exactly once — required for correct
+    AdaGrad/Adam moment updates.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[str, list[np.ndarray]] = defaultdict(list)
+        self._grads: dict[str, list[np.ndarray]] = defaultdict(list)
+
+    def add(self, name: str, rows: np.ndarray, grads: np.ndarray) -> None:
+        """Record gradients ``grads[i]`` for ``param[name][rows[i]]``.
+
+        ``rows`` has shape ``[n]``; ``grads`` has shape ``[n, *row_shape]``.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        grads = np.asarray(grads, dtype=np.float64)
+        if len(rows) != len(grads):
+            raise ValueError(
+                f"rows ({len(rows)}) and grads ({len(grads)}) for {name!r} disagree"
+            )
+        if len(rows) == 0:
+            return
+        self._rows[name].append(rows)
+        self._grads[name].append(grads)
+
+    def merge(self, other: "GradientBag") -> "GradientBag":
+        """Fold another bag into this one (in place); returns self."""
+        for name in other._rows:
+            self._rows[name].extend(other._rows[name])
+            self._grads[name].extend(other._grads[name])
+        return self
+
+    def names(self) -> list[str]:
+        """Parameter names with at least one recorded gradient."""
+        return list(self._rows.keys())
+
+    def compacted(self) -> Iterator[tuple[str, np.ndarray, np.ndarray]]:
+        """Yield ``(name, unique_rows, summed_grads)`` per parameter."""
+        for name in self._rows:
+            rows = np.concatenate(self._rows[name])
+            grads = np.concatenate(self._grads[name], axis=0)
+            unique, inverse = np.unique(rows, return_inverse=True)
+            summed = np.zeros((len(unique), *grads.shape[1:]), dtype=np.float64)
+            np.add.at(summed, inverse, grads)
+            yield name, unique, summed
+
+    def dense(self, shapes: dict[str, tuple[int, ...]]) -> dict[str, np.ndarray]:
+        """Materialise dense gradients (used by gradient-check tests only)."""
+        out = {name: np.zeros(shape) for name, shape in shapes.items()}
+        for name, rows, grads in self.compacted():
+            out[name][rows] += grads
+        return out
+
+    def global_norm(self) -> float:
+        """l2 norm over every recorded gradient entry (Figure 10 metric)."""
+        total = 0.0
+        for _, _, grads in self.compacted():
+            total += float(np.sum(grads**2))
+        return float(np.sqrt(total))
+
+    def touched_rows(self, name: str) -> np.ndarray:
+        """Unique row indices recorded for ``name`` (empty if none)."""
+        if name not in self._rows:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(self._rows[name]))
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)

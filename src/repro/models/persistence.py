@@ -1,0 +1,70 @@
+"""Model checkpointing: save/load any scoring model as a single ``.npz``.
+
+The archive stores every parameter table plus enough metadata to rebuild
+the model without the caller remembering its constructor arguments —
+what the paper's pretrain protocol needs to share checkpoints between
+runs and what downstream users need to ship trained embeddings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.base import KGEModel
+
+__all__ = ["save_model", "load_model"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_model(model: KGEModel, path: str | Path) -> Path:
+    """Serialise ``model`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "model": type(model).__name__,
+        "n_entities": model.n_entities,
+        "n_relations": model.n_relations,
+        "dim": model.dim,
+        "p": getattr(model, "p", None),
+        "relation_dim": getattr(model, "relation_dim", None),
+        "version": 1,
+    }
+    arrays = dict(model.params)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: str | Path) -> KGEModel:
+    """Rebuild the model saved by :func:`save_model`."""
+    from repro.models import make_model
+
+    with np.load(Path(path)) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        state = {
+            name: archive[name] for name in archive.files if name != _META_KEY
+        }
+    kwargs: dict[str, object] = {}
+    if meta.get("p") is not None:
+        kwargs["p"] = int(meta["p"])
+    if meta.get("relation_dim") is not None:
+        kwargs["relation_dim"] = int(meta["relation_dim"])
+    model = make_model(
+        meta["model"],
+        int(meta["n_entities"]),
+        int(meta["n_relations"]),
+        int(meta["dim"]),
+        rng=0,
+        **kwargs,
+    )
+    model.load_state_dict(state)
+    return model

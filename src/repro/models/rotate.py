@@ -1,0 +1,136 @@
+"""RotatE (Sun et al. 2019) — extension beyond the paper's five models.
+
+Entities are complex vectors; each relation is an element-wise *rotation*
+``r = exp(i theta_r)`` on the complex plane:
+
+``f(h, r, t) = -|| h o r - t ||``
+
+where ``o`` is element-wise complex multiplication and the norm runs over
+the real and imaginary parts.  Rotations model symmetry/antisymmetry,
+inversion and composition — the relation patterns the later literature
+benchmarks — and RotatE is the model the self-adversarial sampler
+(:mod:`repro.sampling.self_adversarial`) was introduced with, making the
+pair a natural extension experiment.
+
+Stored parameters: ``entity_re``/``entity_im`` ``[E, d]`` and the rotation
+phases ``phase`` ``[R, d]`` (one angle per dimension — relations have
+exactly ``d`` parameters, like TransE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import KGEModel
+from repro.models.initializers import xavier_uniform
+from repro.models.norms import check_p, norm_backward, norm_forward
+from repro.models.params import GradientBag
+
+__all__ = ["RotatE"]
+
+
+class RotatE(KGEModel):
+    """Complex-rotation translational model."""
+
+    default_loss = "margin"
+    entity_params = ("entity_re", "entity_im")
+    relation_params = ("phase",)
+
+    def __init__(
+        self,
+        n_entities: int,
+        n_relations: int,
+        dim: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        p: int = 2,
+    ) -> None:
+        self.p = check_p(p)
+        super().__init__(n_entities, n_relations, dim, rng)
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        shape_e = (self.n_entities, self.dim)
+        self.params["entity_re"] = xavier_uniform(shape_e, rng)
+        self.params["entity_im"] = xavier_uniform(shape_e, rng)
+        self.params["phase"] = rng.uniform(-np.pi, np.pi, size=(self.n_relations, self.dim))
+
+    # -- internals -------------------------------------------------------------
+    def _residual(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(e, h_re, h_im, cos, sin)`` with ``e = [e_re | e_im]``.
+
+        ``e_re = h_re cos - h_im sin - t_re`` and
+        ``e_im = h_re sin + h_im cos - t_im``, concatenated so the shared
+        norm helpers see one ``[B, 2d]`` residual.
+        """
+        p = self.params
+        h_re, h_im = p["entity_re"][h], p["entity_im"][h]
+        theta = p["phase"][r]
+        cos, sin = np.cos(theta), np.sin(theta)
+        e_re = h_re * cos - h_im * sin - p["entity_re"][t]
+        e_im = h_re * sin + h_im * cos - p["entity_im"][t]
+        return np.concatenate([e_re, e_im], axis=1), h_re, h_im, cos, sin
+
+    # -- forward -------------------------------------------------------------
+    def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        e, *_ = self._residual(h, r, t)
+        return -norm_forward(e, self.p)
+
+    def score_tails(
+        self, h: np.ndarray, r: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        p = self.params
+        h_re, h_im = p["entity_re"][h], p["entity_im"][h]
+        theta = p["phase"][r]
+        cos, sin = np.cos(theta), np.sin(theta)
+        rot_re = (h_re * cos - h_im * sin)[:, None, :]  # [B, 1, d]
+        rot_im = (h_re * sin + h_im * cos)[:, None, :]
+        e = np.concatenate(
+            [
+                rot_re - p["entity_re"][candidates],
+                rot_im - p["entity_im"][candidates],
+            ],
+            axis=2,
+        )
+        return -norm_forward(e, self.p)
+
+    def score_heads(
+        self, candidates: np.ndarray, r: np.ndarray, t: np.ndarray
+    ) -> np.ndarray:
+        # Rotate every candidate head forward and measure against the tail.
+        p = self.params
+        theta = p["phase"][r]
+        cos, sin = np.cos(theta)[:, None, :], np.sin(theta)[:, None, :]
+        c_re = p["entity_re"][candidates]
+        c_im = p["entity_im"][candidates]
+        rot_re = c_re * cos - c_im * sin
+        rot_im = c_re * sin + c_im * cos
+        e = np.concatenate(
+            [
+                rot_re - p["entity_re"][t][:, None, :],
+                rot_im - p["entity_im"][t][:, None, :],
+            ],
+            axis=2,
+        )
+        return -norm_forward(e, self.p)
+
+    # -- backward ------------------------------------------------------------
+    def grad(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray
+    ) -> GradientBag:
+        e, h_re, h_im, cos, sin = self._residual(h, r, t)
+        up = np.asarray(upstream, dtype=np.float64)[:, None]
+        s = -norm_backward(e, self.p) * up  # [B, 2d]
+        s_re, s_im = s[:, : self.dim], s[:, self.dim :]
+
+        bag = GradientBag()
+        # de_re/dh_re = cos, de_im/dh_re = sin, etc.
+        bag.add("entity_re", h, s_re * cos + s_im * sin)
+        bag.add("entity_im", h, -s_re * sin + s_im * cos)
+        bag.add("entity_re", t, -s_re)
+        bag.add("entity_im", t, -s_im)
+        # de_re/dtheta = -h_re sin - h_im cos; de_im/dtheta = h_re cos - h_im sin.
+        d_theta = s_re * (-h_re * sin - h_im * cos) + s_im * (h_re * cos - h_im * sin)
+        bag.add("phase", r, d_theta)
+        return bag

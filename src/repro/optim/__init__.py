@@ -1,0 +1,24 @@
+"""From-scratch sparse optimisers (the paper trains with Adam, §IV-B2).
+
+All optimisers consume :class:`~repro.models.params.GradientBag` instances,
+updating only the parameter rows a mini-batch touched.  Adam keeps per-row
+step counters so its bias correction matches dense Adam exactly when every
+row is touched every step ("lazy Adam").
+"""
+
+from repro.optim.adagrad import AdaGrad
+from repro.optim.adam import Adam
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+
+__all__ = ["AdaGrad", "Adam", "Optimizer", "SGD", "make_optimizer"]
+
+_REGISTRY = {"sgd": SGD, "adagrad": AdaGrad, "adam": Adam}
+
+
+def make_optimizer(name: str, learning_rate: float, **kwargs: object) -> Optimizer:
+    """Instantiate an optimiser by name ('sgd', 'adagrad' or 'adam')."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown optimizer {name!r}; options: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](learning_rate, **kwargs)

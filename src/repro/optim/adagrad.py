@@ -1,0 +1,33 @@
+"""AdaGrad (Duchi et al. 2011) with sparse row accumulators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["AdaGrad"]
+
+
+class AdaGrad(Optimizer):
+    """Per-coordinate learning rates from accumulated squared gradients."""
+
+    def __init__(self, learning_rate: float, eps: float = 1e-10) -> None:
+        super().__init__(learning_rate)
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.eps = float(eps)
+        self._accumulators: dict[str, np.ndarray] = {}
+
+    def _update_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        if name not in self._accumulators:
+            self._accumulators[name] = np.zeros_like(param, dtype=np.float64)
+        acc = self._accumulators[name]
+        acc[rows] += grads**2
+        param[rows] -= self.learning_rate * grads / (np.sqrt(acc[rows]) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._accumulators.clear()

@@ -1,0 +1,67 @@
+"""Adam (Kingma & Ba 2014) with sparse ("lazy") row updates.
+
+The paper trains every model with Adam at its default betas (§IV-B2).
+Embedding batches touch only a few rows, so moments are updated lazily:
+each row keeps its own step counter for bias correction.  When every row is
+touched on every step this reduces exactly to dense Adam; rows that sleep
+simply keep stale moments, which is the standard sparse-Adam behaviour of
+the frameworks the paper used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adaptive moment estimation over touched rows."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._counts: dict[str, np.ndarray] = {}
+
+    def _update_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        if name not in self._m:
+            self._m[name] = np.zeros_like(param, dtype=np.float64)
+            self._v[name] = np.zeros_like(param, dtype=np.float64)
+            self._counts[name] = np.zeros(param.shape[0], dtype=np.int64)
+        m, v, counts = self._m[name], self._v[name], self._counts[name]
+
+        counts[rows] += 1
+        t = counts[rows].astype(np.float64)
+        m[rows] = self.beta1 * m[rows] + (1.0 - self.beta1) * grads
+        v[rows] = self.beta2 * v[rows] + (1.0 - self.beta2) * grads**2
+        # Per-row bias correction; reshape so it broadcasts over matrix rows.
+        corr_shape = (len(rows),) + (1,) * (param.ndim - 1)
+        m_hat = m[rows] / (1.0 - self.beta1**t).reshape(corr_shape)
+        v_hat = v[rows] / (1.0 - self.beta2**t).reshape(corr_shape)
+        param[rows] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._m.clear()
+        self._v.clear()
+        self._counts.clear()

@@ -1,0 +1,48 @@
+"""Optimiser interface.
+
+An optimiser mutates a ``dict[str, np.ndarray]`` of parameters in place,
+given the sparse row gradients of one mini-batch.  Per-parameter state
+(moments, accumulators) is created lazily the first time a parameter name
+is seen, so optimisers work with any model without registration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.models.params import GradientBag
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer(ABC):
+    """Base class for sparse row-wise optimisers (gradient *descent*)."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.steps = 0
+
+    def step(self, params: dict[str, np.ndarray], gradients: GradientBag) -> None:
+        """Apply one descent step for every row recorded in ``gradients``."""
+        self.steps += 1
+        for name, rows, grads in gradients.compacted():
+            if name not in params:
+                raise KeyError(f"gradient for unknown parameter {name!r}")
+            self._update_rows(name, params[name], rows, grads)
+
+    @abstractmethod
+    def _update_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        """Update ``param[rows]`` in place given their summed gradients."""
+
+    def reset(self) -> None:
+        """Drop all accumulated state (used when restarting training)."""
+        self.steps = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.learning_rate})"

@@ -1,0 +1,18 @@
+"""Plain stochastic gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """``param[rows] -= lr * grad`` — stateless, the reference optimiser."""
+
+    def _update_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        param[rows] -= self.learning_rate * grads

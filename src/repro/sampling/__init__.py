@@ -1,0 +1,74 @@
+"""Negative sampling strategies.
+
+Baselines (fixed distributions): :class:`UniformSampler`,
+:class:`BernoulliSampler`.  Dynamic-distribution competitors:
+:class:`KBGANSampler` and :class:`IGANSampler` (GAN + REINFORCE) and
+:class:`SelfAdversarialSampler` (score-weighted, extension).  The paper's
+method lives in :mod:`repro.core` and is re-exported here lazily (to avoid
+a circular import) so all samplers share one registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sampling.base import NegativeSampler
+from repro.sampling.bernoulli import BernoulliSampler
+from repro.sampling.igan import IGANSampler
+from repro.sampling.kbgan import KBGANSampler
+from repro.sampling.self_adversarial import SelfAdversarialSampler
+from repro.sampling.uniform import UniformSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.core.nscaching import NSCachingSampler
+
+__all__ = [
+    "BernoulliSampler",
+    "IGANSampler",
+    "KBGANSampler",
+    "NSCachingSampler",
+    "NegativeSampler",
+    "SAMPLER_NAMES",
+    "SelfAdversarialSampler",
+    "UniformSampler",
+    "make_sampler",
+]
+
+#: All available sampler names.
+SAMPLER_NAMES: tuple[str, ...] = (
+    "Uniform",
+    "Bernoulli",
+    "KBGAN",
+    "IGAN",
+    "NSCaching",
+    "SelfAdv",
+)
+
+
+def __getattr__(name: str) -> object:
+    # NSCachingSampler lives in repro.core, which itself imports
+    # repro.sampling.base; resolving it lazily breaks the import cycle.
+    if name == "NSCachingSampler":
+        from repro.core.nscaching import NSCachingSampler
+
+        return NSCachingSampler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def make_sampler(name: str, **kwargs: object) -> NegativeSampler:
+    """Instantiate a sampler by registry name (case-insensitive)."""
+    if name.lower() == "nscaching":
+        from repro.core.nscaching import NSCachingSampler
+
+        return NSCachingSampler(**kwargs)
+    registry: dict[str, type[NegativeSampler]] = {
+        "uniform": UniformSampler,
+        "bernoulli": BernoulliSampler,
+        "kbgan": KBGANSampler,
+        "igan": IGANSampler,
+        "selfadv": SelfAdversarialSampler,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise KeyError(f"unknown sampler {name!r}; options: {SAMPLER_NAMES}")
+    return registry[key](**kwargs)

@@ -1,0 +1,33 @@
+"""Bernoulli negative sampling (Wang et al. 2014) — the paper's baseline.
+
+Identical to uniform sampling except the corrupted side is chosen with the
+per-relation probability ``tph / (tph + hpt)``, which reduces false
+negatives on 1-N / N-1 / N-N relations.  The paper uses it as the "random
+sampling" reference scheme everywhere (§IV-B1), including as the pretrain
+regime for KBGAN and NSCaching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import NegativeSampler
+
+__all__ = ["BernoulliSampler"]
+
+
+class BernoulliSampler(NegativeSampler):
+    """Uniform replacements with the relation-aware head/tail coin."""
+
+    name = "Bernoulli"
+
+    def __init__(self) -> None:
+        super().__init__(bernoulli=True)
+
+    def sample(self, batch: np.ndarray) -> np.ndarray:
+        self._require_bound()
+        batch = np.asarray(batch, dtype=np.int64)
+        replacements = self.rng.integers(
+            0, self.dataset.n_entities, size=len(batch), dtype=np.int64
+        )
+        return self._corrupt_with(batch, replacements)

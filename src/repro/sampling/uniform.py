@@ -1,0 +1,32 @@
+"""Uniform negative sampling (Bordes et al. 2013) — the original baseline.
+
+Replaces the head or tail with an entity drawn uniformly from E.  Fixed
+distribution, so it suffers the vanishing-gradient problem the paper
+documents (§I, Figure 1): as training proceeds nearly every uniform
+negative scores below the margin and contributes zero gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import NegativeSampler
+
+__all__ = ["UniformSampler"]
+
+
+class UniformSampler(NegativeSampler):
+    """Corrupt with uniformly random entities; 50/50 head-vs-tail coin."""
+
+    name = "Uniform"
+
+    def __init__(self) -> None:
+        super().__init__(bernoulli=False)
+
+    def sample(self, batch: np.ndarray) -> np.ndarray:
+        self._require_bound()
+        batch = np.asarray(batch, dtype=np.int64)
+        replacements = self.rng.integers(
+            0, self.dataset.n_entities, size=len(batch), dtype=np.int64
+        )
+        return self._corrupt_with(batch, replacements)

@@ -1,0 +1,27 @@
+"""Training framework: config, trainer, callbacks, pretraining, grid search."""
+
+from repro.train.callbacks import (
+    CacheSnapshotCallback,
+    Callback,
+    EarlyStopping,
+    EvalCallback,
+)
+from repro.train.config import TrainConfig
+from repro.train.grid import GridResult, expand_grid, grid_search
+from repro.train.pretrain import pretrain, warm_start
+from repro.train.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "CacheSnapshotCallback",
+    "Callback",
+    "EarlyStopping",
+    "EvalCallback",
+    "GridResult",
+    "TrainConfig",
+    "Trainer",
+    "TrainingHistory",
+    "expand_grid",
+    "grid_search",
+    "pretrain",
+    "warm_start",
+]

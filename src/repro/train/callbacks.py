@@ -1,0 +1,144 @@
+"""Trainer callbacks: evaluation traces, gradient norms, early stopping.
+
+Callbacks receive the trainer after every epoch and record whatever the
+experiment needs — the convergence curves of Figures 2-5 (metric vs wall
+time), the gradient norms of Figure 10, and validation-based early
+stopping.  Evaluation time is excluded from the reported clock (the paper
+plots *training* time).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.stats import EpochSeries
+from repro.eval.protocol import evaluate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.train.trainer import Trainer
+
+__all__ = ["Callback", "EvalCallback", "EarlyStopping", "CacheSnapshotCallback"]
+
+
+class Callback:
+    """Base class; all hooks are optional no-ops."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: dict) -> None:
+        """Called after every epoch with that epoch's aggregate stats."""
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        """Called after the last epoch (or early stop)."""
+
+
+class EvalCallback(Callback):
+    """Periodic link-prediction evaluation, recorded against wall time.
+
+    Produces the series behind Figures 2-5: ``metric`` and ``hits@k``
+    against both epoch number and accumulated *training* seconds (the
+    trainer's clock is paused while this callback evaluates).
+    """
+
+    def __init__(
+        self,
+        split: str = "valid",
+        every: int = 5,
+        *,
+        filtered: bool = True,
+        hits_at: tuple[int, ...] = (10,),
+        batch_size: int = 128,
+    ) -> None:
+        if every <= 0:
+            raise ValueError(f"every must be > 0, got {every}")
+        self.split = split
+        self.every = int(every)
+        self.filtered = filtered
+        self.hits_at = hits_at
+        self.batch_size = batch_size
+        self.series: dict[str, EpochSeries] = {}
+        self.times: list[float] = []
+        self.epochs: list[int] = []
+
+    def _record(self, trainer: "Trainer", epoch: int) -> dict[str, float]:
+        metrics = evaluate(
+            trainer.model,
+            trainer.dataset,
+            self.split,
+            filtered=self.filtered,
+            hits_at=self.hits_at,
+            batch_size=self.batch_size,
+        )
+        self.epochs.append(epoch)
+        self.times.append(trainer.train_seconds)
+        for key, value in metrics.items():
+            self.series.setdefault(key, EpochSeries(key)).append(epoch, value)
+        return metrics
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        self.series.clear()
+        self.times.clear()
+        self.epochs.clear()
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: dict) -> None:
+        if (epoch + 1) % self.every == 0 or epoch + 1 == trainer.config.epochs:
+            with trainer.paused_clock():
+                metrics = self._record(trainer, epoch)
+            stats.update({f"{self.split}_{k}": v for k, v in metrics.items()})
+
+    def latest(self, key: str = "mrr") -> float:
+        """Most recent value of a metric (NaN if never evaluated)."""
+        series = self.series.get(key)
+        return series.last() if series else float("nan")
+
+
+class EarlyStopping(Callback):
+    """Stop when a stat has not improved for ``patience`` observations."""
+
+    def __init__(
+        self, metric: str = "valid_mrr", patience: int = 5, minimize: bool = False
+    ) -> None:
+        if patience <= 0:
+            raise ValueError(f"patience must be > 0, got {patience}")
+        self.metric = metric
+        self.patience = int(patience)
+        self.minimize = bool(minimize)
+        self.best = np.inf if minimize else -np.inf
+        self.stale = 0
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        self.best = np.inf if self.minimize else -np.inf
+        self.stale = 0
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: dict) -> None:
+        if self.metric not in stats:
+            return
+        value = stats[self.metric]
+        improved = value < self.best if self.minimize else value > self.best
+        if improved:
+            self.best = value
+            self.stale = 0
+        else:
+            self.stale += 1
+            if self.stale >= self.patience:
+                trainer.request_stop()
+
+
+class CacheSnapshotCallback(Callback):
+    """Record the contents of one cache entry per epoch (Table VI study)."""
+
+    def __init__(self, key: tuple[int, int], *, head_side: bool = False) -> None:
+        self.key = (int(key[0]), int(key[1]))
+        self.head_side = bool(head_side)
+        self.snapshots: dict[int, np.ndarray] = {}
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: dict) -> None:
+        sampler = trainer.sampler
+        cache = getattr(
+            sampler, "head_cache" if self.head_side else "tail_cache", None
+        )
+        if cache is not None and self.key in cache:
+            self.snapshots[epoch] = cache.get(self.key).copy()

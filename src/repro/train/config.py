@@ -1,0 +1,80 @@
+"""Training hyper-parameters (paper §IV-B2).
+
+The paper grid-searches dimension, learning rate, margin (translational) and
+L2 penalty (semantic matching), trains with Adam at default betas, and keeps
+hyper-parameters fixed across samplers for fairness.  :class:`TrainConfig`
+captures exactly that surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["TrainConfig"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training split.
+    batch_size:
+        Mini-batch size ``m``.
+    learning_rate:
+        Optimiser step size ``eta``.
+    optimizer:
+        ``"adam"`` (paper default), ``"adagrad"`` or ``"sgd"``.
+    margin:
+        ``gamma`` of the margin ranking loss (translational models).
+    l2_weight:
+        ``lambda`` of the L2 penalty (semantic matching models).
+    loss:
+        ``"auto"`` picks the model's default family; ``"margin"`` /
+        ``"logistic"`` force one.
+    seed:
+        Seed for batch shuffling and the sampler's own generator.
+    shuffle:
+        Re-shuffle the training triples every epoch.
+    normalize:
+        Apply the model's norm constraints after each step.
+    track_negatives:
+        Record sampled negatives for the RR metric (costs memory; only the
+        exploration/exploitation studies need it).
+    """
+
+    epochs: int = 100
+    batch_size: int = 256
+    learning_rate: float = 0.01
+    optimizer: str = "adam"
+    margin: float = 2.0
+    l2_weight: float = 0.0
+    loss: str = "auto"
+    seed: int = 0
+    shuffle: bool = True
+    normalize: bool = True
+    track_negatives: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if self.margin <= 0:
+            raise ValueError(f"margin must be > 0, got {self.margin}")
+        if self.l2_weight < 0:
+            raise ValueError(f"l2_weight must be >= 0, got {self.l2_weight}")
+        if self.loss not in ("auto", "margin", "logistic"):
+            raise ValueError(
+                f"loss must be 'auto', 'margin' or 'logistic', got {self.loss!r}"
+            )
+
+    def with_updates(self, **changes: Any) -> "TrainConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,46 @@
+"""The "with pretrain" protocol (paper §IV-B1).
+
+IGAN and KBGAN require warm-starting from a model trained under Bernoulli
+sampling; NSCaching does not, but the paper reports both regimes for every
+method.  :func:`pretrain` trains a fresh copy of a model with Bernoulli
+sampling and returns its state, and :func:`warm_start` loads that state
+into any same-shaped model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.models.base import KGEModel
+from repro.sampling.bernoulli import BernoulliSampler
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+__all__ = ["pretrain", "warm_start"]
+
+
+def pretrain(
+    model: KGEModel,
+    dataset: KGDataset,
+    epochs: int,
+    config: TrainConfig | None = None,
+) -> dict[str, np.ndarray]:
+    """Train ``model`` in place with Bernoulli sampling; return its state.
+
+    The returned state dict can warm-start any number of subsequent runs
+    via :func:`warm_start` (the paper evaluates every sampler from the
+    same pretrained checkpoint).
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be >= 0, got {epochs}")
+    config = (config or TrainConfig()).with_updates(epochs=epochs)
+    trainer = Trainer(model, dataset, BernoulliSampler(), config)
+    trainer.run()
+    return model.state_dict()
+
+
+def warm_start(model: KGEModel, state: dict[str, np.ndarray]) -> KGEModel:
+    """Load a pretrained state into ``model`` (returns it for chaining)."""
+    model.load_state_dict(state)
+    return model

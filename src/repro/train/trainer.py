@@ -1,0 +1,231 @@
+"""The mini-batch training loop (Algorithms 1 and 2).
+
+One :class:`Trainer` wires together a scoring model, a negative sampler, a
+loss matched to the model family (Eq. 1 / Eq. 2), a sparse optimiser and an
+optional L2 regulariser, and exposes per-epoch statistics: mean loss,
+non-zero-loss ratio (NZL), average gradient l2 norm (Figure 10), cache
+changed-elements (Figure 8) and the repeat ratio of sampled negatives
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.stats import EpochSeries, NegativeTracker
+from repro.data.dataset import KGDataset
+from repro.data.triples import HEAD, REL, TAIL
+from repro.models.base import KGEModel
+from repro.models.losses import LogisticLoss, Loss, MarginRankingLoss
+from repro.models.params import GradientBag
+from repro.models.regularizers import L2Regularizer
+from repro.optim import make_optimizer
+from repro.sampling.base import NegativeSampler
+from repro.train.config import TrainConfig
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+class TrainingHistory:
+    """Per-epoch series recorded by the trainer."""
+
+    _NAMES = ("loss", "nzl", "grad_norm", "epoch_seconds", "repeat_ratio", "cache_changes")
+
+    def __init__(self) -> None:
+        self.series: dict[str, EpochSeries] = {
+            name: EpochSeries(name) for name in self._NAMES
+        }
+
+    def record(self, epoch: int, stats: dict[str, float]) -> None:
+        """Append every known stat for this epoch."""
+        for name, series in self.series.items():
+            if name in stats:
+                series.append(epoch, stats[name])
+
+    def __getitem__(self, name: str) -> EpochSeries:
+        return self.series[name]
+
+    def last(self, name: str) -> float:
+        """Most recent value of a series."""
+        return self.series[name].last()
+
+
+class Trainer:
+    """Runs the KG-embedding training loop for any sampler/model pair."""
+
+    def __init__(
+        self,
+        model: KGEModel,
+        dataset: KGDataset,
+        sampler: NegativeSampler,
+        config: TrainConfig | None = None,
+        callbacks: Sequence[object] = (),
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.sampler = sampler
+        self.config = config or TrainConfig()
+        self.callbacks = list(callbacks)
+
+        rng_batches, rng_sampler = spawn_rngs(self.config.seed, 2)
+        self._rng = rng_batches
+        self.sampler.bind(model, dataset, rng_sampler)
+
+        self.loss = self._make_loss()
+        self.optimizer = make_optimizer(
+            self.config.optimizer, self.config.learning_rate
+        )
+        self.regularizer = (
+            L2Regularizer(self.config.l2_weight)
+            if self.config.l2_weight > 0
+            else None
+        )
+        self.history = TrainingHistory()
+        self.negative_tracker = (
+            NegativeTracker() if self.config.track_negatives else None
+        )
+        self._timer = Timer()
+        self._stop = False
+        self.epochs_run = 0
+
+    # -- construction helpers ----------------------------------------------------
+    def _make_loss(self) -> Loss:
+        kind = self.config.loss
+        if kind == "auto":
+            kind = self.model.default_loss
+        if kind == "margin":
+            return MarginRankingLoss(self.config.margin)
+        return LogisticLoss()
+
+    # -- clock --------------------------------------------------------------------
+    @property
+    def train_seconds(self) -> float:
+        """Accumulated training wall time, excluding paused (eval) periods."""
+        return self._timer.elapsed
+
+    @contextmanager
+    def paused_clock(self) -> Iterator[None]:
+        """Suspend the training clock (used by evaluation callbacks)."""
+        was_running = self._timer.running
+        if was_running:
+            self._timer.stop()
+        try:
+            yield
+        finally:
+            if was_running:
+                self._timer.start()
+
+    def request_stop(self) -> None:
+        """Ask the training loop to stop after the current epoch."""
+        self._stop = True
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self, epochs: int | None = None) -> TrainingHistory:
+        """Train for ``epochs`` (default: the config's) and return history."""
+        n_epochs = self.config.epochs if epochs is None else int(epochs)
+        self._stop = False
+        for callback in self.callbacks:
+            callback.on_train_begin(self)
+        epoch = self.epochs_run - 1
+        for epoch in range(self.epochs_run, self.epochs_run + n_epochs):
+            stats = self.train_epoch(epoch)
+            self.history.record(epoch, stats)
+            for callback in self.callbacks:
+                callback.on_epoch_end(self, epoch, stats)
+            if self._stop:
+                break
+        self.epochs_run = epoch + 1
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return self.history
+
+    def train_epoch(self, epoch: int) -> dict[str, float]:
+        """One pass over the training split; returns the epoch's stats."""
+        train = self.dataset.train
+        order = (
+            self._rng.permutation(len(train))
+            if self.config.shuffle
+            else np.arange(len(train))
+        )
+        self.sampler.on_epoch_start(epoch)
+
+        losses: list[float] = []
+        nzl_values: list[float] = []
+        grad_norms: list[float] = []
+        epoch_timer = Timer()
+        with epoch_timer, self._timer:
+            for start in range(0, len(train), self.config.batch_size):
+                batch = train[order[start : start + self.config.batch_size]]
+                batch_stats = self.train_batch(batch)
+                losses.append(batch_stats["loss"])
+                nzl_values.append(batch_stats["nzl"])
+                grad_norms.append(batch_stats["grad_norm"])
+
+        stats: dict[str, float] = {
+            "loss": float(np.mean(losses)) if losses else 0.0,
+            "nzl": float(np.mean(nzl_values)) if nzl_values else 0.0,
+            "grad_norm": float(np.mean(grad_norms)) if grad_norms else 0.0,
+            "epoch_seconds": epoch_timer.elapsed,
+        }
+        if self.negative_tracker is not None:
+            stats["repeat_ratio"] = self.negative_tracker.repeat_ratio()
+            self.negative_tracker.end_epoch()
+        changed = getattr(self.sampler, "changed_elements", None)
+        if callable(changed):
+            stats["cache_changes"] = float(changed(reset=True))
+        return stats
+
+    def train_batch(self, batch: np.ndarray) -> dict[str, float]:
+        """Algorithm 2 steps 4-9 for one mini-batch."""
+        negatives = self.sampler.sample(batch)
+        if self.negative_tracker is not None:
+            self.negative_tracker.record(negatives)
+
+        pos_scores = self.model.score_triples(batch)
+        neg_scores = self.model.score_triples(negatives)
+        loss_values = self.loss.value(pos_scores, neg_scores)
+        d_pos, d_neg = self.loss.score_grads(pos_scores, neg_scores)
+
+        # Alg. 2 step 8: the cache refresh precedes the embedding update.
+        self.sampler.update(batch, negatives)
+
+        bag = self.model.grad_triples(batch, d_pos)
+        bag.merge(self.model.grad_triples(negatives, d_neg))
+        if self.regularizer is not None:
+            self.regularizer.add_gradients(
+                bag, self.model.params, self._touched_rows(batch, negatives)
+            )
+        grad_norm = bag.global_norm()
+        self.optimizer.step(self.model.params, bag)
+
+        if self.config.normalize:
+            touched = np.concatenate(
+                [batch[:, HEAD], batch[:, TAIL], negatives[:, HEAD], negatives[:, TAIL]]
+            )
+            self.model.normalize(touched)
+
+        return {
+            "loss": float(np.mean(loss_values)),
+            "nzl": self.loss.nonzero_ratio(pos_scores, neg_scores),
+            "grad_norm": grad_norm,
+        }
+
+    def _touched_rows(
+        self, batch: np.ndarray, negatives: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Rows whose embeddings the batch touches, per parameter table."""
+        entities = np.concatenate(
+            [batch[:, HEAD], batch[:, TAIL], negatives[:, HEAD], negatives[:, TAIL]]
+        )
+        relations = np.concatenate([batch[:, REL], negatives[:, REL]])
+        rows: dict[str, np.ndarray] = {}
+        for name in self.model.entity_params:
+            rows[name] = entities
+        for name in self.model.relation_params:
+            rows[name] = relations
+        return rows

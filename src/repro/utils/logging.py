@@ -1,0 +1,31 @@
+"""Library logging configuration.
+
+The library never configures the root logger; it only creates namespaced
+children under ``repro`` so that applications stay in control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger()`` returns the package root logger; ``get_logger("train")``
+    returns ``repro.train``.  A :class:`logging.NullHandler` is attached to
+    the package root so importing the library never emits spurious
+    "no handler" warnings.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if name is None:
+        return root
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,49 @@
+"""Argument-validation helpers.
+
+Raising early with a precise message beats failing deep inside a vectorised
+numpy expression, so public entry points validate their inputs with these.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_shape", "require"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float | int, *, strict: bool = True) -> None:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> None:
+    """Validate an array's shape; ``None`` entries act as wildcards."""
+    actual = np.shape(array)
+    if len(actual) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions (shape {tuple(shape)}), "
+            f"got shape {actual}"
+        )
+    for axis, (want, got) in enumerate(zip(shape, actual)):
+        if want is not None and want != got:
+            raise ValueError(
+                f"{name} has wrong size on axis {axis}: expected {want}, got {got} "
+                f"(full shape {actual})"
+            )

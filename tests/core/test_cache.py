@@ -1,0 +1,138 @@
+"""Tests for the negative cache data structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import NegativeCache, _multiset_overlap
+
+
+class TestCacheBasics:
+    def test_lazy_random_initialisation(self, rng):
+        cache = NegativeCache(5, 20, rng)
+        entry = cache.get((0, 1))
+        assert entry.shape == (5,)
+        assert np.all((entry >= 0) & (entry < 20))
+        assert cache.initialised_entries == 1
+
+    def test_get_is_stable(self, rng):
+        cache = NegativeCache(5, 20, rng)
+        first = cache.get((0, 1)).copy()
+        np.testing.assert_array_equal(cache.get((0, 1)), first)
+        assert cache.initialised_entries == 1
+
+    def test_distinct_keys_independent(self, rng):
+        cache = NegativeCache(8, 1000, rng)
+        a = cache.get((0, 1))
+        b = cache.get((1, 0))
+        assert not np.array_equal(a, b)
+
+    def test_put_replaces_entry(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        cache.get((0, 0))
+        new = np.array([1, 2, 3])
+        cache.put((0, 0), new)
+        np.testing.assert_array_equal(cache.get((0, 0)), new)
+
+    def test_put_wrong_shape_rejected(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        with pytest.raises(ValueError, match="shape"):
+            cache.put((0, 0), np.array([1, 2]))
+
+    def test_contains_and_len(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        assert (0, 0) not in cache
+        cache.get((0, 0))
+        assert (0, 0) in cache
+        assert len(cache) == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match="N1"):
+            NegativeCache(0, 20)
+        with pytest.raises(ValueError, match="n_entities"):
+            NegativeCache(5, 0)
+
+
+class TestChangedElements:
+    def test_identical_put_counts_zero(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        entry = cache.get((0, 0)).copy()
+        cache.reset_counters()
+        assert cache.put((0, 0), entry) == 0
+        assert cache.changed_elements == 0
+
+    def test_disjoint_put_counts_full(self, rng):
+        cache = NegativeCache(3, 100, rng)
+        cache.put((0, 0), np.array([1, 2, 3]))
+        cache.reset_counters()
+        assert cache.put((0, 0), np.array([4, 5, 6])) == 3
+
+    def test_partial_overlap(self, rng):
+        cache = NegativeCache(3, 100, rng)
+        cache.put((0, 0), np.array([1, 2, 3]))
+        cache.reset_counters()
+        assert cache.put((0, 0), np.array([3, 2, 9])) == 1
+
+    def test_multiset_semantics(self, rng):
+        cache = NegativeCache(3, 100, rng)
+        cache.put((0, 0), np.array([5, 5, 3]))
+        cache.reset_counters()
+        # One 5 survives, the duplicate 5 counts as changed.
+        assert cache.put((0, 0), np.array([5, 1, 2])) == 2
+
+    def test_reset_counters(self, rng):
+        cache = NegativeCache(3, 100, rng)
+        cache.put((0, 0), np.array([1, 2, 3]))
+        cache.reset_counters()
+        assert cache.changed_elements == 0
+        assert cache.initialised_entries == 0
+
+
+class TestScores:
+    def test_scores_require_flag(self, rng):
+        cache = NegativeCache(3, 20, rng, store_scores=False)
+        with pytest.raises(RuntimeError, match="store_scores"):
+            cache.scores((0, 0))
+
+    def test_scores_initialised_to_zero(self, rng):
+        cache = NegativeCache(3, 20, rng, store_scores=True)
+        np.testing.assert_array_equal(cache.scores((0, 0)), np.zeros(3))
+
+    def test_put_with_scores_roundtrip(self, rng):
+        cache = NegativeCache(3, 20, rng, store_scores=True)
+        cache.put((0, 0), np.array([1, 2, 3]), np.array([0.1, 0.2, 0.3]))
+        np.testing.assert_allclose(cache.scores((0, 0)), [0.1, 0.2, 0.3])
+
+    def test_put_without_scores_rejected_when_required(self, rng):
+        cache = NegativeCache(3, 20, rng, store_scores=True)
+        with pytest.raises(ValueError, match="requires scores"):
+            cache.put((0, 0), np.array([1, 2, 3]))
+
+
+class TestBatchAccess:
+    def test_get_many_shape(self, rng):
+        cache = NegativeCache(4, 50, rng)
+        stacked = cache.get_many([(0, 0), (1, 1), (0, 0)])
+        assert stacked.shape == (3, 4)
+        np.testing.assert_array_equal(stacked[0], stacked[2])
+
+    def test_memory_accounting_grows(self, rng):
+        cache = NegativeCache(4, 50, rng)
+        assert cache.memory_bytes() == 0
+        cache.get((0, 0))
+        one = cache.memory_bytes()
+        cache.get((1, 1))
+        assert cache.memory_bytes() == 2 * one
+
+
+class TestMultisetOverlap:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ([1, 2, 3], [1, 2, 3], 3),
+            ([1, 2, 3], [4, 5, 6], 0),
+            ([1, 1, 2], [1, 3, 4], 1),
+            ([1, 1, 2], [1, 1, 9], 2),
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert _multiset_overlap(np.array(a), np.array(b)) == expected

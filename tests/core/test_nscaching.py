@@ -1,0 +1,179 @@
+"""Tests for the NSCaching sampler (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashed import HashedNegativeCache
+from repro.core.nscaching import NSCachingSampler
+from repro.core.strategies import SampleStrategy, UpdateStrategy
+from repro.models import make_model
+
+
+@pytest.fixture
+def bound_sampler(tiny_kg):
+    model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    sampler = NSCachingSampler(cache_size=6, candidate_size=6)
+    sampler.bind(model, tiny_kg, rng=0)
+    return sampler
+
+
+class TestConstruction:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match="cache_size"):
+            NSCachingSampler(cache_size=0)
+        with pytest.raises(ValueError, match="cache_size"):
+            NSCachingSampler(candidate_size=0)
+
+    def test_negative_lazy_rejected(self):
+        with pytest.raises(ValueError, match="lazy_epochs"):
+            NSCachingSampler(lazy_epochs=-1)
+
+    def test_sampling_before_bind_rejected(self, tiny_kg):
+        sampler = NSCachingSampler()
+        with pytest.raises(RuntimeError, match="must be bound"):
+            sampler.sample(tiny_kg.train[:4])
+
+    def test_repr_mentions_paper_knobs(self):
+        text = repr(NSCachingSampler(cache_size=50, candidate_size=70))
+        assert "N1=50" in text and "N2=70" in text
+
+
+class TestSampling:
+    def test_negatives_differ_on_exactly_one_side(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:32]
+        negatives = bound_sampler.sample(batch)
+        same_head = negatives[:, 0] == batch[:, 0]
+        same_tail = negatives[:, 2] == batch[:, 2]
+        np.testing.assert_array_equal(negatives[:, 1], batch[:, 1])
+        # One side always retained (the other side may coincide by chance).
+        assert np.all(same_head | same_tail)
+
+    def test_sampled_entity_comes_from_cache(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:8]
+        negatives = bound_sampler.sample(batch)
+        for pos, neg in zip(batch.tolist(), negatives.tolist()):
+            h, r, t = pos
+            if neg[0] != h:  # head was corrupted
+                cached = bound_sampler.head_cache.get((r, t))
+                assert neg[0] in cached
+            elif neg[2] != t:  # tail was corrupted
+                cached = bound_sampler.tail_cache.get((h, r))
+                assert neg[2] in cached
+
+    def test_cache_keys_follow_algorithm2(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:4]
+        bound_sampler.sample(batch)
+        for h, r, t in batch.tolist():
+            assert (r, t) in bound_sampler.head_cache
+            assert (h, r) in bound_sampler.tail_cache
+
+
+class TestUpdate:
+    def test_update_raises_cache_scores(self, bound_sampler, tiny_kg):
+        """After Alg. 3 refreshes, cached corruptions score higher than random."""
+        model = bound_sampler.model
+        batch = tiny_kg.train[:64]
+        bound_sampler.sample(batch)
+        for _ in range(5):
+            bound_sampler.update(batch, batch)
+        h, r, t = batch[0].tolist()
+        cached_tails = bound_sampler.tail_cache.get((h, r))
+        cached_scores = model.score(
+            np.full(len(cached_tails), h),
+            np.full(len(cached_tails), r),
+            cached_tails,
+        )
+        random_tails = np.arange(tiny_kg.n_entities)
+        random_scores = model.score(
+            np.full(tiny_kg.n_entities, h),
+            np.full(tiny_kg.n_entities, r),
+            random_tails,
+        )
+        assert cached_scores.mean() > random_scores.mean()
+
+    def test_update_counts_changed_elements(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:16]
+        bound_sampler.sample(batch)
+        bound_sampler.update(batch, batch)
+        assert bound_sampler.changed_elements() > 0
+
+    def test_changed_elements_reset(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:16]
+        bound_sampler.sample(batch)
+        bound_sampler.update(batch, batch)
+        bound_sampler.changed_elements(reset=True)
+        assert bound_sampler.changed_elements() == 0
+
+    def test_lazy_update_skips_off_epochs(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4, lazy_epochs=1)
+        sampler.bind(model, tiny_kg, rng=0)
+        batch = tiny_kg.train[:8]
+        sampler.on_epoch_start(1)  # odd epoch -> skip with n=1
+        sampler.sample(batch)
+        sampler.update(batch, batch)
+        assert sampler.changed_elements() == 0
+        sampler.on_epoch_start(2)  # even epoch -> refresh
+        sampler.update(batch, batch)
+        assert sampler.changed_elements() > 0
+
+    def test_update_before_sample_is_safe(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:4]
+        bound_sampler.update(batch, batch)  # initialises entries on demand
+        assert bound_sampler.head_cache.n_entries > 0
+
+
+class TestStrategyVariants:
+    @pytest.mark.parametrize("strategy", list(SampleStrategy))
+    def test_all_sampling_strategies_run(self, tiny_kg, strategy):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = NSCachingSampler(
+            cache_size=4, candidate_size=4, sample_strategy=strategy
+        )
+        sampler.bind(model, tiny_kg, rng=0)
+        batch = tiny_kg.train[:8]
+        negatives = sampler.sample(batch)
+        sampler.update(batch, negatives)
+        assert negatives.shape == batch.shape
+
+    @pytest.mark.parametrize("strategy", list(UpdateStrategy))
+    def test_all_update_strategies_run(self, tiny_kg, strategy):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = NSCachingSampler(
+            cache_size=4, candidate_size=4, update_strategy=strategy
+        )
+        sampler.bind(model, tiny_kg, rng=0)
+        batch = tiny_kg.train[:8]
+        negatives = sampler.sample(batch)
+        sampler.update(batch, negatives)
+        assert sampler.changed_elements() >= 0
+
+    def test_score_storing_only_when_needed(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        uniform = NSCachingSampler(sample_strategy="uniform").bind(model, tiny_kg, 0)
+        importance = NSCachingSampler(sample_strategy="importance").bind(
+            model, tiny_kg, 0
+        )
+        assert not uniform.head_cache.store_scores
+        assert importance.head_cache.store_scores
+
+
+class TestHashedCacheIntegration:
+    def test_hashed_cache_bounds_entries(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        factory = lambda size, n, rng, store_scores: HashedNegativeCache(  # noqa: E731
+            size, n, rng, n_buckets=7, store_scores=store_scores
+        )
+        sampler = NSCachingSampler(
+            cache_size=4, candidate_size=4, cache_factory=factory
+        )
+        sampler.bind(model, tiny_kg, rng=0)
+        for start in range(0, len(tiny_kg.train), 32):
+            batch = tiny_kg.train[start : start + 32]
+            sampler.update(batch, sampler.sample(batch))
+        assert sampler.head_cache.n_entries <= 7
+        assert sampler.tail_cache.n_entries <= 7
+
+    def test_no_parameters_added(self, bound_sampler):
+        """Table I: NSCaching adds no trainable parameters."""
+        assert not hasattr(bound_sampler, "generator")

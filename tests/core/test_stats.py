@@ -1,0 +1,66 @@
+"""Tests for RR / CE instrumentation and epoch series."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import EpochSeries, NegativeTracker
+
+
+class TestNegativeTracker:
+    def test_no_repeats_gives_zero(self):
+        tracker = NegativeTracker()
+        tracker.record(np.array([(0, 0, 1), (0, 0, 2), (1, 0, 2)]))
+        assert tracker.repeat_ratio() == 0.0
+
+    def test_all_repeats(self):
+        tracker = NegativeTracker()
+        tracker.record(np.array([(0, 0, 1)] * 10))
+        assert tracker.repeat_ratio() == pytest.approx(0.9)
+
+    def test_window_slides(self):
+        tracker = NegativeTracker(window_epochs=2)
+        tracker.record(np.array([(0, 0, 1)]))
+        tracker.end_epoch()
+        tracker.record(np.array([(0, 0, 1)]))
+        tracker.end_epoch()
+        assert tracker.repeat_ratio() == pytest.approx(0.5)
+        # Two more epochs with fresh triples push the repeats out.
+        tracker.record(np.array([(5, 0, 6)]))
+        tracker.end_epoch()
+        tracker.record(np.array([(7, 0, 8)]))
+        tracker.end_epoch()
+        assert tracker.repeat_ratio() == 0.0
+
+    def test_counts_open_epoch(self):
+        tracker = NegativeTracker()
+        tracker.record(np.array([(0, 0, 1)]))
+        assert tracker.total_recorded() == 1
+
+    def test_empty_ratio_zero(self):
+        assert NegativeTracker().repeat_ratio() == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window_epochs"):
+            NegativeTracker(window_epochs=0)
+
+
+class TestEpochSeries:
+    def test_append_and_arrays(self):
+        series = EpochSeries("mrr")
+        series.append(0, 0.1)
+        series.append(5, 0.2)
+        epochs, values = series.as_arrays()
+        np.testing.assert_array_equal(epochs, [0, 5])
+        np.testing.assert_allclose(values, [0.1, 0.2])
+
+    def test_last(self):
+        series = EpochSeries("x")
+        assert np.isnan(series.last())
+        series.append(0, 3.0)
+        assert series.last() == 3.0
+
+    def test_len(self):
+        series = EpochSeries("x")
+        assert len(series) == 0
+        series.append(0, 1.0)
+        assert len(series) == 1

@@ -1,0 +1,145 @@
+"""Tests for the sample-from-cache and update-cache strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies import (
+    SampleStrategy,
+    UpdateStrategy,
+    duplicate_mask,
+    sample_from_cache,
+    select_cache_survivors,
+)
+
+
+class TestDuplicateMask:
+    def test_no_duplicates(self):
+        mask = duplicate_mask(np.array([[1, 2, 3]]))
+        assert not mask.any()
+
+    def test_marks_later_occurrences(self):
+        mask = duplicate_mask(np.array([[5, 1, 5, 5]]))
+        assert mask.sum() == 2
+        assert not mask[0, 0] or not mask[0, 2]  # exactly one 5 kept
+
+    def test_rows_independent(self):
+        mask = duplicate_mask(np.array([[1, 1], [1, 2]]))
+        assert mask[0].sum() == 1
+        assert mask[1].sum() == 0
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=12)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_kept_entries_are_unique_set(self, row):
+        ids = np.asarray([row])
+        mask = duplicate_mask(ids)
+        kept = ids[0][~mask[0]]
+        assert sorted(kept.tolist()) == sorted(set(row))
+
+
+class TestSampleFromCache:
+    def test_uniform_returns_cache_members(self, rng):
+        ids = np.array([[10, 11, 12], [20, 21, 22]])
+        out = sample_from_cache(ids, None, SampleStrategy.UNIFORM, rng)
+        assert out[0] in ids[0] and out[1] in ids[1]
+
+    def test_top_returns_argmax(self, rng):
+        ids = np.array([[10, 11, 12]])
+        scores = np.array([[0.1, 5.0, 0.2]])
+        assert sample_from_cache(ids, scores, SampleStrategy.TOP, rng)[0] == 11
+
+    def test_importance_prefers_high_scores(self, rng):
+        ids = np.tile(np.array([[10, 11]]), (2000, 1))
+        scores = np.tile(np.array([[0.0, 5.0]]), (2000, 1))
+        out = sample_from_cache(ids, scores, SampleStrategy.IMPORTANCE, rng)
+        assert np.mean(out == 11) > 0.9
+
+    def test_uniform_covers_all_members(self, rng):
+        ids = np.tile(np.array([[1, 2, 3]]), (600, 1))
+        out = sample_from_cache(ids, None, SampleStrategy.UNIFORM, rng)
+        assert set(out.tolist()) == {1, 2, 3}
+
+    def test_scores_required_for_top(self, rng):
+        with pytest.raises(ValueError, match="requires scores"):
+            sample_from_cache(np.array([[1, 2]]), None, SampleStrategy.TOP, rng)
+
+    def test_string_strategy_accepted(self, rng):
+        ids = np.array([[1, 2, 3]])
+        out = sample_from_cache(ids, None, "uniform", rng)
+        assert out[0] in (1, 2, 3)
+
+
+class TestSelectCacheSurvivors:
+    def test_top_keeps_largest(self, rng):
+        ids = np.array([[1, 2, 3, 4]])
+        scores = np.array([[0.0, 3.0, 1.0, 2.0]])
+        kept, kept_scores = select_cache_survivors(
+            ids, scores, 2, UpdateStrategy.TOP, rng
+        )
+        assert set(kept[0].tolist()) == {2, 4}
+        assert set(kept_scores[0].tolist()) == {3.0, 2.0}
+
+    def test_importance_without_replacement(self, rng):
+        ids = np.tile(np.arange(6), (200, 1))
+        scores = np.zeros((200, 6))
+        kept, _ = select_cache_survivors(
+            ids, scores, 4, UpdateStrategy.IMPORTANCE, rng
+        )
+        for row in kept:
+            assert len(set(row.tolist())) == 4  # no repeats within a row
+
+    def test_importance_prefers_high_scores(self, rng):
+        ids = np.tile(np.array([[0, 1, 2, 3]]), (2000, 1))
+        scores = np.tile(np.array([[10.0, 10.0, -10.0, -10.0]]), (2000, 1))
+        kept, _ = select_cache_survivors(
+            ids, scores, 2, UpdateStrategy.IMPORTANCE, rng
+        )
+        frequency_high = np.mean([(0 in row or 1 in row) for row in kept.tolist()])
+        assert frequency_high > 0.99
+
+    def test_duplicates_suppressed(self, rng):
+        ids = np.array([[7, 7, 7, 1, 2]])
+        scores = np.array([[9.0, 9.0, 9.0, 1.0, 0.0]])
+        kept, _ = select_cache_survivors(ids, scores, 2, UpdateStrategy.TOP, rng)
+        assert sorted(kept[0].tolist()) == [1, 7]
+
+    def test_uniform_ignores_scores(self, rng):
+        ids = np.tile(np.arange(10), (500, 1))
+        scores = np.tile(np.linspace(-5, 5, 10), (500, 1))
+        kept, _ = select_cache_survivors(
+            ids, scores, 3, UpdateStrategy.UNIFORM, rng
+        )
+        counts = np.bincount(kept.ravel(), minlength=10)
+        # Every candidate selected sometimes; low-score ones too.
+        assert counts.min() > 0
+
+    def test_keep_more_than_available_rejected(self, rng):
+        with pytest.raises(ValueError, match="cannot keep"):
+            select_cache_survivors(
+                np.array([[1, 2]]), np.zeros((1, 2)), 3, UpdateStrategy.TOP, rng
+            )
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            select_cache_survivors(
+                np.array([[1, 2]]), np.zeros((1, 3)), 1, UpdateStrategy.TOP, rng
+            )
+
+    @given(
+        n_keep=st.integers(1, 4),
+        seed=st.integers(0, 100),
+        strategy=st.sampled_from(list(UpdateStrategy)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_survivors_come_from_candidates(self, n_keep, seed, strategy):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 30, size=(3, 6))
+        scores = rng.normal(size=(3, 6))
+        kept, kept_scores = select_cache_survivors(ids, scores, n_keep, strategy, rng)
+        assert kept.shape == (3, n_keep)
+        for i in range(3):
+            candidates = set(ids[i].tolist())
+            assert set(kept[i].tolist()) <= candidates

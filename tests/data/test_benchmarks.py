@@ -1,0 +1,58 @@
+"""Tests for the named benchmark analogues."""
+
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARKS,
+    fb15k237_like,
+    fb15k_like,
+    load_benchmark,
+    wn18_like,
+    wn18rr_like,
+)
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert set(BENCHMARKS) == {"WN18", "WN18RR", "FB15K", "FB15K237"}
+
+    def test_load_by_name_case_insensitive(self):
+        ds = load_benchmark("wn18rr", scale=0.1)
+        assert ds.name == "wn18rr_like"
+
+    def test_load_accepts_dashes(self):
+        ds = load_benchmark("fb15k-237", scale=0.1)
+        assert ds.name == "fb15k237_like"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("YAGO")
+
+
+class TestCharacteristics:
+    def test_wn18_has_more_relations_than_wn18rr(self):
+        # Inverse duplicates inflate the relation count, as in the paper.
+        wn18 = wn18_like(scale=0.1)
+        wn18rr = wn18rr_like(scale=0.1)
+        assert wn18.n_relations > wn18rr.n_relations
+
+    def test_fb_family_has_many_relations(self):
+        fb = fb15k_like(scale=0.1)
+        wn = wn18_like(scale=0.1)
+        assert fb.n_relations > 2 * wn.n_relations
+
+    def test_fb15k_denser_than_fb15k237(self):
+        fb15k = fb15k_like(scale=0.2)
+        fb237 = fb15k237_like(scale=0.2)
+        assert len(fb15k.train) > len(fb237.train)
+
+    def test_scale_shrinks_dataset(self):
+        small = wn18rr_like(scale=0.1)
+        large = wn18rr_like(scale=0.3)
+        assert large.n_entities > small.n_entities
+        assert len(large.train) > len(small.train)
+
+    def test_seed_reproducibility(self):
+        a = wn18rr_like(seed=5, scale=0.1)
+        b = wn18rr_like(seed=5, scale=0.1)
+        assert (a.train == b.train).all()

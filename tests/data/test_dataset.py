@@ -1,0 +1,130 @@
+"""Tests for the KGDataset bundle and its filter indexes."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import KGDataset
+from repro.data.triples import Vocabulary
+
+
+def _toy_dataset() -> KGDataset:
+    vocab = Vocabulary.anonymous(6, 2)
+    train = np.array([(0, 0, 1), (0, 0, 2), (1, 1, 3), (2, 0, 1)])
+    valid = np.array([(0, 0, 3)])
+    test = np.array([(1, 1, 4)])
+    return KGDataset("toy", vocab, train, valid, test)
+
+
+class TestKGDatasetBasics:
+    def test_sizes(self):
+        ds = _toy_dataset()
+        assert ds.n_entities == 6
+        assert ds.n_relations == 2
+        assert ds.n_train == 4
+
+    def test_all_triples_concatenates_splits(self):
+        ds = _toy_dataset()
+        assert len(ds.all_triples()) == 6
+
+    def test_summary_keys(self):
+        summary = _toy_dataset().summary()
+        assert summary == {
+            "entities": 6, "relations": 2, "train": 4, "valid": 1, "test": 1,
+        }
+
+    def test_out_of_range_entity_rejected(self):
+        vocab = Vocabulary.anonymous(3, 1)
+        with pytest.raises(ValueError, match="unknown entity"):
+            KGDataset("bad", vocab, np.array([(0, 0, 5)]), np.empty((0, 3)), np.empty((0, 3)))
+
+    def test_out_of_range_relation_rejected(self):
+        vocab = Vocabulary.anonymous(3, 1)
+        with pytest.raises(ValueError, match="unknown relation"):
+            KGDataset("bad", vocab, np.array([(0, 4, 1)]), np.empty((0, 3)), np.empty((0, 3)))
+
+    def test_negative_id_rejected(self):
+        vocab = Vocabulary.anonymous(3, 1)
+        with pytest.raises(ValueError, match="negative"):
+            KGDataset("bad", vocab, np.array([(-1, 0, 1)]), np.empty((0, 3)), np.empty((0, 3)))
+
+
+class TestFilters:
+    def test_known_spans_all_splits(self):
+        ds = _toy_dataset()
+        assert ds.is_known(0, 0, 1)  # train
+        assert ds.is_known(0, 0, 3)  # valid
+        assert ds.is_known(1, 1, 4)  # test
+        assert not ds.is_known(5, 0, 0)
+
+    def test_true_tails_sorted_unique(self):
+        ds = _toy_dataset()
+        np.testing.assert_array_equal(ds.true_tails(0, 0), [1, 2, 3])
+
+    def test_true_heads(self):
+        ds = _toy_dataset()
+        np.testing.assert_array_equal(ds.true_heads(0, 1), [0, 2])
+
+    def test_missing_pair_gives_empty(self):
+        ds = _toy_dataset()
+        assert len(ds.true_tails(5, 1)) == 0
+        assert len(ds.true_heads(0, 5)) == 0
+
+    def test_filter_consistency_with_membership(self, tiny_kg):
+        for h, r, t in tiny_kg.all_triples()[:50].tolist():
+            assert t in tiny_kg.true_tails(h, r)
+            assert h in tiny_kg.true_heads(r, t)
+
+
+class TestFromTriples:
+    def test_split_fractions_roughly_respected(self, rng):
+        vocab = Vocabulary.anonymous(50, 3)
+        triples = np.stack(
+            [
+                rng.integers(0, 50, 400),
+                rng.integers(0, 3, 400),
+                rng.integers(0, 50, 400),
+            ],
+            axis=1,
+        )
+        ds = KGDataset.from_triples(
+            "split", triples, vocab, valid_fraction=0.1, test_fraction=0.1, rng=0
+        )
+        n = len(ds.all_triples())
+        assert len(ds.valid) <= 0.15 * n
+        assert len(ds.test) <= 0.15 * n
+        assert len(ds.train) >= 0.7 * n
+
+    def test_coverage_every_train_relation_present(self, tiny_kg):
+        train_relations = set(tiny_kg.train[:, 1].tolist())
+        all_relations = set(tiny_kg.all_triples()[:, 1].tolist())
+        assert train_relations == all_relations
+
+    def test_coverage_heldout_entities_seen_in_train(self, tiny_kg):
+        train_entities = set(tiny_kg.train[:, 0].tolist()) | set(
+            tiny_kg.train[:, 2].tolist()
+        )
+        for split in (tiny_kg.valid, tiny_kg.test):
+            for h, _, t in split.tolist():
+                assert h in train_entities
+                assert t in train_entities
+
+    def test_invalid_fractions_rejected(self):
+        vocab = Vocabulary.anonymous(4, 1)
+        with pytest.raises(ValueError, match="sum to < 1"):
+            KGDataset.from_triples(
+                "bad", np.array([(0, 0, 1)]), vocab,
+                valid_fraction=0.6, test_fraction=0.6,
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, tiny_kg):
+        tiny_kg.save(tmp_path / "kg")
+        loaded = KGDataset.load("tiny", tmp_path / "kg")
+        # TSV files only mention entities that occur in triples, so the
+        # reloaded vocabulary may be smaller; the triples must round-trip.
+        assert loaded.n_entities <= tiny_kg.n_entities
+        for split in ("train", "valid", "test"):
+            original = set(map(tuple, tiny_kg.vocab.decode(getattr(tiny_kg, split))))
+            restored = set(map(tuple, loaded.vocab.decode(getattr(loaded, split))))
+            assert original == restored

@@ -1,0 +1,69 @@
+"""Tests for the interpretable FB13-like typed KG."""
+
+import numpy as np
+import pytest
+
+from repro.data.fb13 import PROFESSIONS, fb13_like, type_consistency
+
+
+@pytest.fixture(scope="module")
+def fb13():
+    return fb13_like(n_persons=60, rng=0)
+
+
+class TestFB13Generation:
+    def test_relations_are_the_five_expected(self, fb13):
+        assert fb13.dataset.vocab.relations == (
+            "profession", "nationality", "gender", "works_at", "colleague_of",
+        )
+
+    def test_every_person_has_a_profession(self, fb13):
+        rel = fb13.dataset.vocab.relation_id("profession")
+        triples = fb13.dataset.all_triples()
+        heads_with_profession = set(triples[triples[:, 1] == rel][:, 0].tolist())
+        person_ids = {
+            fb13.dataset.vocab.entity_id(p) for p in fb13.person_labels
+        }
+        assert person_ids <= heads_with_profession
+
+    def test_profession_tails_are_professions(self, fb13):
+        rel = fb13.dataset.vocab.relation_id("profession")
+        triples = fb13.dataset.all_triples()
+        tails = triples[triples[:, 1] == rel][:, 2]
+        assert type_consistency(fb13, "profession", tails) == 1.0
+
+    def test_profession_of_matches_triples(self, fb13):
+        rel = fb13.dataset.vocab.relation_id("profession")
+        triples = fb13.dataset.all_triples()
+        for h, _, t in triples[triples[:, 1] == rel].tolist():
+            person = fb13.dataset.vocab.entity_label(h)
+            profession = fb13.dataset.vocab.entity_label(t)
+            assert fb13.profession_of[person] == profession
+
+    def test_colleagues_are_persons(self, fb13):
+        rel = fb13.dataset.vocab.relation_id("colleague_of")
+        triples = fb13.dataset.all_triples()
+        tails = triples[triples[:, 1] == rel][:, 2]
+        assert type_consistency(fb13, "colleague_of", tails) == 1.0
+
+    def test_professions_correlate_with_institutions(self, fb13):
+        """The dominant institutional profession should be over-represented."""
+        counts = {}
+        for profession in fb13.profession_of.values():
+            counts[profession] = counts.get(profession, 0) + 1
+        top = max(counts.values())
+        assert top > len(fb13.person_labels) / len(PROFESSIONS) * 1.5
+
+    def test_too_few_persons_rejected(self):
+        with pytest.raises(ValueError, match="n_persons"):
+            fb13_like(n_persons=2)
+
+
+class TestTypeConsistency:
+    def test_random_entities_score_below_one(self, fb13, rng):
+        random_ids = rng.integers(0, fb13.dataset.n_entities, size=30)
+        value = type_consistency(fb13, "profession", random_ids)
+        assert 0.0 <= value < 1.0
+
+    def test_empty_input_is_zero(self, fb13):
+        assert type_consistency(fb13, "profession", np.empty(0, dtype=np.int64)) == 0.0

@@ -1,0 +1,40 @@
+"""Tests for TSV triple IO."""
+
+import pytest
+
+from repro.data.io import (
+    load_label_triples,
+    load_triples_tsv,
+    save_label_triples,
+    save_triples_tsv,
+)
+from repro.data.triples import Vocabulary
+
+
+class TestLabelTriples:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "triples.txt"
+        triples = [("a", "r1", "b"), ("b", "r2", "c")]
+        assert save_label_triples(path, triples) == 2
+        assert load_label_triples(path) == triples
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "triples.txt"
+        path.write_text("a\tr\tb\n\n\nc\tr\td\n")
+        assert len(load_label_triples(path)) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a\tr\tb\na\tb\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            load_label_triples(path)
+
+
+class TestEncodedTriples:
+    def test_roundtrip_through_vocab(self, tmp_path):
+        vocab = Vocabulary(("a", "b", "c"), ("r1", "r2"))
+        triples = vocab.encode([("a", "r1", "b"), ("c", "r2", "a")])
+        path = tmp_path / "enc.txt"
+        assert save_triples_tsv(path, triples, vocab) == 2
+        loaded = load_triples_tsv(path, vocab)
+        assert (loaded == triples).all()

@@ -1,0 +1,82 @@
+"""Tests for corruption utilities and classification negatives."""
+
+import numpy as np
+import pytest
+
+from repro.data.negatives import (
+    classification_split,
+    corrupt_uniform,
+    false_negative_rate,
+)
+from repro.data.triples import HEAD, TAIL
+
+
+class TestCorruptUniform:
+    def test_exactly_one_side_changed(self, rng):
+        triples = np.array([(0, 0, 1)] * 200)
+        corrupted = corrupt_uniform(triples, 50, rng)
+        head_changed = corrupted[:, HEAD] != 0
+        tail_changed = corrupted[:, TAIL] != 1
+        # A replacement can coincide with the original id, so "changed or
+        # replaced-with-same" is not observable; but never both sides.
+        assert not np.any(head_changed & tail_changed)
+
+    def test_relation_never_changed(self, rng):
+        triples = np.array([(0, 2, 1)] * 100)
+        corrupted = corrupt_uniform(triples, 50, rng)
+        assert (corrupted[:, 1] == 2).all()
+
+    def test_head_probability_one_corrupts_heads_only(self, rng):
+        triples = np.array([(0, 0, 1)] * 100)
+        corrupted = corrupt_uniform(triples, 50, rng, head_probability=1.0)
+        assert (corrupted[:, TAIL] == 1).all()
+
+    def test_head_probability_zero_corrupts_tails_only(self, rng):
+        triples = np.array([(0, 0, 1)] * 100)
+        corrupted = corrupt_uniform(triples, 50, rng, head_probability=0.0)
+        assert (corrupted[:, HEAD] == 0).all()
+
+    def test_per_triple_probabilities(self, rng):
+        triples = np.array([(0, 0, 1), (2, 1, 3)] * 50)
+        probs = np.tile([1.0, 0.0], 50)
+        corrupted = corrupt_uniform(triples, 50, rng, head_probability=probs)
+        assert (corrupted[::2, TAIL] == 1).all()  # head-corrupted rows
+        assert (corrupted[1::2, HEAD] == 2).all()  # tail-corrupted rows
+
+    def test_empty_input(self, rng):
+        out = corrupt_uniform(np.empty((0, 3), dtype=np.int64), 10, rng)
+        assert out.shape == (0, 3)
+
+
+class TestClassificationSplit:
+    def test_labels_balanced_positives_first(self, tiny_kg, rng):
+        triples, labels = classification_split(tiny_kg, "test", rng)
+        n = len(tiny_kg.test)
+        assert len(triples) == 2 * n
+        assert (labels[:n] == 1).all()
+        assert (labels[n:] == -1).all()
+
+    def test_negatives_are_not_known_triples(self, tiny_kg, rng):
+        triples, labels = classification_split(tiny_kg, "test", rng)
+        negatives = triples[labels == -1]
+        assert false_negative_rate(negatives, tiny_kg) == 0.0
+
+    def test_positives_are_the_split(self, tiny_kg, rng):
+        triples, labels = classification_split(tiny_kg, "valid", rng)
+        np.testing.assert_array_equal(triples[labels == 1], tiny_kg.valid)
+
+    def test_bad_split_rejected(self, tiny_kg, rng):
+        with pytest.raises(ValueError, match="valid.*test"):
+            classification_split(tiny_kg, "train", rng)
+
+
+class TestFalseNegativeRate:
+    def test_known_triples_rate_one(self, tiny_kg):
+        assert false_negative_rate(tiny_kg.train[:20], tiny_kg) == 1.0
+
+    def test_empty_candidates_rate_zero(self, tiny_kg):
+        assert false_negative_rate(np.empty((0, 3), dtype=np.int64), tiny_kg) == 0.0
+
+    def test_uniform_corruptions_rarely_true(self, tiny_kg, rng):
+        corrupted = corrupt_uniform(tiny_kg.train, tiny_kg.n_entities, rng)
+        assert false_negative_rate(corrupted, tiny_kg) < 0.3

@@ -1,0 +1,74 @@
+"""Tests for relation cardinality statistics and Bernoulli probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.relations import (
+    RelationCategory,
+    RelationStats,
+    bernoulli_head_probabilities,
+    categorize_relations,
+    relation_cardinalities,
+)
+
+
+def _one_to_many() -> np.ndarray:
+    """Relation 0: each head maps to 3 tails (tph=3, hpt=1)."""
+    rows = []
+    for h in range(4):
+        for t in range(3):
+            rows.append((h, 0, 10 + 3 * h + t))
+    return np.asarray(rows)
+
+
+class TestRelationStats:
+    def test_tph_hpt_one_to_many(self):
+        tph, hpt = relation_cardinalities(_one_to_many(), 1)
+        assert tph[0] == pytest.approx(3.0)
+        assert hpt[0] == pytest.approx(1.0)
+
+    def test_many_to_one_is_transpose(self):
+        triples = _one_to_many()[:, [2, 1, 0]]  # swap head/tail
+        tph, hpt = relation_cardinalities(triples, 1)
+        assert tph[0] == pytest.approx(1.0)
+        assert hpt[0] == pytest.approx(3.0)
+
+    def test_unobserved_relation_neutral(self):
+        tph, hpt = relation_cardinalities(_one_to_many(), 3)
+        assert tph[2] == 1.0 and hpt[2] == 1.0
+
+    def test_bernoulli_prefers_head_for_one_to_many(self):
+        # tph=3, hpt=1 -> p(head) = 3/4: replacing the nearly unique head
+        # rarely creates a false negative.
+        probs = bernoulli_head_probabilities(_one_to_many(), 1)
+        assert probs[0] == pytest.approx(0.75)
+
+    def test_bernoulli_probabilities_in_unit_interval(self, tiny_kg):
+        probs = bernoulli_head_probabilities(tiny_kg.train, tiny_kg.n_relations)
+        assert np.all(probs > 0) and np.all(probs < 1)
+
+
+class TestCategorize:
+    def test_one_to_many_category(self):
+        assert categorize_relations(_one_to_many(), 1) == [
+            RelationCategory.ONE_TO_MANY
+        ]
+
+    def test_one_to_one_category(self):
+        triples = np.asarray([(i, 0, 10 + i) for i in range(5)])
+        assert categorize_relations(triples, 1) == [RelationCategory.ONE_TO_ONE]
+
+    def test_many_to_many_category(self):
+        rows = [(h, 0, 10 + t) for h in range(4) for t in range(4)]
+        assert categorize_relations(np.asarray(rows), 1) == [
+            RelationCategory.MANY_TO_MANY
+        ]
+
+    def test_threshold_controls_boundary(self):
+        triples = _one_to_many()  # tph = 3
+        high = RelationStats(triples, 1).categories(threshold=4.0)
+        assert high == [RelationCategory.ONE_TO_ONE]
+
+    def test_category_values_are_paper_strings(self):
+        assert RelationCategory.ONE_TO_MANY.value == "1-N"
+        assert RelationCategory.MANY_TO_ONE.value == "N-1"

@@ -1,0 +1,210 @@
+"""Tests for the synthetic KG generator and its planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.relations import RelationCategory, categorize_relations
+from repro.data.synthetic import (
+    RelationTransform,
+    SyntheticKGConfig,
+    generate_kg,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticKGConfig()
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="category_mix"):
+            SyntheticKGConfig(category_mix=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="inverse_fraction"):
+            SyntheticKGConfig(inverse_fraction=1.5)
+
+    def test_nonpositive_entities_rejected(self):
+        with pytest.raises(ValueError, match="n_entities"):
+            SyntheticKGConfig(n_entities=0)
+
+
+class TestRelationTransform:
+    def test_translation_apply_invert_roundtrip(self, rng):
+        v = rng.normal(size=6)
+        tr = RelationTransform("translation", v)
+        z = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(tr.invert(tr.apply(z)), z)
+
+    def test_diagonal_is_involution(self, rng):
+        s = rng.choice([-1.0, 1.0], size=6)
+        tr = RelationTransform("diagonal", s)
+        z = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(tr.apply(tr.apply(z)), z)
+
+    def test_inverse_transform_undoes_forward(self, rng):
+        v = rng.normal(size=6)
+        tr = RelationTransform("translation", v)
+        z = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(tr.inverse().apply(tr.apply(z)), z)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown transform"):
+            RelationTransform("rotation", np.zeros(3))
+
+
+class TestGeneration:
+    def test_determinism(self):
+        config = SyntheticKGConfig(n_entities=60, n_relations=4, triples_per_relation=40)
+        a = generate_kg(config, rng=3).dataset
+        b = generate_kg(config, rng=3).dataset
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.test, b.test)
+
+    def test_different_seeds_differ(self):
+        config = SyntheticKGConfig(n_entities=60, n_relations=4, triples_per_relation=40)
+        a = generate_kg(config, rng=3).dataset
+        b = generate_kg(config, rng=4).dataset
+        assert not np.array_equal(a.train, b.train)
+
+    def test_every_relation_observed(self, tiny_kg):
+        observed = set(tiny_kg.all_triples()[:, 1].tolist())
+        assert observed == set(range(tiny_kg.n_relations))
+
+    def test_no_duplicate_triples(self, tiny_kg):
+        triples = tiny_kg.all_triples()
+        assert len(np.unique(triples, axis=0)) == len(triples)
+
+    def test_no_self_loop_majority(self, tiny_kg):
+        # The generator excludes self-loops at source; splits can't add any.
+        triples = tiny_kg.all_triples()
+        assert np.mean(triples[:, 0] == triples[:, 2]) < 0.01
+
+    def test_latents_unit_norm(self):
+        kg = generate_kg(SyntheticKGConfig(n_entities=50, n_relations=3), rng=0)
+        norms = np.linalg.norm(kg.truth.entity_latents, axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_truth_covers_all_relations(self):
+        config = SyntheticKGConfig(
+            n_entities=80, n_relations=6, inverse_fraction=0.5
+        )
+        kg = generate_kg(config, rng=0)
+        n_total = kg.dataset.n_relations
+        assert len(kg.truth.relation_transforms) == n_total
+        assert len(kg.truth.relation_categories) == n_total
+        assert len(kg.truth.relation_ranges) == n_total
+
+    def test_diagonal_fraction_produces_diagonal_transforms(self):
+        config = SyntheticKGConfig(
+            n_entities=80, n_relations=10, diagonal_fraction=0.5
+        )
+        kg = generate_kg(config, rng=0)
+        kinds = [t.kind for t in kg.truth.relation_transforms]
+        assert kinds.count("diagonal") == 5
+
+
+class TestInverseDuplicates:
+    def test_inverse_relations_created(self):
+        config = SyntheticKGConfig(
+            n_entities=80, n_relations=6, inverse_fraction=0.5, triples_per_relation=50
+        )
+        kg = generate_kg(config, rng=0)
+        assert kg.dataset.n_relations == 9  # 6 base + 3 inverses
+        assert len(kg.truth.inverse_of) == 3
+
+    def test_inverse_triples_are_reversed_base_triples(self):
+        config = SyntheticKGConfig(
+            n_entities=80, n_relations=4, inverse_fraction=0.5, triples_per_relation=50
+        )
+        kg = generate_kg(config, rng=0)
+        triples = kg.dataset.all_triples()
+        key_set = set(map(tuple, triples.tolist()))
+        for r_inv, base in kg.truth.inverse_of.items():
+            inv_triples = triples[triples[:, 1] == r_inv]
+            assert len(inv_triples) > 0
+            for h, _, t in inv_triples.tolist():
+                assert (t, base, h) in key_set
+
+    def test_zero_fraction_gives_no_inverses(self, tiny_kg):
+        # tiny_kg is generated with inverse_fraction=0.
+        assert tiny_kg.n_relations == 6
+
+
+class TestPlantedStructure:
+    def test_category_mix_visible_in_data(self):
+        """A generator asked for only 1-N relations must show tph >> hpt.
+
+        Nearest-neighbour tail selection clusters tails across heads, so the
+        raw hpt exceeds 1 (as in real KGs); the planted directionality must
+        still dominate.
+        """
+        from repro.data.relations import relation_cardinalities
+
+        config = SyntheticKGConfig(
+            n_entities=150,
+            n_relations=5,
+            triples_per_relation=100,
+            category_mix=(0.0, 1.0, 0.0, 0.0),
+            range_fraction=0.8,
+        )
+        kg = generate_kg(config, rng=0)
+        tph, hpt = relation_cardinalities(
+            kg.dataset.all_triples(), kg.dataset.n_relations
+        )
+        assert np.all(tph > 1.5 * hpt)
+
+    def test_mirrored_mix_flips_cardinality_skew(self):
+        """N-1-only generation must show the opposite skew of 1-N-only."""
+        from repro.data.relations import relation_cardinalities
+
+        config = SyntheticKGConfig(
+            n_entities=150,
+            n_relations=5,
+            triples_per_relation=100,
+            category_mix=(0.0, 0.0, 1.0, 0.0),
+            range_fraction=0.8,
+        )
+        kg = generate_kg(config, rng=0)
+        tph, hpt = relation_cardinalities(
+            kg.dataset.all_triples(), kg.dataset.n_relations
+        )
+        assert np.all(hpt > 1.5 * tph)
+
+    def test_tails_lie_in_relation_range_for_forward_relations(self):
+        """For 1-1/1-N relations the generator draws tails from the range."""
+        config = SyntheticKGConfig(
+            n_entities=100,
+            n_relations=4,
+            range_fraction=0.3,
+            category_mix=(0.5, 0.5, 0.0, 0.0),
+        )
+        kg = generate_kg(config, rng=0)
+        triples = kg.dataset.all_triples()
+        for r in range(4):
+            tails = set(triples[triples[:, 1] == r][:, 2].tolist())
+            rel_range = set(kg.truth.relation_ranges[r].tolist())
+            assert tails <= rel_range
+
+    def test_heads_lie_in_relation_range_for_backward_relations(self):
+        """For N-1 relations the generator draws heads from the range."""
+        config = SyntheticKGConfig(
+            n_entities=100,
+            n_relations=4,
+            range_fraction=0.3,
+            category_mix=(0.0, 0.0, 1.0, 0.0),
+        )
+        kg = generate_kg(config, rng=0)
+        triples = kg.dataset.all_triples()
+        for r in range(4):
+            heads = set(triples[triples[:, 1] == r][:, 0].tolist())
+            rel_range = set(kg.truth.relation_ranges[r].tolist())
+            assert heads <= rel_range
+
+    def test_degree_distribution_is_skewed(self):
+        config = SyntheticKGConfig(
+            n_entities=200, n_relations=8, popularity_exponent=1.0
+        )
+        kg = generate_kg(config, rng=0)
+        degrees = np.sort(kg.dataset.degrees())[::-1]
+        top_share = degrees[:20].sum() / max(degrees.sum(), 1)
+        assert top_share > 0.2  # top-10% of entities carry >20% of degree

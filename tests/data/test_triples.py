@@ -1,0 +1,119 @@
+"""Tests for triple arrays and vocabularies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.triples import (
+    Vocabulary,
+    as_triple_array,
+    entity_degrees,
+    relation_counts,
+    triple_key_set,
+    unique_triples,
+)
+
+
+class TestVocabulary:
+    def test_roundtrip_encode_decode(self):
+        vocab = Vocabulary(("a", "b", "c"), ("r1", "r2"))
+        labelled = [("a", "r1", "b"), ("c", "r2", "a")]
+        decoded = vocab.decode(vocab.encode(labelled))
+        assert decoded == labelled
+
+    def test_sizes(self):
+        vocab = Vocabulary(("a", "b"), ("r",))
+        assert vocab.n_entities == 2
+        assert vocab.n_relations == 1
+
+    def test_lookup_both_directions(self):
+        vocab = Vocabulary(("x", "y"), ("rel",))
+        assert vocab.entity_id("y") == 1
+        assert vocab.entity_label(1) == "y"
+        assert vocab.relation_id("rel") == 0
+        assert vocab.relation_label(0) == "rel"
+
+    def test_unknown_label_raises(self):
+        vocab = Vocabulary(("x",), ("r",))
+        with pytest.raises(KeyError):
+            vocab.entity_id("missing")
+
+    def test_duplicate_entities_rejected(self):
+        with pytest.raises(ValueError, match="duplicate entity"):
+            Vocabulary(("a", "a"), ("r",))
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(ValueError, match="duplicate relation"):
+            Vocabulary(("a", "b"), ("r", "r"))
+
+    def test_from_triples_covers_all_labels(self):
+        vocab = Vocabulary.from_triples([("b", "r2", "a"), ("a", "r1", "c")])
+        assert vocab.entities == ("a", "b", "c")
+        assert vocab.relations == ("r1", "r2")
+
+    def test_from_triples_deterministic_order(self):
+        t1 = [("b", "r", "a"), ("c", "s", "a")]
+        t2 = list(reversed(t1))
+        assert Vocabulary.from_triples(t1) == Vocabulary.from_triples(t2)
+
+    def test_anonymous_labels_are_sortable_and_unique(self):
+        vocab = Vocabulary.anonymous(12, 3)
+        assert len(set(vocab.entities)) == 12
+        assert vocab.entities == tuple(sorted(vocab.entities))
+
+
+class TestAsTripleArray:
+    def test_list_of_tuples(self):
+        array = as_triple_array([(0, 1, 2), (3, 4, 5)])
+        assert array.shape == (2, 3)
+        assert array.dtype == np.int64
+
+    def test_empty_input_gives_0x3(self):
+        assert as_triple_array([]).shape == (0, 3)
+
+    def test_single_triple_promoted(self):
+        assert as_triple_array((1, 2, 3)).shape == (1, 3)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match=r"\[n, 3\]"):
+            as_triple_array([[1, 2], [3, 4]])
+
+
+class TestUniqueAndKeySet:
+    def test_unique_removes_duplicates(self):
+        triples = [(0, 0, 1), (0, 0, 1), (1, 0, 2)]
+        assert len(unique_triples(triples)) == 2
+
+    def test_key_set_membership(self):
+        keys = triple_key_set([(0, 1, 2), (3, 4, 5)])
+        assert (0, 1, 2) in keys
+        assert (5, 4, 3) not in keys
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 2), st.integers(0, 5)
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unique_matches_set_semantics(self, triples):
+        assert len(unique_triples(triples)) == len(set(triples))
+
+
+class TestDegreeCounts:
+    def test_entity_degrees(self):
+        triples = [(0, 0, 1), (0, 1, 2), (2, 0, 0)]
+        degrees = entity_degrees(triples, 4)
+        # entity 0: head twice, tail once -> 3
+        np.testing.assert_array_equal(degrees, [3, 1, 2, 0])
+
+    def test_relation_counts(self):
+        triples = [(0, 0, 1), (0, 1, 2), (2, 0, 0)]
+        np.testing.assert_array_equal(relation_counts(triples, 3), [2, 1, 0])
+
+    def test_degree_sum_is_twice_triple_count(self):
+        triples = [(0, 0, 1), (1, 0, 2), (2, 1, 3)]
+        assert entity_degrees(triples, 5).sum() == 2 * len(triples)

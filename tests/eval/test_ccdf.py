@@ -1,0 +1,71 @@
+"""Tests for the Figure 1 score-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ccdf import ccdf, negative_distances, skewness
+from repro.models import make_model
+
+
+class TestCCDF:
+    def test_monotone_nonincreasing(self, rng):
+        values = rng.normal(size=500)
+        xs, probs = ccdf(values)
+        assert np.all(np.diff(probs) <= 1e-12)
+
+    def test_boundary_values(self, rng):
+        values = rng.normal(size=100)
+        xs, probs = ccdf(values, xs=np.array([values.min() - 1, values.max() + 1]))
+        assert probs[0] == 1.0
+        assert probs[1] == 0.0
+
+    def test_known_distribution(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        _, probs = ccdf(values, xs=np.array([2.5]))
+        assert probs[0] == pytest.approx(0.5)  # 3 and 4 are >= 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ccdf(np.empty(0))
+
+
+class TestNegativeDistances:
+    def test_length_excludes_self_and_true(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        triple = tiny_kg.test[0]
+        h, r, t = (int(x) for x in triple)
+        distances = negative_distances(model, tiny_kg, triple, side="tail")
+        n_true = len(tiny_kg.true_tails(h, r))
+        expected = tiny_kg.n_entities - n_true - (0 if t in tiny_kg.true_tails(h, r) else 1)
+        assert len(distances) == expected
+
+    def test_keep_true_when_not_excluding(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        triple = tiny_kg.test[0]
+        with_true = negative_distances(
+            model, tiny_kg, triple, side="tail", exclude_true=False
+        )
+        without = negative_distances(model, tiny_kg, triple, side="tail")
+        assert len(with_true) >= len(without)
+
+    def test_head_side_supported(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        distances = negative_distances(model, tiny_kg, tiny_kg.test[0], side="head")
+        assert len(distances) > 0
+
+    def test_invalid_side_rejected(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        with pytest.raises(ValueError, match="side"):
+            negative_distances(model, tiny_kg, tiny_kg.test[0], side="middle")
+
+
+class TestSkewness:
+    def test_symmetric_distribution_near_zero(self, rng):
+        assert abs(skewness(rng.normal(size=20000))) < 0.1
+
+    def test_right_skewed_positive(self, rng):
+        assert skewness(rng.exponential(size=20000)) > 1.0
+
+    def test_degenerate_inputs(self):
+        assert skewness(np.array([1.0])) == 0.0
+        assert skewness(np.array([2.0, 2.0, 2.0])) == 0.0

@@ -1,0 +1,64 @@
+"""Tests for triplet classification with relation thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.eval.classification import (
+    _best_threshold,
+    fit_relation_thresholds,
+    triplet_classification,
+)
+from repro.models import make_model
+
+
+class TestBestThreshold:
+    def test_perfectly_separable(self):
+        scores = np.array([1.0, 2.0, 10.0, 11.0])
+        labels = np.array([-1, -1, 1, 1])
+        threshold = _best_threshold(scores, labels)
+        assert 2.0 < threshold < 10.0
+
+    def test_inseparable_prefers_majority(self):
+        scores = np.array([1.0, 1.0, 1.0])
+        labels = np.array([1, 1, -1])
+        threshold = _best_threshold(scores, labels)
+        predictions = np.where(scores >= threshold, 1, -1)
+        assert np.mean(predictions == labels) >= 2 / 3
+
+    def test_all_positive(self):
+        scores = np.array([1.0, 2.0])
+        labels = np.array([1, 1])
+        threshold = _best_threshold(scores, labels)
+        assert np.all(scores >= threshold)
+
+
+class TestFitRelationThresholds:
+    def test_per_relation_and_global(self):
+        scores = np.array([0.0, 1.0, 10.0, 11.0])
+        labels = np.array([-1, 1, -1, 1])
+        relations = np.array([0, 0, 1, 1])
+        thresholds, global_threshold = fit_relation_thresholds(scores, labels, relations)
+        assert set(thresholds) == {0, 1}
+        assert 0.0 < thresholds[0] <= 1.0
+        assert 10.0 < thresholds[1] <= 11.0
+        assert np.isfinite(global_threshold)
+
+
+class TestTripletClassification:
+    def test_untrained_model_near_chance(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        result = triplet_classification(model, tiny_kg, rng=0)
+        assert 0.3 <= result.accuracy <= 0.8
+        assert result.n_test == 2 * len(tiny_kg.test)
+
+    def test_result_exposes_thresholds(self, tiny_kg):
+        model = make_model("DistMult", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        result = triplet_classification(model, tiny_kg, rng=0)
+        assert len(result.thresholds) >= 1
+        assert np.isfinite(result.global_threshold)
+
+    def test_deterministic_given_seed(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        a = triplet_classification(model, tiny_kg, rng=7)
+        b = triplet_classification(model, tiny_kg, rng=7)
+        assert a.accuracy == b.accuracy

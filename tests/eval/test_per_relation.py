@@ -1,0 +1,54 @@
+"""Tests for the per-relation-category evaluation breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.data.relations import RelationCategory
+from repro.eval.per_relation import per_category_link_prediction
+from repro.eval.ranking import link_prediction
+from repro.models import make_model
+
+
+class TestPerCategoryBreakdown:
+    def test_counts_cover_the_split(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        breakdown = per_category_link_prediction(model, tiny_kg, "test")
+        assert sum(breakdown.counts.values()) == len(tiny_kg.test)
+
+    def test_hits_are_probabilities(self, tiny_kg):
+        model = make_model("DistMult", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        breakdown = per_category_link_prediction(model, tiny_kg, "test")
+        for cell in breakdown.table.values():
+            assert 0.0 <= cell["head"] <= 1.0
+            assert 0.0 <= cell["tail"] <= 1.0
+
+    def test_weighted_average_matches_overall_hits(self, tiny_kg):
+        """The category cells must aggregate back to the global Hits@10."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        breakdown = per_category_link_prediction(model, tiny_kg, "test", k=10)
+        overall = link_prediction(model, tiny_kg, "test", hits_at=(10,))
+        total = sum(breakdown.counts.values())
+        weighted = sum(
+            breakdown.counts[key]
+            * (breakdown.table[key]["head"] + breakdown.table[key]["tail"])
+            / 2.0
+            for key in breakdown.table
+        ) / total
+        assert weighted == pytest.approx(overall.hits(10), abs=1e-9)
+
+    def test_missing_category_gives_nan(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        breakdown = per_category_link_prediction(model, tiny_kg, "test")
+        missing = [
+            c for c in RelationCategory if c.value not in breakdown.table
+        ]
+        for category in missing:
+            assert np.isnan(breakdown.hits(category, "head"))
+
+    def test_rows_are_report_ready(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        rows = per_category_link_prediction(model, tiny_kg, "test").rows()
+        assert rows
+        for category, count, head, tail in rows:
+            assert isinstance(category, str)
+            assert count > 0

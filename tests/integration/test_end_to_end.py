@@ -1,0 +1,138 @@
+"""Integration tests: the paper's qualitative claims at miniature scale.
+
+These are the reproduction's heart: each test checks a *shape* from the
+paper (DESIGN.md §5) end to end — training, sampling, caching, evaluation —
+on datasets small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliSampler,
+    NSCachingSampler,
+    TrainConfig,
+    Trainer,
+    evaluate,
+    make_model,
+    make_sampler,
+)
+from repro.eval.ccdf import negative_distances, skewness
+from repro.models import PAPER_MODELS
+
+
+def _train(tiny_kg, model_name, sampler, epochs=12, seed=0, **cfg):
+    model = make_model(
+        model_name, tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=seed
+    )
+    defaults = {"learning_rate": 0.05, "batch_size": 64, "seed": seed}
+    defaults.update(cfg)
+    trainer = Trainer(model, tiny_kg, sampler, TrainConfig(epochs=epochs, **defaults))
+    history = trainer.run()
+    return model, history
+
+
+class TestLearning:
+    def test_training_beats_untrained_baseline(self, tiny_kg):
+        untrained = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=0)
+        base = evaluate(untrained, tiny_kg, "test")
+        model, _ = _train(tiny_kg, "TransE", BernoulliSampler(), epochs=20)
+        trained = evaluate(model, tiny_kg, "test")
+        assert trained["mrr"] > base["mrr"] * 1.5
+
+    @pytest.mark.parametrize("model_name", PAPER_MODELS)
+    def test_all_paper_models_train_with_nscaching(self, tiny_kg, model_name):
+        sampler = NSCachingSampler(cache_size=5, candidate_size=5)
+        model, history = _train(tiny_kg, model_name, sampler, epochs=3)
+        assert np.isfinite(history.last("loss"))
+        metrics = evaluate(model, tiny_kg, "test")
+        assert 0.0 <= metrics["mrr"] <= 1.0
+
+    @pytest.mark.parametrize(
+        "sampler_name", ["Uniform", "Bernoulli", "KBGAN", "IGAN", "NSCaching", "SelfAdv"]
+    )
+    def test_all_samplers_complete_training(self, tiny_kg, sampler_name):
+        sampler = make_sampler(sampler_name)
+        model, history = _train(tiny_kg, "TransE", sampler, epochs=2)
+        assert np.isfinite(history.last("loss"))
+
+
+class TestPaperShapes:
+    def test_nscaching_sustains_higher_nzl_than_bernoulli(self, tiny_kg):
+        """Figure 7(b): Bernoulli's non-zero-loss ratio collapses, NSCaching's doesn't."""
+        _, bern_history = _train(tiny_kg, "TransE", BernoulliSampler(), epochs=15)
+        _, cache_history = _train(
+            tiny_kg, "TransE", NSCachingSampler(cache_size=8, candidate_size=8),
+            epochs=15,
+        )
+        assert cache_history.last("nzl") > bern_history.last("nzl")
+
+    def test_nscaching_sustains_larger_gradients(self, tiny_kg):
+        """Figure 10: NSCaching's late-training gradient norms exceed Bernoulli's."""
+        _, bern_history = _train(tiny_kg, "TransE", BernoulliSampler(), epochs=15)
+        _, cache_history = _train(
+            tiny_kg, "TransE", NSCachingSampler(cache_size=8, candidate_size=8),
+            epochs=15,
+        )
+        assert cache_history.last("grad_norm") > bern_history.last("grad_norm")
+
+    def test_negative_score_distribution_right_tail_is_thin(self, tiny_kg):
+        """Figure 1 / §III-A: few negatives have large scores after training."""
+        model, _ = _train(tiny_kg, "TransE", BernoulliSampler(), epochs=15)
+        distances = negative_distances(model, tiny_kg, tiny_kg.test[0], side="tail")
+        # CCDF at distance 0 (negatives scoring above the positive) is small.
+        share_above_positive = np.mean(distances >= 0)
+        assert share_above_positive < 0.5
+        # And the distribution is not left-skewed (long right tail or none).
+        assert skewness(distances) > -1.0
+
+    def test_cached_negatives_score_above_uniform_average(self, tiny_kg):
+        """The cache holds hard negatives (the §III-B design goal)."""
+        sampler = NSCachingSampler(cache_size=8, candidate_size=8)
+        model, _ = _train(tiny_kg, "TransE", sampler, epochs=10)
+        batch = tiny_kg.train[:32]
+        cached_negatives = sampler.sample(batch)
+        cached_scores = model.score_triples(cached_negatives).mean()
+        rng = np.random.default_rng(0)
+        uniform_negatives = batch.copy()
+        uniform_negatives[:, 2] = rng.integers(0, tiny_kg.n_entities, len(batch))
+        uniform_scores = model.score_triples(uniform_negatives).mean()
+        assert cached_scores > uniform_scores
+
+    def test_repeat_ratio_ordering(self, tiny_kg):
+        """Figure 7(a): Bernoulli explores most; top sampling repeats most."""
+        def run(sampler):
+            model = make_model(
+                "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=0
+            )
+            trainer = Trainer(
+                model, tiny_kg, sampler,
+                TrainConfig(epochs=8, batch_size=64, learning_rate=0.05,
+                            track_negatives=True),
+            )
+            return trainer.run().last("repeat_ratio")
+
+        rr_bernoulli = run(BernoulliSampler())
+        rr_uniform_cache = run(NSCachingSampler(cache_size=8, candidate_size=8))
+        rr_top_cache = run(
+            NSCachingSampler(cache_size=8, candidate_size=8, sample_strategy="top")
+        )
+        assert rr_bernoulli < rr_uniform_cache < rr_top_cache
+
+    def test_inverse_leakage_boosts_metrics(self, tiny_kg, leaky_kg):
+        """WN18-vs-WN18RR: inverse duplicates make link prediction easier."""
+        def mrr_on(dataset):
+            model, _ = _train(dataset, "TransE", BernoulliSampler(), epochs=20)
+            return evaluate(model, dataset, "test")["mrr"]
+
+        assert mrr_on(leaky_kg) > mrr_on(tiny_kg)
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, tiny_kg):
+        def run():
+            sampler = NSCachingSampler(cache_size=5, candidate_size=5)
+            model, _ = _train(tiny_kg, "TransE", sampler, epochs=3, seed=11)
+            return evaluate(model, tiny_kg, "test")["mrr"]
+
+        assert run() == run()

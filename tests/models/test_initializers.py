@@ -1,0 +1,52 @@
+"""Tests for embedding initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.models.initializers import (
+    normalize_rows,
+    uniform_ball,
+    xavier_normal,
+    xavier_uniform,
+)
+
+
+class TestXavier:
+    def test_uniform_bound(self):
+        d = 16
+        array = xavier_uniform((100, d), rng=0)
+        bound = np.sqrt(6.0 / (2 * d))
+        assert np.all(np.abs(array) <= bound)
+
+    def test_uniform_deterministic(self):
+        np.testing.assert_array_equal(
+            xavier_uniform((5, 4), rng=1), xavier_uniform((5, 4), rng=1)
+        )
+
+    def test_normal_std_close_to_target(self):
+        d = 32
+        array = xavier_normal((2000, d), rng=0)
+        assert array.std() == pytest.approx(np.sqrt(1.0 / d), rel=0.1)
+
+
+class TestNormalizeRows:
+    def test_large_rows_projected(self):
+        array = np.array([[3.0, 4.0], [0.1, 0.0]])
+        out = normalize_rows(array)
+        assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+        np.testing.assert_allclose(out[1], [0.1, 0.0])  # inside ball untouched
+
+    def test_custom_max_norm(self):
+        array = np.array([[3.0, 4.0]])
+        out = normalize_rows(array, max_norm=2.0)
+        assert np.linalg.norm(out[0]) == pytest.approx(2.0)
+
+    def test_zero_row_survives(self):
+        out = normalize_rows(np.zeros((1, 4)))
+        np.testing.assert_array_equal(out, np.zeros((1, 4)))
+
+
+class TestUniformBall:
+    def test_all_rows_inside_unit_ball(self):
+        array = uniform_ball((50, 6), rng=0)
+        assert np.all(np.linalg.norm(array, axis=1) <= 1.0 + 1e-12)

@@ -1,0 +1,115 @@
+"""Tests for the margin and logistic losses (Eq. 1 / Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.losses import LogisticLoss, MarginRankingLoss, sigmoid, softplus
+
+floats = st.floats(min_value=-30, max_value=30, allow_nan=False)
+
+
+class TestSigmoidSoftplus:
+    def test_sigmoid_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_extremes_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softplus_large_input_linear(self):
+        assert softplus(np.array([500.0]))[0] == pytest.approx(500.0)
+
+    def test_softplus_matches_reference(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(softplus(x), np.log1p(np.exp(x)))
+
+    @given(x=floats)
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_is_softplus_derivative(self, x):
+        eps = 1e-5
+        arr = np.array([x])
+        numeric = (softplus(arr + eps) - softplus(arr - eps)) / (2 * eps)
+        assert sigmoid(arr)[0] == pytest.approx(numeric[0], abs=1e-4)
+
+
+class TestMarginRankingLoss:
+    def test_zero_when_margin_satisfied(self):
+        loss = MarginRankingLoss(gamma=1.0)
+        values = loss.value(np.array([5.0]), np.array([1.0]))
+        assert values[0] == 0.0
+
+    def test_active_value(self):
+        loss = MarginRankingLoss(gamma=2.0)
+        # gamma - pos + neg = 2 - 1 + 0.5 = 1.5
+        assert loss.value(np.array([1.0]), np.array([0.5]))[0] == pytest.approx(1.5)
+
+    def test_grads_zero_when_inactive(self):
+        loss = MarginRankingLoss(gamma=1.0)
+        dpos, dneg = loss.score_grads(np.array([10.0]), np.array([0.0]))
+        assert dpos[0] == 0.0 and dneg[0] == 0.0
+
+    def test_grads_signs_when_active(self):
+        loss = MarginRankingLoss(gamma=2.0)
+        dpos, dneg = loss.score_grads(np.array([0.0]), np.array([0.0]))
+        assert dpos[0] == -1.0  # increase positive score
+        assert dneg[0] == 1.0  # decrease negative score
+
+    def test_nonzero_ratio_counts_active_pairs(self):
+        loss = MarginRankingLoss(gamma=1.0)
+        pos = np.array([10.0, 0.0, 0.0, 10.0])
+        neg = np.array([0.0, 0.0, 0.0, 0.0])
+        assert loss.nonzero_ratio(pos, neg) == pytest.approx(0.5)
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError, match="gamma"):
+            MarginRankingLoss(gamma=0.0)
+
+    @given(pos=floats, neg=floats)
+    @settings(max_examples=50, deadline=None)
+    def test_grad_matches_finite_difference(self, pos, neg):
+        loss = MarginRankingLoss(gamma=1.0)
+        eps = 1e-6
+        if abs(1.0 - pos + neg) < 1e-4:
+            return  # skip the kink
+        dpos, dneg = loss.score_grads(np.array([pos]), np.array([neg]))
+        num_dpos = (
+            loss.value(np.array([pos + eps]), np.array([neg]))[0]
+            - loss.value(np.array([pos - eps]), np.array([neg]))[0]
+        ) / (2 * eps)
+        assert dpos[0] == pytest.approx(num_dpos, abs=1e-5)
+
+
+class TestLogisticLoss:
+    def test_value_paper_formula(self):
+        """l(+1, f+) + l(-1, f-) with l(a, b) = log(1 + exp(-a b))."""
+        loss = LogisticLoss()
+        pos, neg = np.array([1.3]), np.array([-0.7])
+        expected = np.log1p(np.exp(-pos)) + np.log1p(np.exp(neg))
+        np.testing.assert_allclose(loss.value(pos, neg), expected)
+
+    def test_gradient_signs(self):
+        loss = LogisticLoss()
+        dpos, dneg = loss.score_grads(np.array([0.0]), np.array([0.0]))
+        assert dpos[0] < 0  # push positive score up
+        assert dneg[0] > 0  # push negative score down
+
+    @given(pos=floats, neg=floats)
+    @settings(max_examples=50, deadline=None)
+    def test_grad_matches_finite_difference(self, pos, neg):
+        loss = LogisticLoss()
+        eps = 1e-5
+        dpos, dneg = loss.score_grads(np.array([pos]), np.array([neg]))
+        num_dneg = (
+            loss.value(np.array([pos]), np.array([neg + eps]))[0]
+            - loss.value(np.array([pos]), np.array([neg - eps]))[0]
+        ) / (2 * eps)
+        assert dneg[0] == pytest.approx(num_dneg, abs=1e-4)
+
+    def test_nonzero_ratio_saturates_for_easy_pairs(self):
+        loss = LogisticLoss()
+        pos = np.array([30.0] * 4)
+        neg = np.array([-30.0] * 4)
+        assert loss.nonzero_ratio(pos, neg) == 0.0

@@ -1,0 +1,223 @@
+"""Model-specific semantic properties from the paper's Table III discussion."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ComplEx,
+    DistMult,
+    HolE,
+    SimplE,
+    TransD,
+    TransE,
+    TransH,
+    TransR,
+    make_model,
+)
+
+E, R, D = 10, 3, 8
+
+
+class TestTransE:
+    def test_perfect_translation_scores_zero_distance(self):
+        model = TransE(E, R, D, rng=0)
+        model.params["entity"][0] = np.ones(D) / np.sqrt(D)
+        model.params["relation"][0] = np.full(D, 0.1)
+        model.params["entity"][1] = model.params["entity"][0] + 0.1
+        score = model.score(np.array([0]), np.array([0]), np.array([1]))[0]
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_score_decreases_with_distance(self):
+        model = TransE(E, R, D, rng=0)
+        model.params["relation"][0] = 0.0
+        model.params["entity"][0] = 0.0
+        model.params["entity"][1] = 0.0
+        model.params["entity"][2] = np.full(D, 1.0)
+        near = model.score(np.array([0]), np.array([0]), np.array([1]))[0]
+        far = model.score(np.array([0]), np.array([0]), np.array([2]))[0]
+        assert near > far
+
+    def test_normalize_puts_entities_on_unit_sphere(self):
+        model = TransE(E, R, D, rng=0)
+        model.params["entity"] *= 5.0
+        model.normalize()
+        norms = np.linalg.norm(model.params["entity"], axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_normalize_touched_rows_only(self):
+        model = TransE(E, R, D, rng=0)
+        model.params["entity"][...] = 3.0
+        model.normalize(np.array([0, 1]))
+        norms = np.linalg.norm(model.params["entity"], axis=1)
+        assert norms[0] == pytest.approx(1.0)
+        assert norms[5] > 1.0
+
+    def test_l2_variant_supported(self):
+        model = TransE(E, R, D, rng=0, p=2)
+        assert np.isfinite(
+            model.score(np.array([0]), np.array([0]), np.array([1]))
+        ).all()
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError, match="p must be 1 or 2"):
+            TransE(E, R, D, rng=0, p=3)
+
+
+class TestTransH:
+    def test_normal_vectors_unit_norm_after_normalize(self):
+        model = TransH(E, R, D, rng=0)
+        model.params["normal"] *= 7.0
+        model.normalize()
+        norms = np.linalg.norm(model.params["normal"], axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_projection_removes_normal_component(self):
+        model = TransH(E, R, D, rng=0)
+        w = model.params["normal"][0]
+        e, u, _ = model._residual(np.array([0]), np.array([0]), np.array([1]))
+        # e - d_r should be orthogonal to w.
+        residual = e[0] - model.params["relation"][0]
+        assert abs(np.dot(residual, w)) < 1e-9
+
+
+class TestTransD:
+    def test_reduces_to_transe_when_projections_zero(self):
+        model = TransD(E, R, D, rng=0)
+        model.params["entity_proj"][...] = 0.0
+        model.params["relation_proj"][...] = 0.0
+        reference = TransE(E, R, D, rng=0)
+        reference.params["entity"][...] = model.params["entity"]
+        reference.params["relation"][...] = model.params["relation"]
+        h = np.arange(5) % E
+        r = np.arange(5) % R
+        t = (np.arange(5) + 3) % E
+        np.testing.assert_allclose(
+            model.score(h, r, t), reference.score(h, r, t), atol=1e-12
+        )
+
+
+class TestTransR:
+    def test_identity_projection_reduces_to_transe(self):
+        model = TransR(E, R, D, rng=0)
+        eye = np.zeros((D, D))
+        np.fill_diagonal(eye, 1.0)
+        model.params["projection"][...] = eye
+        reference = TransE(E, R, D, rng=0)
+        reference.params["entity"][...] = model.params["entity"]
+        reference.params["relation"][...] = model.params["relation"]
+        h = np.arange(4) % E
+        r = np.arange(4) % R
+        t = (np.arange(4) + 2) % E
+        np.testing.assert_allclose(
+            model.score(h, r, t), reference.score(h, r, t), atol=1e-12
+        )
+
+    def test_relation_dim_can_differ(self):
+        model = TransR(E, R, D, rng=0, relation_dim=4)
+        assert model.params["relation"].shape == (R, 4)
+        assert model.params["projection"].shape == (R, 4, D)
+        assert np.isfinite(
+            model.score(np.array([0]), np.array([0]), np.array([1]))
+        ).all()
+
+
+class TestDistMult:
+    def test_symmetric_in_head_and_tail(self):
+        model = DistMult(E, R, D, rng=0)
+        h = np.array([0, 2, 4])
+        r = np.array([0, 1, 2])
+        t = np.array([1, 3, 5])
+        np.testing.assert_allclose(
+            model.score(h, r, t), model.score(t, r, h), atol=1e-12
+        )
+
+
+class TestComplEx:
+    def test_asymmetric_when_imaginary_nonzero(self):
+        model = ComplEx(E, R, D, rng=0)
+        h, r, t = np.array([0]), np.array([0]), np.array([1])
+        forward = model.score(h, r, t)[0]
+        backward = model.score(t, r, h)[0]
+        assert forward != pytest.approx(backward)
+
+    def test_symmetric_when_imaginary_relation_zero(self):
+        model = ComplEx(E, R, D, rng=0)
+        model.params["relation_im"][...] = 0.0
+        h, r, t = np.array([0]), np.array([0]), np.array([1])
+        assert model.score(h, r, t)[0] == pytest.approx(
+            model.score(t, r, h)[0]
+        )
+
+    def test_reduces_to_distmult_when_all_imaginary_zero(self):
+        model = ComplEx(E, R, D, rng=0)
+        model.params["entity_im"][...] = 0.0
+        model.params["relation_im"][...] = 0.0
+        reference = DistMult(E, R, D, rng=0)
+        reference.params["entity"][...] = model.params["entity_re"]
+        reference.params["relation"][...] = model.params["relation_re"]
+        h = np.arange(5) % E
+        r = np.arange(5) % R
+        t = (np.arange(5) + 1) % E
+        np.testing.assert_allclose(
+            model.score(h, r, t), reference.score(h, r, t), atol=1e-12
+        )
+
+
+class TestHolE:
+    def test_matches_direct_circular_correlation(self):
+        model = HolE(E, R, D, rng=0)
+        h, r, t = 2, 1, 5
+        eh = model.params["entity"][h]
+        er = model.params["relation"][r]
+        et = model.params["entity"][t]
+        direct = sum(
+            er[k] * sum(eh[i] * et[(k + i) % D] for i in range(D))
+            for k in range(D)
+        )
+        score = model.score(np.array([h]), np.array([r]), np.array([t]))[0]
+        assert score == pytest.approx(direct, abs=1e-9)
+
+
+class TestSimplE:
+    def test_average_of_forward_and_inverse_terms(self):
+        model = SimplE(E, R, D, rng=0)
+        h, r, t = np.array([1]), np.array([2]), np.array([3])
+        p = model.params
+        forward = np.sum(p["entity_head"][1] * p["relation"][2] * p["entity_tail"][3])
+        inverse = np.sum(p["entity_head"][3] * p["relation_inv"][2] * p["entity_tail"][1])
+        assert model.score(h, r, t)[0] == pytest.approx(0.5 * (forward + inverse))
+
+
+class TestFactory:
+    def test_all_registry_names_constructible(self):
+        for name in ("TransE", "DistMult", "ComplEx"):
+            model = make_model(name, E, R, D, rng=0)
+            assert model.n_parameters() > 0
+
+    def test_case_insensitive(self):
+        assert isinstance(make_model("transe", E, R, D, rng=0), TransE)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            make_model("ConvE", E, R, D)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            TransE(0, 1, 4)
+
+    def test_state_dict_roundtrip(self):
+        model = make_model("TransH", E, R, D, rng=0)
+        state = model.state_dict()
+        model.params["entity"][...] = 0.0
+        model.load_state_dict(state)
+        np.testing.assert_array_equal(model.params["entity"], state["entity"])
+
+    def test_load_state_shape_mismatch_rejected(self):
+        model = make_model("TransE", E, R, D, rng=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            model.load_state_dict({"entity": np.zeros((2, 2))})
+
+    def test_load_state_unknown_key_rejected(self):
+        model = make_model("TransE", E, R, D, rng=0)
+        with pytest.raises(KeyError, match="unknown parameter"):
+            model.load_state_dict({"nope": np.zeros(2)})

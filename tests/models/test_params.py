@@ -1,0 +1,92 @@
+"""Tests for the GradientBag sparse-gradient container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.params import GradientBag
+
+
+class TestGradientBag:
+    def test_empty_bag_is_falsy(self):
+        assert not GradientBag()
+
+    def test_add_then_compact(self):
+        bag = GradientBag()
+        bag.add("w", np.array([0, 2]), np.array([[1.0, 1.0], [2.0, 2.0]]))
+        items = list(bag.compacted())
+        assert len(items) == 1
+        name, rows, grads = items[0]
+        assert name == "w"
+        np.testing.assert_array_equal(rows, [0, 2])
+
+    def test_duplicate_rows_summed(self):
+        bag = GradientBag()
+        bag.add("w", np.array([1, 1]), np.array([[1.0], [2.0]]))
+        _, rows, grads = next(iter(bag.compacted()))
+        np.testing.assert_array_equal(rows, [1])
+        np.testing.assert_allclose(grads, [[3.0]])
+
+    def test_duplicates_across_calls_summed(self):
+        bag = GradientBag()
+        bag.add("w", np.array([4]), np.array([[1.0]]))
+        bag.add("w", np.array([4]), np.array([[5.0]]))
+        _, rows, grads = next(iter(bag.compacted()))
+        np.testing.assert_allclose(grads, [[6.0]])
+
+    def test_empty_rows_ignored(self):
+        bag = GradientBag()
+        bag.add("w", np.empty(0, dtype=np.int64), np.empty((0, 3)))
+        assert not bag
+
+    def test_mismatched_lengths_rejected(self):
+        bag = GradientBag()
+        with pytest.raises(ValueError, match="disagree"):
+            bag.add("w", np.array([0, 1]), np.array([[1.0]]))
+
+    def test_merge_combines_bags(self):
+        a, b = GradientBag(), GradientBag()
+        a.add("x", np.array([0]), np.array([[1.0]]))
+        b.add("x", np.array([0]), np.array([[2.0]]))
+        b.add("y", np.array([1]), np.array([[3.0]]))
+        a.merge(b)
+        dense = a.dense({"x": (2, 1), "y": (2, 1)})
+        assert dense["x"][0, 0] == 3.0
+        assert dense["y"][1, 0] == 3.0
+
+    def test_dense_materialisation(self):
+        bag = GradientBag()
+        bag.add("w", np.array([1]), np.array([[2.0, 0.0]]))
+        dense = bag.dense({"w": (3, 2)})
+        expected = np.zeros((3, 2))
+        expected[1, 0] = 2.0
+        np.testing.assert_array_equal(dense["w"], expected)
+
+    def test_global_norm(self):
+        bag = GradientBag()
+        bag.add("w", np.array([0]), np.array([[3.0, 4.0]]))
+        assert bag.global_norm() == pytest.approx(5.0)
+
+    def test_touched_rows_unknown_param_empty(self):
+        assert len(GradientBag().touched_rows("nope")) == 0
+
+    def test_matrix_shaped_rows_supported(self):
+        bag = GradientBag()
+        bag.add("m", np.array([0, 0]), np.ones((2, 3, 3)))
+        _, rows, grads = next(iter(bag.compacted()))
+        assert grads.shape == (1, 3, 3)
+        np.testing.assert_allclose(grads[0], 2.0)
+
+    @given(
+        rows=st.lists(st.integers(0, 9), min_size=1, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_compaction_preserves_total(self, rows):
+        """Sum of compacted gradients equals sum of raw contributions."""
+        bag = GradientBag()
+        values = np.arange(len(rows), dtype=np.float64).reshape(-1, 1)
+        bag.add("w", np.asarray(rows), values)
+        _, unique_rows, grads = next(iter(bag.compacted()))
+        assert grads.sum() == pytest.approx(values.sum())
+        assert sorted(set(rows)) == unique_rows.tolist()

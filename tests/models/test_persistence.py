@@ -1,0 +1,54 @@
+"""Tests for .npz model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_REGISTRY, make_model
+from repro.models.persistence import load_model, save_model
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_roundtrip_every_model(tmp_path, model_name):
+    model = make_model(model_name, 12, 4, 6, rng=3)
+    path = save_model(model, tmp_path / "checkpoint")
+    restored = load_model(path)
+    assert type(restored).__name__ == model_name
+    assert restored.n_entities == 12 and restored.dim == 6
+    for name, array in model.params.items():
+        np.testing.assert_array_equal(restored.params[name], array)
+
+
+def test_scores_identical_after_roundtrip(tmp_path, rng):
+    model = make_model("TransD", 15, 4, 8, rng=0)
+    path = save_model(model, tmp_path / "m.npz")
+    restored = load_model(path)
+    h = rng.integers(0, 15, 10)
+    r = rng.integers(0, 4, 10)
+    t = rng.integers(0, 15, 10)
+    np.testing.assert_allclose(restored.score(h, r, t), model.score(h, r, t))
+
+
+def test_npz_suffix_appended(tmp_path):
+    model = make_model("TransE", 5, 2, 4, rng=0)
+    path = save_model(model, tmp_path / "plain")
+    assert path.suffix == ".npz"
+
+
+def test_norm_order_preserved(tmp_path):
+    model = make_model("TransE", 5, 2, 4, rng=0, p=2)
+    restored = load_model(save_model(model, tmp_path / "l2"))
+    assert restored.p == 2
+
+
+def test_relation_dim_preserved(tmp_path):
+    model = make_model("TransR", 5, 2, 6, rng=0, relation_dim=3)
+    restored = load_model(save_model(model, tmp_path / "tr"))
+    assert restored.relation_dim == 3
+    assert restored.params["projection"].shape == (2, 3, 6)
+
+
+def test_non_checkpoint_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, a=np.zeros(3))
+    with pytest.raises(ValueError, match="not a repro model checkpoint"):
+        load_model(path)

@@ -1,0 +1,60 @@
+"""Tests for the touched-row L2 regulariser."""
+
+import numpy as np
+import pytest
+
+from repro.models.params import GradientBag
+from repro.models.regularizers import L2Regularizer
+
+
+class TestL2Regularizer:
+    def test_gradient_is_two_lambda_theta(self):
+        reg = L2Regularizer(0.5)
+        params = {"w": np.array([[1.0, 2.0], [3.0, 4.0]])}
+        bag = GradientBag()
+        reg.add_gradients(bag, params, {"w": np.array([1])})
+        dense = bag.dense({"w": (2, 2)})
+        np.testing.assert_allclose(dense["w"][1], [3.0, 4.0])  # 2*0.5*row
+        np.testing.assert_allclose(dense["w"][0], 0.0)
+
+    def test_duplicate_rows_counted_once(self):
+        reg = L2Regularizer(1.0)
+        params = {"w": np.ones((3, 2))}
+        bag = GradientBag()
+        reg.add_gradients(bag, params, {"w": np.array([0, 0, 0])})
+        dense = bag.dense({"w": (3, 2)})
+        np.testing.assert_allclose(dense["w"][0], 2.0)  # not 6.0
+
+    def test_zero_weight_is_noop(self):
+        reg = L2Regularizer(0.0)
+        bag = GradientBag()
+        reg.add_gradients(bag, {"w": np.ones((2, 2))}, {"w": np.array([0])})
+        assert not bag
+
+    def test_penalty_value(self):
+        reg = L2Regularizer(0.1)
+        params = {"w": np.array([[3.0, 4.0]])}
+        assert reg.penalty(params, {"w": np.array([0])}) == pytest.approx(2.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            L2Regularizer(-0.1)
+
+    def test_matches_finite_difference_of_penalty(self):
+        reg = L2Regularizer(0.3)
+        params = {"w": np.random.default_rng(0).normal(size=(4, 3))}
+        rows = {"w": np.array([1, 2])}
+        bag = GradientBag()
+        reg.add_gradients(bag, params, rows)
+        dense = bag.dense({"w": (4, 3)})
+        eps = 1e-6
+        for i in (1, 2):
+            for j in range(3):
+                params["w"][i, j] += eps
+                up = reg.penalty(params, rows)
+                params["w"][i, j] -= 2 * eps
+                down = reg.penalty(params, rows)
+                params["w"][i, j] += eps
+                assert dense["w"][i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=1e-5
+                )

@@ -1,0 +1,52 @@
+"""RotatE-specific semantics (gradients/consistency are covered by the
+parametrised registry suites)."""
+
+import numpy as np
+import pytest
+
+from repro.models.rotate import RotatE
+
+E, R, D = 10, 3, 8
+
+
+class TestRotatE:
+    def test_zero_phase_reduces_to_plain_distance(self):
+        model = RotatE(E, R, D, rng=0)
+        model.params["phase"][...] = 0.0
+        h, r, t = np.array([0]), np.array([0]), np.array([1])
+        p = model.params
+        expected = -np.sqrt(
+            np.sum((p["entity_re"][0] - p["entity_re"][1]) ** 2)
+            + np.sum((p["entity_im"][0] - p["entity_im"][1]) ** 2)
+            + 2e-12
+        )
+        assert model.score(h, r, t)[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_exact_rotation_scores_zero_distance(self):
+        model = RotatE(E, R, D, rng=0)
+        theta = model.params["phase"][0]
+        h_re = model.params["entity_re"][0]
+        h_im = model.params["entity_im"][0]
+        model.params["entity_re"][1] = h_re * np.cos(theta) - h_im * np.sin(theta)
+        model.params["entity_im"][1] = h_re * np.sin(theta) + h_im * np.cos(theta)
+        score = model.score(np.array([0]), np.array([0]), np.array([1]))[0]
+        assert score == pytest.approx(0.0, abs=1e-6)
+
+    def test_rotation_models_inverse_relation(self):
+        """r and -theta are exact inverses: f(h, r, t) == f(t, r_inv, h)."""
+        model = RotatE(E, R, D, rng=0)
+        model.params["phase"][1] = -model.params["phase"][0]
+        forward = model.score(np.array([2]), np.array([0]), np.array([5]))[0]
+        backward = model.score(np.array([5]), np.array([1]), np.array([2]))[0]
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    def test_symmetric_relation_via_pi_phases(self):
+        """theta in {0, pi} gives r = r^-1: the relation is symmetric."""
+        model = RotatE(E, R, D, rng=0)
+        model.params["phase"][0] = np.pi * (np.arange(D) % 2)
+        forward = model.score(np.array([2]), np.array([0]), np.array([5]))[0]
+        backward = model.score(np.array([5]), np.array([0]), np.array([2]))[0]
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    def test_margin_loss_family(self):
+        assert RotatE.default_loss == "margin"

@@ -1,0 +1,144 @@
+"""Tests for the sparse optimisers (SGD, AdaGrad, lazy Adam)."""
+
+import numpy as np
+import pytest
+
+from repro.models.params import GradientBag
+from repro.optim import SGD, AdaGrad, Adam, make_optimizer
+
+
+def _bag(rows, grads, name="w"):
+    bag = GradientBag()
+    bag.add(name, np.asarray(rows), np.asarray(grads, dtype=np.float64))
+    return bag
+
+
+class TestSGD:
+    def test_basic_step(self):
+        params = {"w": np.zeros((3, 2))}
+        SGD(0.1).step(params, _bag([1], [[1.0, 2.0]]))
+        np.testing.assert_allclose(params["w"][1], [-0.1, -0.2])
+        np.testing.assert_allclose(params["w"][0], 0.0)
+
+    def test_duplicate_rows_summed_before_step(self):
+        params = {"w": np.zeros((2, 1))}
+        SGD(1.0).step(params, _bag([0, 0], [[1.0], [2.0]]))
+        np.testing.assert_allclose(params["w"][0], [-3.0])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            SGD(0.1).step({}, _bag([0], [[1.0]]))
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            SGD(0.0)
+
+
+class TestAdaGrad:
+    def test_accumulator_shrinks_steps(self):
+        params = {"w": np.zeros((1, 1))}
+        opt = AdaGrad(1.0)
+        opt.step(params, _bag([0], [[1.0]]))
+        first_move = -params["w"][0, 0]
+        before = params["w"][0, 0]
+        opt.step(params, _bag([0], [[1.0]]))
+        second_move = before - params["w"][0, 0]
+        assert 0 < second_move < first_move
+
+    def test_reset_clears_state(self):
+        params = {"w": np.zeros((1, 1))}
+        opt = AdaGrad(1.0)
+        opt.step(params, _bag([0], [[1.0]]))
+        opt.reset()
+        assert opt.steps == 0
+        params2 = {"w": np.zeros((1, 1))}
+        opt.step(params2, _bag([0], [[1.0]]))
+        # After reset, the first step magnitude is restored.
+        assert params2["w"][0, 0] == pytest.approx(params["w"][0, 0], rel=1e-6)
+
+
+class TestAdam:
+    def test_first_step_magnitude_close_to_lr(self):
+        """Dense Adam's first step is ~lr regardless of gradient scale."""
+        for scale in (0.01, 1.0, 100.0):
+            params = {"w": np.zeros((1, 1))}
+            Adam(0.1).step(params, _bag([0], [[scale]]))
+            assert abs(params["w"][0, 0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_matches_dense_adam_when_all_rows_touched(self):
+        """Lazy Adam == textbook dense Adam if every row appears every step."""
+        rng = np.random.default_rng(0)
+        shape = (4, 3)
+        params = {"w": rng.normal(size=shape)}
+        reference = params["w"].copy()
+        opt = Adam(0.05, beta1=0.9, beta2=0.999, eps=1e-8)
+        m = np.zeros(shape)
+        v = np.zeros(shape)
+        for step in range(1, 6):
+            grads = rng.normal(size=shape)
+            opt.step(params, _bag(np.arange(4), grads))
+            m = 0.9 * m + 0.1 * grads
+            v = 0.999 * v + 0.001 * grads**2
+            m_hat = m / (1 - 0.9**step)
+            v_hat = v / (1 - 0.999**step)
+            reference -= 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            np.testing.assert_allclose(params["w"], reference, atol=1e-12)
+
+    def test_sparse_rows_keep_independent_bias_correction(self):
+        params = {"w": np.zeros((2, 1))}
+        opt = Adam(0.1)
+        # Row 0 updated 3 times, row 1 once; both should take ~lr-sized
+        # steps thanks to per-row correction.
+        for _ in range(3):
+            opt.step(params, _bag([0], [[1.0]]))
+        opt.step(params, _bag([1], [[1.0]]))
+        assert abs(params["w"][1, 0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_matrix_parameters_supported(self):
+        params = {"m": np.zeros((2, 3, 3))}
+        Adam(0.1).step(params, _bag([0], [np.ones((3, 3))], name="m"))
+        assert np.all(params["m"][0] != 0.0)
+        assert np.all(params["m"][1] == 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"beta1": 1.0}, "beta1"),
+            ({"beta2": -0.1}, "beta2"),
+            ({"eps": 0.0}, "eps"),
+        ],
+    )
+    def test_invalid_hyperparameters_rejected(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            Adam(0.1, **kwargs)
+
+    def test_reset_clears_moments(self):
+        opt = Adam(0.1)
+        params = {"w": np.zeros((1, 1))}
+        opt.step(params, _bag([0], [[1.0]]))
+        opt.reset()
+        assert opt.steps == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name, cls", [("sgd", SGD), ("adagrad", AdaGrad), ("adam", Adam)])
+    def test_make_optimizer(self, name, cls):
+        assert isinstance(make_optimizer(name, 0.1), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown optimizer"):
+            make_optimizer("lbfgs", 0.1)
+
+
+class TestConvergenceSmoke:
+    """All three optimisers should minimise a simple quadratic via the bag API."""
+
+    @pytest.mark.parametrize("name", ["sgd", "adagrad", "adam"])
+    def test_minimises_quadratic(self, name):
+        target = np.array([[1.0, -2.0]])
+        params = {"w": np.zeros((1, 2))}
+        opt = make_optimizer(name, 0.1)
+        for _ in range(500):
+            grad = 2 * (params["w"] - target)
+            opt.step(params, _bag([0], grad))
+        np.testing.assert_allclose(params["w"], target, atol=0.05)

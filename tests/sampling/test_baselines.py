@@ -1,0 +1,106 @@
+"""Tests for uniform and Bernoulli sampling and the shared base class."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sampling import (
+    BernoulliSampler,
+    UniformSampler,
+    make_sampler,
+)
+from repro.sampling.base import NegativeSampler
+
+
+@pytest.fixture
+def bound(tiny_kg):
+    def _bind(sampler):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        return sampler.bind(model, tiny_kg, rng=0)
+
+    return _bind
+
+
+class TestBaseContract:
+    def test_unbound_sampling_rejected(self, tiny_kg):
+        with pytest.raises(RuntimeError, match="must be bound"):
+            UniformSampler().sample(tiny_kg.train[:4])
+
+    def test_bind_returns_self(self, bound):
+        sampler = UniformSampler()
+        assert bound(sampler) is sampler
+
+    def test_epoch_notification_recorded(self, bound):
+        sampler = bound(UniformSampler())
+        sampler.on_epoch_start(7)
+        assert sampler.epoch == 7
+
+
+class TestUniformSampler:
+    def test_shape_and_relation_preserved(self, bound, tiny_kg):
+        sampler = bound(UniformSampler())
+        batch = tiny_kg.train[:32]
+        negatives = sampler.sample(batch)
+        assert negatives.shape == batch.shape
+        np.testing.assert_array_equal(negatives[:, 1], batch[:, 1])
+
+    def test_one_side_retained(self, bound, tiny_kg):
+        sampler = bound(UniformSampler())
+        batch = tiny_kg.train[:64]
+        negatives = sampler.sample(batch)
+        same_head = negatives[:, 0] == batch[:, 0]
+        same_tail = negatives[:, 2] == batch[:, 2]
+        assert np.all(same_head | same_tail)
+
+    def test_head_and_tail_both_corrupted_over_many_draws(self, bound, tiny_kg):
+        sampler = bound(UniformSampler())
+        batch = np.tile(tiny_kg.train[:1], (400, 1))
+        negatives = sampler.sample(batch)
+        heads_changed = np.mean(negatives[:, 0] != batch[:, 0])
+        tails_changed = np.mean(negatives[:, 2] != batch[:, 2])
+        # 50/50 coin, modulo accidental identical replacements.
+        assert 0.3 < heads_changed < 0.7
+        assert 0.3 < tails_changed < 0.7
+
+
+class TestBernoulliSampler:
+    def test_head_probability_follows_relation_stats(self, bound, tiny_kg):
+        sampler = bound(BernoulliSampler())
+        assert sampler._head_prob is not None
+        assert len(sampler._head_prob) == tiny_kg.n_relations
+
+    def test_skews_towards_many_side(self, tiny_kg):
+        """On a 1-N relation the head should be corrupted more often."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = BernoulliSampler().bind(model, tiny_kg, rng=0)
+        probs = sampler._head_prob
+        # Find the most one-to-many-ish relation in the data.
+        from repro.data.relations import relation_cardinalities
+
+        tph, hpt = relation_cardinalities(tiny_kg.train, tiny_kg.n_relations)
+        most_1n = int(np.argmax(tph / hpt))
+        if tph[most_1n] / hpt[most_1n] > 1.5:
+            assert probs[most_1n] > 0.5
+
+    def test_uniform_sampler_uses_fifty_fifty(self, bound):
+        sampler = bound(UniformSampler())
+        np.testing.assert_allclose(sampler._head_prob, 0.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["Uniform", "Bernoulli", "KBGAN", "IGAN", "NSCaching", "SelfAdv"]
+    )
+    def test_all_names_constructible(self, name):
+        assert isinstance(make_sampler(name), NegativeSampler)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_sampler("nscaching"), NegativeSampler)
+
+    def test_kwargs_forwarded(self):
+        sampler = make_sampler("NSCaching", cache_size=13)
+        assert sampler.cache_size == 13
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown sampler"):
+            make_sampler("GANSampler")

@@ -1,0 +1,113 @@
+"""Tests for the KBGAN and IGAN re-implementations."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sampling.igan import IGANSampler
+from repro.sampling.kbgan import KBGANSampler
+
+
+@pytest.fixture
+def kbgan(tiny_kg):
+    model = make_model("TransD", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    sampler = KBGANSampler(candidate_size=8)
+    sampler.bind(model, tiny_kg, rng=0)
+    return sampler
+
+
+@pytest.fixture
+def igan(tiny_kg):
+    model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    sampler = IGANSampler(expectation_samples=4)
+    sampler.bind(model, tiny_kg, rng=0)
+    return sampler
+
+
+class TestKBGAN:
+    def test_generator_created_on_bind(self, kbgan):
+        assert kbgan.generator is not None
+        assert kbgan.generator.n_parameters() > 0
+
+    def test_sample_shape(self, kbgan, tiny_kg):
+        batch = tiny_kg.train[:16]
+        negatives = kbgan.sample(batch)
+        assert negatives.shape == batch.shape
+        np.testing.assert_array_equal(negatives[:, 1], batch[:, 1])
+
+    def test_update_trains_generator(self, kbgan, tiny_kg):
+        batch = tiny_kg.train[:16]
+        negatives = kbgan.sample(batch)
+        before = kbgan.generator.params["entity"].copy()
+        kbgan.update(batch, negatives)
+        assert not np.array_equal(before, kbgan.generator.params["entity"])
+
+    def test_update_without_sample_is_noop(self, kbgan, tiny_kg):
+        before = kbgan.generator.params["entity"].copy()
+        kbgan.update(tiny_kg.train[:4], tiny_kg.train[:4])
+        np.testing.assert_array_equal(before, kbgan.generator.params["entity"])
+
+    def test_baseline_tracks_rewards(self, kbgan, tiny_kg):
+        batch = tiny_kg.train[:16]
+        kbgan.update(batch, kbgan.sample(batch))
+        assert kbgan._baseline_initialised
+        assert np.isfinite(kbgan._baseline)
+
+    def test_warm_start_before_bind_applies_at_bind(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=1)
+        sampler = KBGANSampler(candidate_size=4)
+        sampler.warm_start_generator(model)
+        sampler.bind(model, tiny_kg, rng=0)
+        np.testing.assert_array_equal(
+            sampler.generator.params["entity"], model.params["entity"]
+        )
+
+    def test_generator_prefers_high_scoring_candidates(self, tiny_kg):
+        """With a trained (peaked) generator, sampling skews towards its max."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = KBGANSampler(candidate_size=16)
+        sampler.bind(model, tiny_kg, rng=0)
+        # Make one entity overwhelmingly attractive to the generator by
+        # placing it exactly at h + r for the queried relation.
+        gen = sampler.generator
+        h, r, t = tiny_kg.train[0].tolist()
+        special = (t + 1) % tiny_kg.n_entities
+        gen.params["entity"][special] = gen.params["entity"][h] + gen.params["relation"][r]
+        batch = np.tile([[h, r, t]], (1000, 1))
+        # Tail corruption only; `special` appears in a candidate set with
+        # probability ~1-(1-1/E)^16 ~ 0.18 and should usually win then,
+        # versus ~1/E ~ 0.0125 under uniform choice.
+        sampler._head_prob = np.zeros(tiny_kg.n_relations)
+        negatives = sampler.sample(batch)
+        frequency = np.mean(negatives[:, 2] == special)
+        assert frequency > 0.05
+
+    def test_invalid_candidate_size(self):
+        with pytest.raises(ValueError, match="candidate_size"):
+            KBGANSampler(candidate_size=0)
+
+
+class TestIGAN:
+    def test_sample_shape(self, igan, tiny_kg):
+        batch = tiny_kg.train[:8]
+        negatives = igan.sample(batch)
+        assert negatives.shape == batch.shape
+
+    def test_update_trains_generator(self, igan, tiny_kg):
+        batch = tiny_kg.train[:8]
+        negatives = igan.sample(batch)
+        before = igan.generator.params["entity"].copy()
+        igan.update(batch, negatives)
+        assert not np.array_equal(before, igan.generator.params["entity"])
+
+    def test_samples_over_full_entity_set(self, igan, tiny_kg):
+        """Unlike KBGAN, any entity can be drawn (full softmax support)."""
+        batch = np.tile(tiny_kg.train[:1], (500, 1))
+        igan._head_prob = np.zeros(tiny_kg.n_relations)  # tail corruption
+        negatives = igan.sample(batch)
+        distinct = len(set(negatives[:, 2].tolist()))
+        assert distinct > 20  # far beyond a size-8 candidate set
+
+    def test_invalid_expectation_samples(self):
+        with pytest.raises(ValueError, match="expectation_samples"):
+            IGANSampler(expectation_samples=0)

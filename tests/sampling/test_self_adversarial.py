@@ -1,0 +1,45 @@
+"""Tests for the self-adversarial sampler extension."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sampling.self_adversarial import SelfAdversarialSampler
+
+
+@pytest.fixture
+def sampler(tiny_kg):
+    model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    return SelfAdversarialSampler(candidate_size=16, alpha=2.0).bind(
+        model, tiny_kg, rng=0
+    )
+
+
+class TestSelfAdversarial:
+    def test_sample_shape(self, sampler, tiny_kg):
+        batch = tiny_kg.train[:16]
+        negatives = sampler.sample(batch)
+        assert negatives.shape == batch.shape
+
+    def test_prefers_high_scoring_negatives(self, sampler, tiny_kg):
+        """Chosen corruptions should score above the uniform average."""
+        model = sampler.model
+        batch = tiny_kg.train[:64]
+        negatives = sampler.sample(batch)
+        chosen = model.score_triples(negatives).mean()
+        rng = np.random.default_rng(0)
+        random_neg = batch.copy()
+        random_neg[:, 2] = rng.integers(0, tiny_kg.n_entities, len(batch))
+        random = model.score_triples(random_neg).mean()
+        assert chosen > random
+
+    def test_no_trainable_state(self, sampler, tiny_kg):
+        batch = tiny_kg.train[:8]
+        sampler.update(batch, sampler.sample(batch))  # no-op, must not raise
+        assert not hasattr(sampler, "generator")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="candidate_size"):
+            SelfAdversarialSampler(candidate_size=0)
+        with pytest.raises(ValueError, match="alpha"):
+            SelfAdversarialSampler(alpha=0.0)

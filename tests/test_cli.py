@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_dataset_and_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "TransE"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "WN18RR", "--model", "GPT"]
+            )
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "WN18RR" in out and "#train" in out
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_train_evaluate_roundtrip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--sampler", "NSCaching",
+                "--epochs", "2",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "5",
+                "--candidate-size", "5",
+                "--out", str(checkpoint),
+                "--per-category",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mrr" in out
+        assert "per-relation-category breakdown" in out
+        assert checkpoint.exists()
+
+        code = main(
+            [
+                "evaluate",
+                "--checkpoint", str(checkpoint),
+                "--dataset", "WN18RR",
+                "--scale", "0.05",
+            ]
+        )
+        assert code == 0
+        assert "mrr" in capsys.readouterr().out
+
+    def test_evaluate_scale_mismatch_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        main(
+            [
+                "train", "--dataset", "WN18RR", "--model", "TransE",
+                "--epochs", "1", "--dim", "8", "--scale", "0.05",
+                "--sampler", "Bernoulli", "--out", str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate", "--checkpoint", str(checkpoint),
+                "--dataset", "WN18RR", "--scale", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""Tests for evaluation callbacks, early stopping, cache snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.nscaching import NSCachingSampler
+from repro.models import make_model
+from repro.sampling import BernoulliSampler
+from repro.train.callbacks import CacheSnapshotCallback, EarlyStopping, EvalCallback
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+
+def _trainer(tiny_kg, callbacks, epochs=4, sampler=None):
+    model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    return Trainer(
+        model,
+        tiny_kg,
+        sampler or BernoulliSampler(),
+        TrainConfig(epochs=epochs, batch_size=64),
+        callbacks=callbacks,
+    )
+
+
+class TestEvalCallback:
+    def test_records_on_schedule(self, tiny_kg):
+        callback = EvalCallback(split="valid", every=2)
+        _trainer(tiny_kg, [callback], epochs=4).run()
+        assert callback.epochs == [1, 3]
+        assert len(callback.series["mrr"]) == 2
+
+    def test_final_epoch_always_evaluated(self, tiny_kg):
+        callback = EvalCallback(split="valid", every=100)
+        _trainer(tiny_kg, [callback], epochs=3).run()
+        assert callback.epochs == [2]
+
+    def test_times_track_train_clock(self, tiny_kg):
+        callback = EvalCallback(split="valid", every=1)
+        _trainer(tiny_kg, [callback], epochs=2).run()
+        assert len(callback.times) == 2
+        assert callback.times[0] <= callback.times[1]
+
+    def test_stats_injected_for_other_callbacks(self, tiny_kg):
+        seen = {}
+
+        class Spy:
+            def on_train_begin(self, trainer):
+                pass
+
+            def on_epoch_end(self, trainer, epoch, stats):
+                seen.update(stats)
+
+            def on_train_end(self, trainer):
+                pass
+
+        _trainer(
+            tiny_kg, [EvalCallback(split="valid", every=1), Spy()], epochs=1
+        ).run()
+        assert "valid_mrr" in seen
+
+    def test_latest_returns_nan_before_any_eval(self):
+        assert np.isnan(EvalCallback().latest("mrr"))
+
+    def test_invalid_every_rejected(self):
+        with pytest.raises(ValueError, match="every"):
+            EvalCallback(every=0)
+
+
+class TestEarlyStopping:
+    def test_stops_on_stale_metric(self, tiny_kg):
+        stopper = EarlyStopping(metric="loss", patience=1, minimize=True)
+
+        class ConstantLoss:
+            def on_train_begin(self, trainer):
+                pass
+
+            def on_epoch_end(self, trainer, epoch, stats):
+                stats["loss"] = 1.0  # never improves
+
+            def on_train_end(self, trainer):
+                pass
+
+        trainer = _trainer(tiny_kg, [ConstantLoss(), stopper], epochs=10)
+        trainer.run()
+        assert trainer.epochs_run < 10
+
+    def test_missing_metric_ignored(self, tiny_kg):
+        stopper = EarlyStopping(metric="valid_mrr", patience=1)
+        trainer = _trainer(tiny_kg, [stopper], epochs=3)
+        trainer.run()
+        assert trainer.epochs_run == 3  # metric never present -> no stop
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError, match="patience"):
+            EarlyStopping(patience=0)
+
+
+class TestCacheSnapshotCallback:
+    def test_snapshots_recorded_for_touched_key(self, tiny_kg):
+        h, r, _ = tiny_kg.train[0].tolist()
+        callback = CacheSnapshotCallback((h, r), head_side=False)
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4)
+        _trainer(tiny_kg, [callback], epochs=2, sampler=sampler).run()
+        assert len(callback.snapshots) == 2
+        for snapshot in callback.snapshots.values():
+            assert snapshot.shape == (4,)
+
+    def test_untouched_key_produces_no_snapshots(self, tiny_kg):
+        callback = CacheSnapshotCallback((10**6, 10**6))
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4)
+        _trainer(tiny_kg, [callback], epochs=1, sampler=sampler).run()
+        assert callback.snapshots == {}

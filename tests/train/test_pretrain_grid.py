@@ -1,0 +1,78 @@
+"""Tests for the pretrain protocol and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.train.config import TrainConfig
+from repro.train.grid import expand_grid, grid_search
+from repro.train.pretrain import pretrain, warm_start
+
+
+class TestPretrain:
+    def test_returns_state_and_mutates_model(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        before = model.params["entity"].copy()
+        state = pretrain(model, tiny_kg, epochs=2, config=TrainConfig(batch_size=64))
+        assert not np.array_equal(before, model.params["entity"])
+        np.testing.assert_array_equal(state["entity"], model.params["entity"])
+
+    def test_warm_start_restores_state(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        state = pretrain(model, tiny_kg, epochs=1, config=TrainConfig(batch_size=64))
+        fresh = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=5)
+        warm_start(fresh, state)
+        np.testing.assert_array_equal(fresh.params["entity"], state["entity"])
+
+    def test_negative_epochs_rejected(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        with pytest.raises(ValueError, match="epochs"):
+            pretrain(model, tiny_kg, epochs=-1)
+
+
+class TestExpandGrid:
+    def test_empty_grid_single_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cartesian_product(self):
+        points = expand_grid({"a": [1, 2], "b": ["x"]})
+        assert len(points) == 2
+        assert {"a": 1, "b": "x"} in points
+
+    def test_deterministic_order(self):
+        assert expand_grid({"b": [1], "a": [2]}) == expand_grid({"a": [2], "b": [1]})
+
+
+class TestGridSearch:
+    def test_finds_best_learning_rate(self, tiny_kg):
+        def factory(dim, seed):
+            return make_model(
+                "TransE", tiny_kg.n_entities, tiny_kg.n_relations, dim or 8, seed
+            )
+
+        best, results = grid_search(
+            factory,
+            tiny_kg,
+            {"learning_rate": [0.001, 0.05]},
+            base_config=TrainConfig(epochs=3, batch_size=64),
+        )
+        assert len(results) == 2
+        assert best.metric == max(r.metric for r in results)
+        assert "learning_rate" in best.point
+
+    def test_dim_routed_to_factory(self, tiny_kg):
+        seen_dims = []
+
+        def factory(dim, seed):
+            seen_dims.append(dim)
+            return make_model(
+                "TransE", tiny_kg.n_entities, tiny_kg.n_relations, dim or 8, seed
+            )
+
+        grid_search(
+            factory,
+            tiny_kg,
+            {"dim": [4, 8]},
+            base_config=TrainConfig(epochs=1, batch_size=64),
+        )
+        assert seen_dims == [4, 8]

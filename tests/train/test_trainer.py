@@ -1,0 +1,165 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.nscaching import NSCachingSampler
+from repro.models import make_model
+from repro.models.losses import LogisticLoss, MarginRankingLoss
+from repro.sampling import BernoulliSampler, UniformSampler
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+
+def _trainer(tiny_kg, model_name="TransE", sampler=None, **config_kwargs):
+    model = make_model(model_name, tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+    config = TrainConfig(**{"epochs": 2, "batch_size": 64, **config_kwargs})
+    return Trainer(model, tiny_kg, sampler or BernoulliSampler(), config)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TrainConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"epochs": -1}, "epochs"),
+            ({"batch_size": 0}, "batch_size"),
+            ({"learning_rate": 0.0}, "learning_rate"),
+            ({"margin": 0.0}, "margin"),
+            ({"l2_weight": -1.0}, "l2_weight"),
+            ({"loss": "hinge"}, "loss"),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TrainConfig(**kwargs)
+
+    def test_with_updates_returns_copy(self):
+        config = TrainConfig(epochs=5)
+        updated = config.with_updates(epochs=10)
+        assert config.epochs == 5 and updated.epochs == 10
+
+
+class TestLossSelection:
+    def test_translational_gets_margin(self, tiny_kg):
+        trainer = _trainer(tiny_kg, "TransE")
+        assert isinstance(trainer.loss, MarginRankingLoss)
+
+    def test_semantic_gets_logistic(self, tiny_kg):
+        trainer = _trainer(tiny_kg, "DistMult")
+        assert isinstance(trainer.loss, LogisticLoss)
+
+    def test_explicit_override(self, tiny_kg):
+        trainer = _trainer(tiny_kg, "TransE", loss="logistic")
+        assert isinstance(trainer.loss, LogisticLoss)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=15, learning_rate=0.05)
+        history = trainer.run()
+        losses = history["loss"].values
+        assert losses[-1] < losses[0]
+
+    def test_history_series_populated(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=3)
+        history = trainer.run()
+        for name in ("loss", "nzl", "grad_norm", "epoch_seconds"):
+            assert len(history[name]) == 3
+
+    def test_parameters_change(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=1)
+        before = trainer.model.params["entity"].copy()
+        trainer.run()
+        assert not np.array_equal(before, trainer.model.params["entity"])
+
+    def test_deterministic_given_seed(self, tiny_kg):
+        a = _trainer(tiny_kg, epochs=2, seed=9)
+        b = _trainer(tiny_kg, epochs=2, seed=9)
+        a.run()
+        b.run()
+        np.testing.assert_array_equal(
+            a.model.params["entity"], b.model.params["entity"]
+        )
+
+    def test_run_with_explicit_epochs_overrides_config(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=50)
+        trainer.run(epochs=2)
+        assert trainer.epochs_run == 2
+
+    def test_resume_continues_epoch_numbering(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=2)
+        trainer.run()
+        trainer.run(epochs=1)
+        assert trainer.epochs_run == 3
+        assert trainer.history["loss"].epochs[-1] == 2
+
+    def test_zero_epochs_is_noop(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=0)
+        trainer.run()
+        assert trainer.epochs_run == 0
+
+    def test_request_stop_halts_loop(self, tiny_kg):
+        class StopAfterFirst:
+            def on_train_begin(self, trainer):
+                pass
+
+            def on_epoch_end(self, trainer, epoch, stats):
+                trainer.request_stop()
+
+            def on_train_end(self, trainer):
+                pass
+
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model, tiny_kg, UniformSampler(), TrainConfig(epochs=10),
+            callbacks=[StopAfterFirst()],
+        )
+        trainer.run()
+        assert trainer.epochs_run == 1
+
+    def test_nscaching_cache_changes_recorded(self, tiny_kg):
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4)
+        trainer = _trainer(tiny_kg, sampler=sampler, epochs=2)
+        history = trainer.run()
+        assert len(history["cache_changes"]) == 2
+        assert history["cache_changes"].values[0] > 0
+
+    def test_negative_tracking_records_repeat_ratio(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=2, track_negatives=True)
+        history = trainer.run()
+        assert len(history["repeat_ratio"]) == 2
+
+    def test_l2_regularised_run(self, tiny_kg):
+        trainer = _trainer(tiny_kg, "DistMult", epochs=2, l2_weight=0.01)
+        history = trainer.run()
+        assert np.isfinite(history.last("loss"))
+
+    def test_train_clock_accumulates(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=2)
+        trainer.run()
+        assert trainer.train_seconds > 0
+
+    def test_paused_clock_excludes_time(self, tiny_kg):
+        import time
+
+        trainer = _trainer(tiny_kg, epochs=1)
+        trainer.run()
+        before = trainer.train_seconds
+        with trainer.paused_clock():
+            time.sleep(0.02)
+        assert trainer.train_seconds == pytest.approx(before, abs=5e-3)
+
+
+class TestGradientFlow:
+    def test_grad_norm_positive_during_training(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=1)
+        history = trainer.run()
+        assert history.last("grad_norm") > 0
+
+    def test_nzl_between_zero_and_one(self, tiny_kg):
+        trainer = _trainer(tiny_kg, epochs=2)
+        history = trainer.run()
+        assert 0.0 <= history.last("nzl") <= 1.0

@@ -1,0 +1,25 @@
+"""Tests for logger naming and null-handler behaviour."""
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+class TestGetLogger:
+    def test_root_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_is_namespaced(self):
+        assert get_logger("train").name == "repro.train"
+
+    def test_already_namespaced_passthrough(self):
+        assert get_logger("repro.eval").name == "repro.eval"
+
+    def test_null_handler_attached_once(self):
+        get_logger()
+        get_logger("data")
+        root = logging.getLogger("repro")
+        null_handlers = [
+            h for h in root.handlers if isinstance(h, logging.NullHandler)
+        ]
+        assert len(null_handlers) == 1

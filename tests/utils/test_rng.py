@@ -1,0 +1,53 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 10)
+        b = ensure_rng(7).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_deterministic_from_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        assert first == second

@@ -1,0 +1,60 @@
+"""Tests for the resumable stopwatch."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_initially_stopped_at_zero(self):
+        timer = Timer()
+        assert not timer.running
+        assert timer.elapsed == 0.0
+
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert not timer.running
+
+    def test_resume_adds_time(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_elapsed_while_running(self):
+        timer = Timer().start()
+        time.sleep(0.005)
+        mid = timer.elapsed
+        assert timer.running
+        assert mid > 0
+        timer.stop()
+        assert timer.elapsed >= mid
+
+    def test_double_start_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            timer.start()
+        timer.stop()
+
+    def test_stop_when_stopped_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_repr_mentions_state(self):
+        assert "stopped" in repr(Timer())

@@ -1,0 +1,63 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="my message"):
+            require(False, "my message")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_non_strict_accepts_zero(self):
+        check_positive("x", 0, strict=False)
+
+    def test_non_strict_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match=r"p must be in \[0, 1\]"):
+            check_probability("p", value)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((5, 3)), (None, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="must have 2 dimensions"):
+            check_shape("a", np.zeros(4), (2, 2))
+
+    def test_wrong_axis_size(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
