@@ -1,0 +1,92 @@
+"""Serving quickstart: train -> save -> serve -> query, in one script.
+
+Trains a small TransE with NSCaching, writes the checkpoint, brings up
+the JSON HTTP endpoint on a free port, and queries it the way a client
+would — first one query at a time, then a batch, then a repeat to show
+the LRU query cache answering.  The same endpoint is what
+``python -m repro serve`` runs in production form.
+
+Run with:  python examples/serve_quickstart.py
+"""
+
+import json
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro import (
+    NSCachingSampler,
+    PredictionEngine,
+    TrainConfig,
+    Trainer,
+    TransE,
+    save_model,
+    wn18rr_like,
+)
+from repro.serve import make_server
+
+
+def main() -> None:
+    # 1. Train (laptop-scale analogue; see README for the substitution).
+    dataset = wn18rr_like(seed=0, scale=0.3)
+    print(f"dataset {dataset.name}: {dataset.summary()}")
+    model = TransE(dataset.n_entities, dataset.n_relations, dim=32, rng=0)
+    sampler = NSCachingSampler(cache_size=30, candidate_size=30)
+    config = TrainConfig(epochs=15, learning_rate=0.01, margin=2.0, seed=0)
+    Trainer(model, dataset, sampler, config).run()
+
+    # 2. Save, then rebuild the engine purely from the checkpoint file.
+    checkpoint = save_model(model, Path(tempfile.mkdtemp()) / "transe.npz")
+    print(f"checkpoint written to {checkpoint}")
+    engine = PredictionEngine.from_checkpoint(checkpoint, dataset, top_k=5)
+
+    # 3. Serve on a free port (the CLI equivalent binds a fixed one).
+    server = make_server(engine, "127.0.0.1", 0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    print(f"serving on {base}")
+
+    def post(payload: dict) -> dict:
+        request = urllib.request.Request(
+            f"{base}/predict",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # 4a. One query: which tails does the model predict for (h, r, ?)?
+    h, r, t = (int(x) for x in dataset.test[0])
+    answer = post({"head": h, "relation": r})["results"][0]
+    print(f"\nquery (h={h}, r={r}, ?)  true tail: {t}")
+    for entity, label, score in zip(
+        answer["entities"], answer["labels"], answer["scores"]
+    ):
+        marker = "  <- true tail" if entity == t else ""
+        print(f"  {label:>12s} (id {entity:4d})  score {score:8.4f}{marker}")
+
+    # 4b. A batch: mixed tail- and head-prediction in one request.
+    batch = post(
+        {"queries": [
+            {"head": h, "relation": r, "k": 3},
+            {"tail": t, "relation": r, "k": 3},
+        ]}
+    )
+    for result in batch["results"]:
+        print(f"batch result: predict {result['direction']}: {result['labels']}")
+
+    # 4c. The repeat is served from the LRU query cache.
+    repeat = post({"head": h, "relation": r})["results"][0]
+    print(f"repeat served from cache: {repeat['cached']}")
+
+    with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+        stats = json.loads(response.read().decode("utf-8"))
+    print(f"stats: {stats['queries_served']} queries, cache {stats['cache']}")
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main()

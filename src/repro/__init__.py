@@ -17,7 +17,10 @@ The package is organised around the paper's stack (see DESIGN.md):
 * :mod:`repro.eval` — filtered link prediction, triplet classification and
   negative-score CCDF analysis;
 * :mod:`repro.bench` — the experiment registry and reporting harness that
-  regenerates every table and figure.
+  regenerates every table and figure;
+* :mod:`repro.serve` — online serving: embedding snapshots, a batched
+  filtered top-k engine with an LRU query cache, and a JSON HTTP API
+  behind ``repro serve``.
 
 Quickstart::
 
@@ -70,7 +73,12 @@ from repro.models import (
     TransR,
     make_model,
 )
-from repro.models.persistence import load_model, save_model
+from repro.models.persistence import (
+    export_snapshot,
+    load_model,
+    load_snapshot,
+    save_model,
+)
 from repro.sampling import (
     BernoulliSampler,
     IGANSampler,
@@ -80,6 +88,12 @@ from repro.sampling import (
     UniformSampler,
     make_sampler,
 )
+from repro.serve import (
+    EmbeddingSnapshot,
+    PredictionEngine,
+    QueryCache,
+    TopKScorer,
+)
 from repro.train import TrainConfig, Trainer, pretrain, warm_start
 
 __version__ = "1.0.0"
@@ -88,6 +102,7 @@ __all__ = [
     "BernoulliSampler",
     "ComplEx",
     "DistMult",
+    "EmbeddingSnapshot",
     "HashedNegativeCache",
     "HolE",
     "IGANSampler",
@@ -97,12 +112,15 @@ __all__ = [
     "NSCachingSampler",
     "NegativeCache",
     "NegativeSampler",
+    "PredictionEngine",
+    "QueryCache",
     "RESCAL",
     "RotatE",
     "SampleStrategy",
     "SelfAdversarialSampler",
     "SimplE",
     "SyntheticKGConfig",
+    "TopKScorer",
     "TrainConfig",
     "Trainer",
     "TransD",
@@ -113,6 +131,7 @@ __all__ = [
     "UpdateStrategy",
     "Vocabulary",
     "evaluate",
+    "export_snapshot",
     "fb13_like",
     "fb15k237_like",
     "fb15k_like",
@@ -120,6 +139,7 @@ __all__ = [
     "link_prediction",
     "load_model",
     "load_benchmark",
+    "load_snapshot",
     "make_model",
     "make_sampler",
     "per_category_link_prediction",

@@ -133,6 +133,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.sampling.self_adversarial",),
             "benchmarks/bench_ext_self_adversarial.py",
         ),
+        Experiment(
+            "X3",
+            "Extension: serving throughput (batched vs one-at-a-time)",
+            "queries/sec and p50/p99 latency across batch sizes via repro.serve",
+            ("repro.serve.engine", "repro.serve.topk"),
+            "benchmarks/bench_serve_throughput.py",
+        ),
     )
 }
 

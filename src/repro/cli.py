@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the reproduction workflow end to end::
+Five subcommands cover the workflow end to end, from data to serving::
 
     python -m repro datasets
     python -m repro train --dataset WN18RR --model TransE --sampler NSCaching \
         --epochs 40 --out transe.npz
-    python -m repro evaluate --checkpoint transe.npz --dataset WN18RR
+    python -m repro evaluate --checkpoint transe.npz --dataset WN18RR --top-k 5
+    python -m repro serve --checkpoint transe.npz --dataset WN18RR --port 8080
     python -m repro experiments
 
 Dataset names are the paper's (``WN18``, ``WN18RR``, ``FB15K``,
@@ -71,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--split", default="test", choices=("valid", "test"))
     ev.add_argument("--per-category", action="store_true")
+    ev.add_argument(
+        "--top-k", type=int, default=0, metavar="K",
+        help="also print top-K tail predictions for a few sample triples",
+    )
+
+    serve = sub.add_parser("serve", help="serve a checkpoint over JSON HTTP")
+    serve.add_argument("--checkpoint", required=True,
+                       help=".npz checkpoint or exported snapshot directory")
+    serve.add_argument("--dataset", required=True, choices=sorted(BENCHMARKS))
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--top-k", type=int, default=10, help="default k per query")
+    serve.add_argument("--max-k", type=int, default=1000,
+                       help="largest k a query may request")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="LRU query-cache entries (0 disables)")
 
     sub.add_parser("experiments", help="print the paper-artefact index")
     return parser
@@ -151,20 +170,99 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_top_k(model, dataset, split: str, k: int, n_samples: int = 5) -> None:
+    """Top-k tail predictions for the first few ``split`` triples."""
+    from repro.data.triples import HEAD, REL, TAIL
+    from repro.serve.topk import TopKScorer
+
+    triples = getattr(dataset, split)[:n_samples]
+    if len(triples) == 0:
+        return
+    scorer = TopKScorer(model, dataset)
+    results = scorer.top_tails(
+        triples[:, HEAD], triples[:, REL], k, keep=triples[:, TAIL]
+    )
+    vocab = dataset.vocab
+    rows = []
+    for triple, result in zip(triples, results):
+        h, r, t = (int(x) for x in triple)
+        predictions = ", ".join(
+            ("*" if int(e) == t else "") + vocab.entity_label(int(e))
+            for e in result.entities
+        )
+        rows.append(
+            (f"({vocab.entity_label(h)}, {vocab.relation_label(r)}, ?)",
+             vocab.entity_label(t), predictions)
+        )
+    print(
+        format_table(
+            ("query", "true tail", f"top-{k} filtered predictions (* = true)"),
+            rows,
+            title=f"sample tail predictions ({split} split)",
+        )
+    )
+
+
+def _checkpoint_mismatch(model, dataset, args: argparse.Namespace) -> bool:
+    if model.n_entities == dataset.n_entities:
+        return False
+    print(
+        f"error: checkpoint has {model.n_entities} entities but the "
+        f"dataset (scale={args.scale}, seed={args.seed}) has "
+        f"{dataset.n_entities}; pass the --scale/--seed used at training",
+        file=sys.stderr,
+    )
+    return True
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
     model = load_model(args.checkpoint)
-    if model.n_entities != dataset.n_entities:
-        print(
-            f"error: checkpoint has {model.n_entities} entities but the "
-            f"dataset (scale={args.scale}, seed={args.seed}) has "
-            f"{dataset.n_entities}; pass the --scale/--seed used at training",
-            file=sys.stderr,
-        )
+    if _checkpoint_mismatch(model, dataset, args):
         return 2
     _print_metrics(evaluate(model, dataset, args.split))
     if args.per_category:
         _print_breakdown(model, dataset, args.split)
+    if args.top_k > 0:
+        _print_top_k(model, dataset, args.split, args.top_k)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        EmbeddingSnapshot,
+        PredictionEngine,
+        make_server,
+        run_server,
+    )
+
+    dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+    try:
+        snapshot = EmbeddingSnapshot.load(args.checkpoint)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load checkpoint {args.checkpoint!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        engine = PredictionEngine(
+            snapshot,
+            dataset,
+            top_k=args.top_k,
+            max_k=args.max_k,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}; pass the --scale/--seed used at training",
+              file=sys.stderr)
+        return 2
+    try:
+        server = make_server(engine, args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving {snapshot.describe()} on http://{args.host}:{args.port}")
+    print("routes: POST /predict, GET /healthz, GET /stats  (Ctrl-C stops)")
+    run_server(server)
     return 0
 
 
@@ -177,6 +275,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiments":
         print(describe_experiments())
         return 0

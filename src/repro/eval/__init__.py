@@ -8,11 +8,14 @@
   triples (Figure 1);
 * :mod:`repro.eval.per_relation` — Hits@k split by relation mapping
   category and prediction side (the TransE/TransH breakdown);
+* :mod:`repro.eval.filters` — filtered-candidate mask construction shared
+  with the serving layer;
 * :mod:`repro.eval.protocol` — the one-call bundle used by callbacks and
   benchmarks.
 """
 
 from repro.eval.ccdf import ccdf, negative_distances
+from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.classification import (
     ClassificationResult,
     fit_relation_thresholds,
@@ -29,7 +32,9 @@ __all__ = [
     "ccdf",
     "evaluate",
     "fit_relation_thresholds",
+    "head_filter_masks",
     "link_prediction",
+    "tail_filter_masks",
     "negative_distances",
     "per_category_link_prediction",
     "triplet_classification",

@@ -1,0 +1,52 @@
+"""Filtered-candidate mask construction (Bordes et al. 2013, §IV-A3).
+
+Both the offline evaluator (:mod:`repro.eval.ranking`) and the online
+serving layer (:mod:`repro.serve.topk`) must discount every *other* known
+true answer when ranking candidates for a query ``(h, r, ?)`` or
+``(?, r, t)``.  This module is the single source of truth for building
+those per-query mask column lists from a dataset's filter indexes, so the
+two paths cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+
+__all__ = ["head_filter_masks", "tail_filter_masks"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def tail_filter_masks(
+    dataset: KGDataset, h: np.ndarray, r: np.ndarray
+) -> list[np.ndarray]:
+    """Per-query candidate columns to exclude for tail queries ``(h, r, ?)``.
+
+    ``masks[i]`` lists every entity known (in any split) to be a true tail
+    of ``(h[i], r[i])``.  Callers that rank a specific target entity must
+    re-admit it themselves — :func:`repro.eval.ranking.rank_scores` never
+    excludes the true column, and the serving layer's ``keep`` argument
+    does the same.
+    """
+    # tolist() up front hands the loop native ints — cheaper than per-row
+    # numpy-scalar conversion on the serving hot path.
+    tails = dataset.tail_filter
+    empty = _EMPTY
+    return [
+        tails.get(pair, empty)
+        for pair in zip(np.asarray(h).ravel().tolist(), np.asarray(r).ravel().tolist())
+    ]
+
+
+def head_filter_masks(
+    dataset: KGDataset, r: np.ndarray, t: np.ndarray
+) -> list[np.ndarray]:
+    """Per-query candidate columns to exclude for head queries ``(?, r, t)``."""
+    heads = dataset.head_filter
+    empty = _EMPTY
+    return [
+        heads.get(pair, empty)
+        for pair in zip(np.asarray(r).ravel().tolist(), np.asarray(t).ravel().tolist())
+    ]

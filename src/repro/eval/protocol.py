@@ -1,14 +1,20 @@
-"""One-call evaluation bundle used by callbacks, examples and benchmarks."""
+"""One-call evaluation bundle used by callbacks, examples and benchmarks.
+
+The filtered-candidate mask builders historically lived here; they are now
+in :mod:`repro.eval.filters` (shared with the serving layer) and re-exported
+for compatibility.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.data.dataset import KGDataset
+from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.ranking import link_prediction
 from repro.models.base import KGEModel
 
-__all__ = ["evaluate"]
+__all__ = ["evaluate", "head_filter_masks", "tail_filter_masks"]
 
 
 def evaluate(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.data.dataset import KGDataset
 from repro.data.triples import HEAD, REL, TAIL
+from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.models.base import KGEModel
 
 __all__ = ["RankingResult", "link_prediction", "rank_scores"]
@@ -114,19 +115,11 @@ def link_prediction(
         h, r, t = batch[:, HEAD], batch[:, REL], batch[:, TAIL]
 
         tail_scores = model.score_all_tails(h, r)
-        tail_mask = None
-        if filtered:
-            tail_mask = [
-                dataset.true_tails(int(hi), int(ri)) for hi, ri in zip(h, r)
-            ]
+        tail_mask = tail_filter_masks(dataset, h, r) if filtered else None
         all_ranks.append(rank_scores(tail_scores, t, tail_mask))
 
         head_scores = model.score_all_heads(r, t)
-        head_mask = None
-        if filtered:
-            head_mask = [
-                dataset.true_heads(int(ri), int(ti)) for ri, ti in zip(r, t)
-            ]
+        head_mask = head_filter_masks(dataset, r, t) if filtered else None
         all_ranks.append(rank_scores(head_scores, h, head_mask))
     ranks = np.concatenate(all_ranks) if all_ranks else np.empty(0)
     return RankingResult(ranks=ranks, hits_at=hits_at)

@@ -4,6 +4,15 @@ The archive stores every parameter table plus enough metadata to rebuild
 the model without the caller remembering its constructor arguments —
 what the paper's pretrain protocol needs to share checkpoints between
 runs and what downstream users need to ship trained embeddings.
+
+Two on-disk formats share the same metadata schema:
+
+* ``save_model`` / ``load_model`` — one compressed ``.npz`` archive, the
+  training-side checkpoint format;
+* ``export_snapshot`` / ``load_snapshot`` — a directory of raw ``.npy``
+  files plus ``meta.json``, written C-contiguous so the serving layer
+  (:mod:`repro.serve.snapshot`) can memory-map the tables without copying
+  them into the process heap.
 """
 
 from __future__ import annotations
@@ -15,17 +24,25 @@ import numpy as np
 
 from repro.models.base import KGEModel
 
-__all__ = ["save_model", "load_model"]
+__all__ = [
+    "build_model_from_state",
+    "export_snapshot",
+    "load_checkpoint_state",
+    "load_model",
+    "load_snapshot",
+    "model_meta",
+    "save_model",
+]
 
 _META_KEY = "__repro_meta__"
 
+#: Metadata file name inside an exported snapshot directory.
+SNAPSHOT_META_FILE = "meta.json"
 
-def save_model(model: KGEModel, path: str | Path) -> Path:
-    """Serialise ``model`` to ``path`` (``.npz`` appended if missing)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    meta = {
+
+def model_meta(model: KGEModel) -> dict[str, object]:
+    """The constructor metadata both checkpoint formats store."""
+    return {
         "model": type(model).__name__,
         "n_entities": model.n_entities,
         "n_relations": model.n_relations,
@@ -34,18 +51,52 @@ def save_model(model: KGEModel, path: str | Path) -> Path:
         "relation_dim": getattr(model, "relation_dim", None),
         "version": 1,
     }
+
+
+def build_model_from_state(
+    meta: dict[str, object], state: dict[str, np.ndarray]
+) -> KGEModel:
+    """Rebuild a model from stored metadata + parameter arrays."""
+    from repro.models import make_model
+
+    kwargs: dict[str, object] = {}
+    if meta.get("p") is not None:
+        kwargs["p"] = int(meta["p"])  # type: ignore[arg-type]
+    if meta.get("relation_dim") is not None:
+        kwargs["relation_dim"] = int(meta["relation_dim"])  # type: ignore[arg-type]
+    model = make_model(
+        str(meta["model"]),
+        int(meta["n_entities"]),  # type: ignore[arg-type]
+        int(meta["n_relations"]),  # type: ignore[arg-type]
+        int(meta["dim"]),  # type: ignore[arg-type]
+        rng=0,
+        **kwargs,
+    )
+    model.load_state_dict(state)
+    return model
+
+
+def save_model(model: KGEModel, path: str | Path) -> Path:
+    """Serialise ``model`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
     arrays = dict(model.params)
     arrays[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        json.dumps(model_meta(model)).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays)
     return path
 
 
-def load_model(path: str | Path) -> KGEModel:
-    """Rebuild the model saved by :func:`save_model`."""
-    from repro.models import make_model
+def load_checkpoint_state(
+    path: str | Path,
+) -> tuple[dict[str, object], dict[str, np.ndarray]]:
+    """Read a ``save_model`` archive as ``(meta, arrays)`` without rebuilding.
 
+    The single place the ``.npz`` checkpoint layout is parsed — used by
+    :func:`load_model` here and by the serving layer's snapshot loader.
+    """
     with np.load(Path(path)) as archive:
         if _META_KEY not in archive:
             raise ValueError(f"{path} is not a repro model checkpoint")
@@ -53,18 +104,50 @@ def load_model(path: str | Path) -> KGEModel:
         state = {
             name: archive[name] for name in archive.files if name != _META_KEY
         }
-    kwargs: dict[str, object] = {}
-    if meta.get("p") is not None:
-        kwargs["p"] = int(meta["p"])
-    if meta.get("relation_dim") is not None:
-        kwargs["relation_dim"] = int(meta["relation_dim"])
-    model = make_model(
-        meta["model"],
-        int(meta["n_entities"]),
-        int(meta["n_relations"]),
-        int(meta["dim"]),
-        rng=0,
-        **kwargs,
+    return meta, state
+
+
+def load_model(path: str | Path) -> KGEModel:
+    """Rebuild the model saved by :func:`save_model`."""
+    meta, state = load_checkpoint_state(path)
+    return build_model_from_state(meta, state)
+
+
+def export_snapshot(model: KGEModel, directory: str | Path) -> Path:
+    """Write ``model`` as a serving snapshot directory.
+
+    Layout: ``meta.json`` plus one raw ``.npy`` per parameter table.  The
+    arrays are written C-contiguous so :func:`load_snapshot` can hand out
+    zero-copy memory maps — the property the serving layer relies on when
+    entity tables outgrow comfortable heap sizes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = model_meta(model)
+    meta["params"] = sorted(model.params)
+    (directory / SNAPSHOT_META_FILE).write_text(
+        json.dumps(meta, indent=2) + "\n", encoding="utf-8"
     )
-    model.load_state_dict(state)
-    return model
+    for name, array in model.params.items():
+        np.save(directory / f"{name}.npy", np.ascontiguousarray(array))
+    return directory
+
+
+def load_snapshot(
+    directory: str | Path, *, mmap: bool = True
+) -> tuple[dict[str, object], dict[str, np.ndarray]]:
+    """Read a snapshot directory written by :func:`export_snapshot`.
+
+    Returns ``(meta, arrays)``; with ``mmap=True`` each array is a
+    read-only :class:`numpy.memmap` backed by its ``.npy`` file.
+    """
+    directory = Path(directory)
+    meta_path = directory / SNAPSHOT_META_FILE
+    if not meta_path.is_file():
+        raise ValueError(f"{directory} is not a repro snapshot directory")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    arrays = {
+        name: np.load(directory / f"{name}.npy", mmap_mode="r" if mmap else None)
+        for name in meta["params"]
+    }
+    return meta, arrays

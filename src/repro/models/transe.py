@@ -64,6 +64,41 @@ class TransE(KGEModel):
         e = ent[candidates] + query[:, None, :]
         return -norm_forward(e, self.p)
 
+    def score_all_tails(
+        self, h: np.ndarray, r: np.ndarray, chunk: int = 64
+    ) -> np.ndarray:
+        """All-entity tail scoring without materialising a candidate gather.
+
+        When every entity is a candidate, broadcasting against the entity
+        table directly skips the ``[B, E, d]`` fancy-index copy the generic
+        path pays — the evaluation and serving hot path.
+        """
+        ent, rel = self.params["entity"], self.params["relation"]
+        h = np.asarray(h, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        query = ent[h] + rel[r]  # [B, d]
+        out = np.empty((len(h), self.n_entities), dtype=np.float64)
+        for start in range(0, len(h), chunk):
+            stop = min(start + chunk, len(h))
+            e = query[start:stop, None, :] - ent[None, :, :]
+            out[start:stop] = -norm_forward(e, self.p)
+        return out
+
+    def score_all_heads(
+        self, r: np.ndarray, t: np.ndarray, chunk: int = 64
+    ) -> np.ndarray:
+        """All-entity head scoring via direct broadcast (see score_all_tails)."""
+        ent, rel = self.params["entity"], self.params["relation"]
+        r = np.asarray(r, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        query = rel[r] - ent[t]  # [B, d]; e = cand + query
+        out = np.empty((len(r), self.n_entities), dtype=np.float64)
+        for start in range(0, len(r), chunk):
+            stop = min(start + chunk, len(r))
+            e = ent[None, :, :] + query[start:stop, None, :]
+            out[start:stop] = -norm_forward(e, self.p)
+        return out
+
     # -- backward ------------------------------------------------------------
     def grad(
         self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray

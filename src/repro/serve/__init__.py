@@ -1,0 +1,41 @@
+"""Online serving: turn a trained checkpoint into a query engine.
+
+The subsystem the ROADMAP's "serve heavy traffic" north star asks for,
+layered strictly on top of the reproduction (nothing here is needed to
+train or evaluate):
+
+* :mod:`repro.serve.snapshot` — :class:`EmbeddingSnapshot`, contiguous /
+  memory-mapped parameter tables loaded from either checkpoint format;
+* :mod:`repro.serve.topk` — :class:`TopKScorer`, vectorised filtered
+  top-k retrieval sharing the evaluation protocol's candidate masks;
+* :mod:`repro.serve.cache` — :class:`QueryCache`, an LRU over answered
+  queries (the serving twin of the paper's negative cache);
+* :mod:`repro.serve.engine` — :class:`PredictionEngine`, parse/batch/
+  cache orchestration;
+* :mod:`repro.serve.http` — the stdlib JSON endpoint behind
+  ``repro serve``.
+
+Quickstart::
+
+    from repro.serve import PredictionEngine
+
+    engine = PredictionEngine.from_checkpoint("transe.npz", dataset)
+    engine.predict_one(head=12, relation=3, k=10)
+"""
+
+from repro.serve.cache import QueryCache
+from repro.serve.engine import PredictionEngine
+from repro.serve.http import make_server, run_server, serve_forever
+from repro.serve.snapshot import EmbeddingSnapshot
+from repro.serve.topk import TopKResult, TopKScorer
+
+__all__ = [
+    "EmbeddingSnapshot",
+    "PredictionEngine",
+    "QueryCache",
+    "TopKResult",
+    "TopKScorer",
+    "make_server",
+    "run_server",
+    "serve_forever",
+]

@@ -1,0 +1,248 @@
+"""The query engine: snapshot + top-k scorer + query cache.
+
+:class:`PredictionEngine` is the transport-independent core of the serving
+subsystem.  It parses link-prediction queries (dicts, the JSON wire
+format), answers cache hits immediately, groups the misses by
+``(direction, k, filtered)`` and scores each group in one vectorised
+:class:`~repro.serve.topk.TopKScorer` call — the batching that
+``benchmarks/bench_serve_throughput.py`` measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.serve.cache import QueryCache
+from repro.serve.snapshot import EmbeddingSnapshot
+from repro.serve.topk import TopKResult, TopKScorer
+
+__all__ = ["PredictionEngine"]
+
+_QUERY_FIELDS = frozenset(("head", "relation", "tail", "k", "filtered"))
+
+
+class PredictionEngine:
+    """Answers batches of ``(h, r, ?)`` / ``(?, r, t)`` queries.
+
+    Parameters
+    ----------
+    snapshot:
+        The embedding tables to serve.
+    dataset:
+        Optional; enables the filtered protocol and label decoding.
+    top_k:
+        Default ``k`` for queries that do not specify one.
+    max_k:
+        Upper bound accepted from a query's ``k`` — the cap that keeps one
+        request from demanding a full-entity ranked dump (response size,
+        argsort work and cached memory all scale with ``k``).
+    cache_capacity:
+        LRU entries to keep; ``0`` disables the query cache.
+    chunk:
+        Scoring chunk size passed to :class:`TopKScorer`.
+    """
+
+    def __init__(
+        self,
+        snapshot: EmbeddingSnapshot,
+        dataset: KGDataset | None = None,
+        *,
+        top_k: int = 10,
+        max_k: int = 1000,
+        cache_capacity: int = 1024,
+        chunk: int = 64,
+    ) -> None:
+        if top_k <= 0:
+            raise ValueError(f"top_k must be > 0, got {top_k}")
+        if max_k < top_k:
+            raise ValueError(f"max_k ({max_k}) must be >= top_k ({top_k})")
+        if dataset is not None and (
+            dataset.n_entities != snapshot.n_entities
+            or dataset.n_relations != snapshot.n_relations
+        ):
+            raise ValueError(
+                f"snapshot has {snapshot.n_entities} entities / "
+                f"{snapshot.n_relations} relations but the dataset has "
+                f"{dataset.n_entities} / {dataset.n_relations}; they must match"
+            )
+        self.snapshot = snapshot
+        self.dataset = dataset
+        self.top_k = int(top_k)
+        self.max_k = int(max_k)
+        self.scorer = TopKScorer(snapshot.model(), dataset, chunk=chunk)
+        self.cache = QueryCache(cache_capacity) if cache_capacity > 0 else None
+        self._lock = threading.Lock()
+        self._started_at = time.time()
+        #: Total queries answered (cache hits included).
+        self.queries_served = 0
+        #: Vectorised scorer calls issued for cache misses.
+        self.scoring_batches = 0
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | Path,
+        dataset: KGDataset | None = None,
+        **kwargs: Any,
+    ) -> "PredictionEngine":
+        """Build an engine straight from a ``.npz`` checkpoint or snapshot dir."""
+        return cls(EmbeddingSnapshot.load(path), dataset, **kwargs)
+
+    # -- query answering ----------------------------------------------------
+    def predict(self, queries: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Answer a batch of queries, preserving order.
+
+        Each query holds ``relation`` plus exactly one of ``head`` (tail
+        prediction) or ``tail`` (head prediction); optional ``k`` and
+        ``filtered`` override the engine defaults.  Raises ``ValueError``
+        on a malformed query (the HTTP layer maps that to a 400).
+        """
+        parsed = [self._parse(q) for q in queries]
+        answers: list[dict[str, Any] | None] = [None] * len(parsed)
+
+        # Cache pass.
+        misses: list[int] = []
+        for i, (direction, anchor, relation, k, filtered) in enumerate(parsed):
+            key = (direction, anchor, relation, k, filtered)
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                answers[i] = self._render(parsed[i], hit, cached=True)
+            else:
+                misses.append(i)
+
+        # Score the misses, one vectorised call per (direction, k, filtered).
+        groups: dict[tuple[str, int, bool], list[int]] = {}
+        for i in misses:
+            direction, _, _, k, filtered = parsed[i]
+            groups.setdefault((direction, k, filtered), []).append(i)
+        for (direction, k, filtered), idxs in groups.items():
+            anchors = np.array([parsed[i][1] for i in idxs], dtype=np.int64)
+            relations = np.array([parsed[i][2] for i in idxs], dtype=np.int64)
+            if direction == "tail":
+                results = self.scorer.top_tails(
+                    anchors, relations, k, filtered=filtered
+                )
+            else:
+                results = self.scorer.top_heads(
+                    relations, anchors, k, filtered=filtered
+                )
+            with self._lock:
+                self.scoring_batches += 1
+            for i, result in zip(idxs, results):
+                direction_i, anchor, relation, k_i, filtered_i = parsed[i]
+                if self.cache is not None:
+                    # Copy the row slices: a result fresh from the scorer
+                    # views its whole batch's arrays, which a cache entry
+                    # must not pin.
+                    self.cache.put(
+                        (direction_i, anchor, relation, k_i, filtered_i),
+                        TopKResult(
+                            result.direction,
+                            result.entities.copy(),
+                            result.scores.copy(),
+                            result.filtered,
+                        ),
+                    )
+                answers[i] = self._render(parsed[i], result, cached=False)
+
+        with self._lock:
+            self.queries_served += len(parsed)
+        return [a for a in answers if a is not None]
+
+    def predict_one(self, **query: Any) -> dict[str, Any]:
+        """Answer a single keyword-style query (see :meth:`predict`)."""
+        return self.predict([query])[0]
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """A JSON-safe operational snapshot for ``/stats``."""
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "queries_served": self.queries_served,
+            "scoring_batches": self.scoring_batches,
+            "default_top_k": self.top_k,
+            "dataset": self.dataset.name if self.dataset is not None else None,
+            "snapshot": self.snapshot.describe(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    # -- internals ----------------------------------------------------------
+    def _parse(
+        self, query: Mapping[str, Any]
+    ) -> tuple[str, int, int, int, bool]:
+        if not isinstance(query, Mapping):
+            raise ValueError("each query must be a JSON object")
+        unknown = [key for key in query if key not in _QUERY_FIELDS]
+        if unknown:
+            raise ValueError(f"unknown query fields: {sorted(unknown)}")
+        if "relation" not in query:
+            raise ValueError("query needs a 'relation'")
+        head, tail = query.get("head"), query.get("tail")
+        if (head is None) == (tail is None):
+            raise ValueError(
+                "query needs exactly one of 'head' (tail prediction) or "
+                "'tail' (head prediction)"
+            )
+        relation = self._id(query["relation"], "relation")
+        k = query.get("k", self.top_k)
+        if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+            raise ValueError(f"k must be an integer, got {k!r}")
+        k = int(k)
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        if k > self.max_k:
+            raise ValueError(f"k must be <= {self.max_k}, got {k}")
+        filtered = query.get("filtered", self.dataset is not None)
+        if not isinstance(filtered, bool):
+            raise ValueError(f"filtered must be a boolean, got {filtered!r}")
+        if filtered and self.dataset is None:
+            raise ValueError("filtered queries need the engine built with a dataset")
+        if head is not None:
+            return ("tail", self._id(head, "entity"), relation, k, filtered)
+        return ("head", self._id(tail, "entity"), relation, k, filtered)
+
+    def _id(self, value: Any, kind: str) -> int:
+        """Resolve an int id or (with a vocabulary) a string label."""
+        if isinstance(value, str):
+            if self.dataset is None:
+                raise ValueError(f"{kind} labels need the engine built with a dataset")
+            vocab = self.dataset.vocab
+            try:
+                if kind == "entity":
+                    return vocab.entity_id(value)
+                return vocab.relation_id(value)
+            except KeyError:
+                raise ValueError(f"unknown {kind} label {value!r}") from None
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ValueError(f"{kind} must be an int id or string label")
+        value = int(value)
+        bound = (
+            self.snapshot.n_entities if kind == "entity" else self.snapshot.n_relations
+        )
+        if not 0 <= value < bound:
+            raise ValueError(f"{kind} id {value} out of range [0, {bound})")
+        return value
+
+    def _render(
+        self,
+        parsed: tuple[str, int, int, int, bool],
+        result: TopKResult,
+        *,
+        cached: bool,
+    ) -> dict[str, Any]:
+        direction, anchor, relation, k, _filtered = parsed
+        answer = result.to_json()
+        answer["relation"] = relation
+        answer["k"] = k
+        answer["cached"] = cached
+        answer["head" if direction == "tail" else "tail"] = anchor
+        if self.dataset is not None:
+            entities = self.dataset.vocab.entities
+            answer["labels"] = [entities[e] for e in answer["entities"]]
+        return answer

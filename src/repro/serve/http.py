@@ -1,0 +1,141 @@
+"""A stdlib JSON-over-HTTP front end for :class:`PredictionEngine`.
+
+No web framework — ``http.server`` with a threading server keeps the
+dependency surface at zero while still overlapping request parsing with
+scoring.  Routes:
+
+* ``POST /predict`` — body ``{"queries": [...]}`` (or a single query
+  object); answers ``{"results": [...]}``;
+* ``GET /healthz`` — liveness probe with the snapshot summary;
+* ``GET /stats`` — engine/cache counters.
+
+Malformed JSON or queries answer 400 with ``{"error": ...}``; unknown
+routes answer 404.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serve.engine import PredictionEngine
+
+__all__ = ["make_server", "run_server", "serve_forever"]
+
+#: Largest accepted request body; a batch of queries is tiny, so anything
+#: bigger is a mistake or abuse.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
+    """A request-handler class bound to ``engine``."""
+
+    class PredictionHandler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1.0"
+        protocol_version = "HTTP/1.1"
+        # Without TCP_NODELAY, Nagle + delayed ACK adds ~40ms to every
+        # keep-alive request — catastrophic for small JSON bodies.
+        disable_nagle_algorithm = True
+
+        # -- routing --------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._body_read = False
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok", "snapshot": engine.snapshot.describe()})
+            elif self.path == "/stats":
+                self._reply(200, engine.stats())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._body_read = False
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                payload = self._read_json()
+                queries = self._queries_of(payload)
+                results = engine.predict(queries)
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            except Exception:  # noqa: BLE001 - a bug must not drop the socket
+                self._reply(500, {"error": "internal server error"})
+                raise  # still reaches handle_error for the operator's log
+            self._reply(200, {"results": results})
+
+        # -- plumbing -------------------------------------------------------
+        def _read_json(self) -> Any:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                raise ValueError("bad Content-Length header") from None
+            if length <= 0:
+                raise ValueError("empty request body")
+            if length > MAX_BODY_BYTES:
+                raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+            data = self.rfile.read(length)
+            self._body_read = True
+            try:
+                return json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValueError(f"invalid JSON body: {exc}") from None
+
+        @staticmethod
+        def _queries_of(payload: Any) -> list[dict[str, Any]]:
+            if isinstance(payload, dict) and "queries" in payload:
+                queries = payload["queries"]
+                if not isinstance(queries, list) or not queries:
+                    raise ValueError("'queries' must be a non-empty list")
+                return queries
+            if isinstance(payload, dict):
+                return [payload]  # single bare query object
+            raise ValueError("body must be a query object or {'queries': [...]}")
+
+        def _reply(self, status: int, body: dict[str, Any]) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            # Replying with the request body still unread would leave its
+            # bytes on a keep-alive socket, where they would be parsed as
+            # the *next* request line — close the connection instead.
+            try:
+                pending = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                pending = 1
+            if pending > 0 and not getattr(self, "_body_read", False):
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(data)
+
+        def log_message(self, format: str, *args: Any) -> None:
+            """Quiet by default; the CLI prints its own line per request."""
+
+    return PredictionHandler
+
+
+def make_server(
+    engine: PredictionEngine, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server (``port=0`` picks a free port)."""
+    return ThreadingHTTPServer((host, port), make_handler(engine))
+
+
+def run_server(server: ThreadingHTTPServer) -> None:
+    """Blocking serve loop; returns cleanly on KeyboardInterrupt."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def serve_forever(
+    engine: PredictionEngine, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Bind and serve ``engine`` until interrupted (one-call convenience)."""
+    run_server(make_server(engine, host, port))

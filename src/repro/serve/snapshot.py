@@ -1,0 +1,140 @@
+"""Embedding snapshots: trained parameter tables ready for serving.
+
+:class:`EmbeddingSnapshot` is the read-only artefact the query engine
+serves from.  It loads either checkpoint format of
+:mod:`repro.models.persistence` — a compressed ``.npz`` (decompressed into
+contiguous heap arrays) or an exported snapshot directory (memory-mapped,
+so entity tables larger than RAM page in on demand) — and rebuilds the
+scoring model on first use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.base import KGEModel
+from repro.models.persistence import (
+    build_model_from_state,
+    load_checkpoint_state,
+    load_snapshot,
+    model_meta,
+)
+
+__all__ = ["EmbeddingSnapshot"]
+
+
+class EmbeddingSnapshot:
+    """A loaded set of embedding tables plus the metadata to score with them.
+
+    Parameters
+    ----------
+    meta:
+        Constructor metadata (``model``, ``n_entities``, ...), the schema of
+        :func:`repro.models.persistence.model_meta`.
+    arrays:
+        Parameter tables keyed by name; memory-mapped or in-heap.
+    source:
+        Where the snapshot came from (path string, for ``/stats``).
+    mmapped:
+        Whether the arrays are backed by memory maps.
+    """
+
+    def __init__(
+        self,
+        meta: dict[str, object],
+        arrays: dict[str, np.ndarray],
+        *,
+        source: str = "<memory>",
+        mmapped: bool = False,
+    ) -> None:
+        self.meta = dict(meta)
+        self.arrays = dict(arrays)
+        self.source = source
+        self.mmapped = bool(mmapped)
+        self._model: KGEModel | None = None
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingSnapshot":
+        """Load from either checkpoint format, auto-detected.
+
+        A directory is read as an exported snapshot (memory-mapped); a file
+        is read as a ``save_model`` ``.npz`` archive.
+        """
+        path = Path(path)
+        if path.is_dir():
+            meta, arrays = load_snapshot(path, mmap=True)
+            return cls(meta, arrays, source=str(path), mmapped=True)
+        meta, arrays = load_checkpoint_state(path)
+        arrays = {
+            name: np.ascontiguousarray(array) for name, array in arrays.items()
+        }
+        return cls(meta, arrays, source=str(path), mmapped=False)
+
+    @classmethod
+    def from_model(cls, model: KGEModel) -> "EmbeddingSnapshot":
+        """Snapshot a live model (copies the tables; serving stays stable)."""
+        snapshot = cls(
+            model_meta(model),
+            {name: array.copy() for name, array in model.params.items()},
+        )
+        return snapshot
+
+    # -- metadata -----------------------------------------------------------
+    @property
+    def model_name(self) -> str:
+        """Registry name of the scoring function."""
+        return str(self.meta["model"])
+
+    @property
+    def n_entities(self) -> int:
+        """Number of entities the tables cover."""
+        return int(self.meta["n_entities"])  # type: ignore[arg-type]
+
+    @property
+    def n_relations(self) -> int:
+        """Number of relations the tables cover."""
+        return int(self.meta["n_relations"])  # type: ignore[arg-type]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimension."""
+        return int(self.meta["dim"])  # type: ignore[arg-type]
+
+    def nbytes(self) -> int:
+        """Total bytes across all parameter tables."""
+        return int(sum(a.nbytes for a in self.arrays.values()))
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-safe summary for ``/stats`` and logs."""
+        return {
+            "model": self.model_name,
+            "n_entities": self.n_entities,
+            "n_relations": self.n_relations,
+            "dim": self.dim,
+            "bytes": self.nbytes(),
+            "source": self.source,
+            "mmapped": self.mmapped,
+        }
+
+    # -- scoring ------------------------------------------------------------
+    def model(self) -> KGEModel:
+        """The rebuilt scoring model (constructed once, then cached).
+
+        ``load_state_dict`` copies the tables into the model's own arrays,
+        so scoring never mutates (or depends on the lifetime of) the
+        memory maps.
+        """
+        if self._model is None:
+            self._model = build_model_from_state(
+                self.meta, {name: np.asarray(a) for name, a in self.arrays.items()}
+            )
+        return self._model
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingSnapshot({self.model_name}, n_entities={self.n_entities}, "
+            f"dim={self.dim}, mmapped={self.mmapped})"
+        )

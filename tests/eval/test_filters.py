@@ -1,0 +1,56 @@
+"""Tests for the shared filtered-candidate mask builders."""
+
+import numpy as np
+
+from repro.data.triples import HEAD, REL, TAIL
+from repro.eval.filters import head_filter_masks, tail_filter_masks
+
+
+class TestTailFilterMasks:
+    def test_masks_cover_every_known_tail(self, tiny_kg):
+        triples = tiny_kg.test[:16]
+        masks = tail_filter_masks(tiny_kg, triples[:, HEAD], triples[:, REL])
+        assert len(masks) == len(triples)
+        for triple, mask in zip(triples, masks):
+            h, r, t = (int(x) for x in triple)
+            np.testing.assert_array_equal(mask, tiny_kg.true_tails(h, r))
+            assert t in mask  # the queried triple itself is known
+
+    def test_mask_entries_are_known_triples(self, tiny_kg):
+        triples = tiny_kg.test[:8]
+        masks = tail_filter_masks(tiny_kg, triples[:, HEAD], triples[:, REL])
+        for triple, mask in zip(triples, masks):
+            h, r = int(triple[HEAD]), int(triple[REL])
+            assert all(tiny_kg.is_known(h, r, int(t)) for t in mask)
+
+    def test_unknown_pair_gives_empty_mask(self, tiny_kg):
+        # A (h, r) pair absent from every split has no true tails.
+        known = {(int(h), int(r)) for h, r, _ in tiny_kg.all_triples()}
+        h, r = next(
+            (h, r)
+            for h in range(tiny_kg.n_entities)
+            for r in range(tiny_kg.n_relations)
+            if (h, r) not in known
+        )
+        (mask,) = tail_filter_masks(tiny_kg, np.array([h]), np.array([r]))
+        assert len(mask) == 0
+
+
+class TestHeadFilterMasks:
+    def test_masks_cover_every_known_head(self, tiny_kg):
+        triples = tiny_kg.test[:16]
+        masks = head_filter_masks(tiny_kg, triples[:, REL], triples[:, TAIL])
+        for triple, mask in zip(triples, masks):
+            h, r, t = (int(x) for x in triple)
+            np.testing.assert_array_equal(mask, tiny_kg.true_heads(r, t))
+            assert h in mask
+
+    def test_head_and_tail_masks_agree_on_symmetric_membership(self, tiny_kg):
+        # t in tail_mask(h, r) <=> h in head_mask(r, t), both meaning
+        # (h, r, t) is a known triple.
+        triples = tiny_kg.valid[:8]
+        tails = tail_filter_masks(tiny_kg, triples[:, HEAD], triples[:, REL])
+        heads = head_filter_masks(tiny_kg, triples[:, REL], triples[:, TAIL])
+        for triple, tail_mask, head_mask in zip(triples, tails, heads):
+            assert int(triple[TAIL]) in tail_mask
+            assert int(triple[HEAD]) in head_mask

@@ -1,0 +1,188 @@
+"""Tests for the prediction engine (parse / batch / cache orchestration)."""
+
+import numpy as np
+import pytest
+
+from repro.data.triples import HEAD, REL, TAIL
+from repro.models.persistence import save_model
+from repro.serve.engine import PredictionEngine
+from repro.serve.snapshot import EmbeddingSnapshot
+
+
+@pytest.fixture
+def engine(tiny_kg, small_transe):
+    return PredictionEngine(
+        EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5
+    )
+
+
+class TestPredict:
+    def test_tail_query_shape(self, engine, tiny_kg):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        answer = engine.predict_one(head=h, relation=r)
+        assert answer["direction"] == "tail"
+        assert answer["head"] == h and answer["relation"] == r
+        assert len(answer["entities"]) <= 5
+        assert len(answer["labels"]) == len(answer["entities"])
+        assert not answer["cached"]
+
+    def test_head_query(self, engine, tiny_kg):
+        t, r = int(tiny_kg.test[0, TAIL]), int(tiny_kg.test[0, REL])
+        answer = engine.predict_one(tail=t, relation=r)
+        assert answer["direction"] == "head"
+        assert answer["tail"] == t
+
+    def test_batch_preserves_order_and_mixes_directions(self, engine, tiny_kg):
+        triples = tiny_kg.test[:4]
+        queries = [
+            {"head": int(triples[0, HEAD]), "relation": int(triples[0, REL])},
+            {"tail": int(triples[1, TAIL]), "relation": int(triples[1, REL])},
+            {"head": int(triples[2, HEAD]), "relation": int(triples[2, REL]), "k": 3},
+            {"tail": int(triples[3, TAIL]), "relation": int(triples[3, REL])},
+        ]
+        answers = engine.predict(queries)
+        assert [a["direction"] for a in answers] == ["tail", "head", "tail", "head"]
+        assert answers[0]["head"] == queries[0]["head"]
+        assert len(answers[2]["entities"]) <= 3
+
+    def test_batch_matches_one_at_a_time(self, tiny_kg, small_transe):
+        snapshot = EmbeddingSnapshot.from_model(small_transe)
+        batched = PredictionEngine(snapshot, tiny_kg, top_k=5, cache_capacity=0)
+        single = PredictionEngine(snapshot, tiny_kg, top_k=5, cache_capacity=0)
+        triples = tiny_kg.test[:12]
+        queries = [
+            {"head": int(h), "relation": int(r)}
+            for h, r in zip(triples[:, HEAD], triples[:, REL])
+        ]
+        batch_answers = batched.predict(queries)
+        for query, batch_answer in zip(queries, batch_answers):
+            assert single.predict_one(**query) == batch_answer
+        assert batched.scoring_batches == 1
+        assert single.scoring_batches == len(queries)
+
+    def test_string_labels_resolve(self, engine, tiny_kg):
+        h, r, t = tiny_kg.test[0]
+        vocab = tiny_kg.vocab
+        by_label = engine.predict_one(
+            head=vocab.entity_label(int(h)), relation=vocab.relation_label(int(r))
+        )
+        by_id = engine.predict_one(head=int(h), relation=int(r))
+        assert by_label["entities"] == by_id["entities"]
+
+    def test_filtered_defaults_on_with_dataset(self, engine, tiny_kg):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        answer = engine.predict_one(head=h, relation=r, k=tiny_kg.n_entities)
+        known = set(tiny_kg.true_tails(h, r).tolist())
+        assert not known & set(answer["entities"])
+        assert answer["filtered"]
+
+
+class TestCacheIntegration:
+    def test_repeat_query_hits_cache(self, engine, tiny_kg):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        first = engine.predict_one(head=h, relation=r)
+        second = engine.predict_one(head=h, relation=r)
+        assert not first["cached"] and second["cached"]
+        assert first["entities"] == second["entities"]
+        assert engine.scoring_batches == 1
+
+    def test_different_k_is_a_different_cache_entry(self, engine, tiny_kg):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        engine.predict_one(head=h, relation=r, k=3)
+        answer = engine.predict_one(head=h, relation=r, k=4)
+        assert not answer["cached"]
+
+    def test_cache_disabled(self, tiny_kg, small_transe):
+        engine = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, cache_capacity=0
+        )
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        engine.predict_one(head=h, relation=r)
+        assert not engine.predict_one(head=h, relation=r)["cached"]
+        assert engine.cache is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "query, match",
+        [
+            ({"relation": 0}, "exactly one of"),
+            ({"head": 0, "tail": 1, "relation": 0}, "exactly one of"),
+            ({"head": 0}, "needs a 'relation'"),
+            ({"head": 0, "relation": 0, "extra": 1}, "unknown query fields"),
+            ({"head": 10**6, "relation": 0}, "out of range"),
+            ({"head": 0, "relation": 10**6}, "out of range"),
+            ({"head": 0, "relation": 0, "k": 0}, "k must be > 0"),
+            ({"head": 0, "relation": 0, "k": None}, "k must be an integer"),
+            ({"head": 0, "relation": 0, "k": [5]}, "k must be an integer"),
+            ({"head": 0, "relation": 0, "k": True}, "k must be an integer"),
+            ({"head": 0, "relation": 0, "k": 10**9}, "k must be <="),
+            ({"head": 0, "relation": 0, "filtered": "false"}, "must be a boolean"),
+            ({"head": 1.5, "relation": 0}, "int id or string label"),
+            ({"head": "no-such-entity", "relation": 0}, "unknown entity label"),
+        ],
+    )
+    def test_malformed_queries_rejected(self, engine, query, match):
+        with pytest.raises(ValueError, match=match):
+            engine.predict([query])
+
+    def test_entity_count_mismatch_rejected(self, tiny_kg):
+        from repro.models import make_model
+
+        other = make_model("TransE", tiny_kg.n_entities + 1, tiny_kg.n_relations, 4)
+        with pytest.raises(ValueError, match="must match"):
+            PredictionEngine(EmbeddingSnapshot.from_model(other), tiny_kg)
+
+    def test_relation_count_mismatch_rejected(self, tiny_kg):
+        from repro.models import make_model
+
+        other = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations + 1, 4)
+        with pytest.raises(ValueError, match="must match"):
+            PredictionEngine(EmbeddingSnapshot.from_model(other), tiny_kg)
+
+    def test_filtered_without_dataset_rejected(self, small_transe):
+        engine = PredictionEngine(EmbeddingSnapshot.from_model(small_transe))
+        with pytest.raises(ValueError, match="dataset"):
+            engine.predict_one(head=0, relation=0, filtered=True)
+        # ...but unfiltered queries work, defaulting filtered off.
+        answer = engine.predict_one(head=0, relation=0)
+        assert not answer["filtered"] and "labels" not in answer
+
+
+class TestStatsAndConstruction:
+    def test_stats_shape(self, engine, tiny_kg):
+        engine.predict_one(head=int(tiny_kg.test[0, HEAD]), relation=0)
+        stats = engine.stats()
+        assert stats["queries_served"] == 1
+        assert stats["dataset"] == tiny_kg.name
+        assert stats["snapshot"]["model"] == "TransE"
+        assert stats["cache"]["entries"] == 1
+        assert stats["uptime_seconds"] >= 0
+
+    def test_from_checkpoint(self, tmp_path, tiny_kg, small_transe):
+        path = save_model(small_transe, tmp_path / "m.npz")
+        engine = PredictionEngine.from_checkpoint(path, tiny_kg, top_k=3)
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        direct = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=3
+        )
+        assert engine.predict_one(head=h, relation=r)["entities"] == \
+            direct.predict_one(head=h, relation=r)["entities"]
+
+    def test_bad_top_k_rejected(self, small_transe):
+        with pytest.raises(ValueError, match="top_k"):
+            PredictionEngine(EmbeddingSnapshot.from_model(small_transe), top_k=0)
+
+    def test_max_k_below_top_k_rejected(self, small_transe):
+        with pytest.raises(ValueError, match="max_k"):
+            PredictionEngine(
+                EmbeddingSnapshot.from_model(small_transe), top_k=10, max_k=5
+            )
+
+    def test_max_k_enforced_per_query(self, tiny_kg, small_transe):
+        engine = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=3, max_k=5
+        )
+        assert len(engine.predict_one(head=0, relation=0, k=5)["entities"]) <= 5
+        with pytest.raises(ValueError, match="k must be <= 5"):
+            engine.predict_one(head=0, relation=0, k=6)

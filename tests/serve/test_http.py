@@ -1,0 +1,185 @@
+"""Tests for the JSON HTTP endpoint (real sockets, stdlib client)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.triples import HEAD, REL
+from repro.serve.engine import PredictionEngine
+from repro.serve.http import make_server
+from repro.serve.snapshot import EmbeddingSnapshot
+
+
+@pytest.fixture
+def server(tiny_kg, small_transe):
+    engine = PredictionEngine(
+        EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5
+    )
+    httpd = make_server(engine, "127.0.0.1", 0)  # port 0: pick a free port
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=5) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["snapshot"]["model"] == "TransE"
+
+    def test_stats_reflects_traffic(self, server, tiny_kg):
+        query = {"head": int(tiny_kg.test[0, HEAD]),
+                 "relation": int(tiny_kg.test[0, REL])}
+        _post(server, "/predict", query)
+        status, body = _get(server, "/stats")
+        assert status == 200
+        assert body["queries_served"] == 1
+        assert body["cache"]["entries"] == 1
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, "/nope", {})
+        assert err.value.code == 404
+
+
+class TestPredict:
+    def test_single_query_object(self, server, tiny_kg):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        status, body = _post(server, "/predict", {"head": h, "relation": r})
+        assert status == 200
+        (result,) = body["results"]
+        assert result["direction"] == "tail"
+        assert result["head"] == h
+        assert len(result["entities"]) <= 5
+
+    def test_batch_of_queries(self, server, tiny_kg):
+        triples = tiny_kg.test[:3]
+        payload = {
+            "queries": [
+                {"head": int(h), "relation": int(r), "k": 4}
+                for h, r in zip(triples[:, HEAD], triples[:, REL])
+            ]
+        }
+        status, body = _post(server, "/predict", payload)
+        assert status == 200
+        assert len(body["results"]) == 3
+        assert all(len(r["entities"]) <= 4 for r in body["results"])
+
+    def test_http_answers_match_engine(self, server, tiny_kg, small_transe):
+        h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])
+        _, body = _post(server, "/predict", {"head": h, "relation": r})
+        local = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5
+        ).predict_one(head=h, relation=r)
+        served = body["results"][0]
+        assert served["entities"] == local["entities"]
+        assert served["scores"] == pytest.approx(local["scores"])
+
+    def test_second_request_is_cache_hit(self, server, tiny_kg):
+        query = {"head": int(tiny_kg.test[0, HEAD]),
+                 "relation": int(tiny_kg.test[0, REL])}
+        _, first = _post(server, "/predict", query)
+        _, second = _post(server, "/predict", query)
+        assert not first["results"][0]["cached"]
+        assert second["results"][0]["cached"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"relation": 0},  # no head/tail
+            {"head": 0, "tail": 1, "relation": 0},  # both sides
+            {"queries": []},  # empty batch
+            {"head": 10**9, "relation": 0},  # out of range
+            {"head": 0, "relation": 0, "k": None},  # non-integer k
+            [1, 2, 3],  # not an object
+        ],
+    )
+    def test_bad_queries_get_400(self, server, payload):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, "/predict", payload)
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read().decode("utf-8"))
+
+    def test_invalid_json_gets_400(self, server):
+        request = urllib.request.Request(
+            _url(server, "/predict"),
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 400
+
+    def test_keepalive_survives_unread_error_body(self, server, tiny_kg):
+        # A 404/400 sent before the body is drained must not leave the
+        # body bytes on a keep-alive socket to be parsed as the next
+        # request line (that desyncs the connection for every later
+        # request).  The server closes such connections; the client
+        # reconnects transparently.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port)
+        try:
+            connection.request(
+                "POST", "/nope", json.dumps({"head": 0, "relation": 0}),
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 404
+
+            query = {"head": int(tiny_kg.test[0, HEAD]),
+                     "relation": int(tiny_kg.test[0, REL])}
+            connection.request(
+                "POST", "/predict", json.dumps(query),
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200
+            assert body["results"][0]["head"] == query["head"]
+        finally:
+            connection.close()
+
+    def test_empty_body_gets_400(self, server):
+        request = urllib.request.Request(
+            _url(server, "/predict"), data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 400

@@ -1,0 +1,113 @@
+"""Tests for the LRU query cache."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import QueryCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = QueryCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_put_overwrites(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_contains_and_len(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = QueryCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("x")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_before_any_lookup(self):
+        assert QueryCache(capacity=2).hit_rate == 0.0
+
+    def test_stats_dict(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert stats["capacity"] == 2
+
+    def test_clear_keeps_counters_reset_zeroes_them(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+        cache.reset_counters()
+        assert cache.hits == cache.misses == cache.evictions == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_workload(self):
+        cache = QueryCache(capacity=64)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(500):
+                    key = (worker_id, i % 100)
+                    if cache.get(key) is None:
+                        cache.put(key, i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.hits + cache.misses == 8 * 500

@@ -1,0 +1,86 @@
+"""Tests for EmbeddingSnapshot and the snapshot export format."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.models.persistence import export_snapshot, load_snapshot, save_model
+from repro.serve.snapshot import EmbeddingSnapshot
+
+
+@pytest.fixture
+def model():
+    return make_model("TransD", 20, 5, 6, rng=7)
+
+
+class TestExportSnapshot:
+    def test_directory_layout(self, tmp_path, model):
+        directory = export_snapshot(model, tmp_path / "snap")
+        assert (directory / "meta.json").is_file()
+        for name in model.params:
+            assert (directory / f"{name}.npy").is_file()
+
+    def test_load_snapshot_mmap_arrays(self, tmp_path, model):
+        directory = export_snapshot(model, tmp_path / "snap")
+        meta, arrays = load_snapshot(directory, mmap=True)
+        assert meta["model"] == "TransD"
+        for name, array in model.params.items():
+            assert isinstance(arrays[name], np.memmap)
+            np.testing.assert_array_equal(arrays[name], array)
+
+    def test_load_snapshot_in_heap(self, tmp_path, model):
+        directory = export_snapshot(model, tmp_path / "snap")
+        _, arrays = load_snapshot(directory, mmap=False)
+        assert all(not isinstance(a, np.memmap) for a in arrays.values())
+
+    def test_non_snapshot_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a repro snapshot"):
+            load_snapshot(tmp_path)
+
+
+class TestEmbeddingSnapshot:
+    def test_load_from_npz(self, tmp_path, model):
+        path = save_model(model, tmp_path / "m.npz")
+        snapshot = EmbeddingSnapshot.load(path)
+        assert not snapshot.mmapped
+        assert snapshot.model_name == "TransD"
+        assert snapshot.n_entities == 20 and snapshot.dim == 6
+        for array in snapshot.arrays.values():
+            assert array.flags["C_CONTIGUOUS"]
+
+    def test_load_from_directory_is_mmapped(self, tmp_path, model):
+        snapshot = EmbeddingSnapshot.load(export_snapshot(model, tmp_path / "s"))
+        assert snapshot.mmapped
+        assert all(isinstance(a, np.memmap) for a in snapshot.arrays.values())
+
+    def test_both_formats_score_identically(self, tmp_path, model, rng):
+        npz = EmbeddingSnapshot.load(save_model(model, tmp_path / "m.npz"))
+        mmapped = EmbeddingSnapshot.load(export_snapshot(model, tmp_path / "s"))
+        h = rng.integers(0, 20, 12)
+        r = rng.integers(0, 5, 12)
+        t = rng.integers(0, 20, 12)
+        expected = model.score(h, r, t)
+        np.testing.assert_array_equal(npz.model().score(h, r, t), expected)
+        np.testing.assert_array_equal(mmapped.model().score(h, r, t), expected)
+
+    def test_model_is_cached(self, tmp_path, model):
+        snapshot = EmbeddingSnapshot.load(save_model(model, tmp_path / "m.npz"))
+        assert snapshot.model() is snapshot.model()
+
+    def test_from_model_copies_tables(self, model):
+        snapshot = EmbeddingSnapshot.from_model(model)
+        model.params["entity"][:] = 0.0
+        assert np.any(snapshot.arrays["entity"] != 0.0)
+
+    def test_describe_is_json_safe(self, model):
+        import json
+
+        description = EmbeddingSnapshot.from_model(model).describe()
+        assert json.loads(json.dumps(description)) == description
+        assert description["bytes"] > 0
+
+    def test_junk_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro model checkpoint"):
+            EmbeddingSnapshot.load(path)

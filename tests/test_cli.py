@@ -20,6 +20,24 @@ class TestParser:
                 ["train", "--dataset", "WN18RR", "--model", "GPT"]
             )
 
+    def test_serve_requires_checkpoint_and_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--checkpoint", "m.npz"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "m.npz", "--dataset", "WN18RR"]
+        )
+        assert args.port == 8080 and args.host == "127.0.0.1"
+        assert args.top_k == 10 and args.cache_capacity == 1024
+
+    def test_evaluate_top_k_option(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--checkpoint", "m.npz", "--dataset", "WN18RR",
+             "--top-k", "7"]
+        )
+        assert args.top_k == 7
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -60,10 +78,30 @@ class TestCommands:
                 "--checkpoint", str(checkpoint),
                 "--dataset", "WN18RR",
                 "--scale", "0.05",
+                "--top-k", "3",
             ]
         )
         assert code == 0
-        assert "mrr" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "mrr" in out
+        assert "sample tail predictions" in out
+        assert "top-3 filtered predictions" in out
+
+    def test_serve_scale_mismatch_fails_cleanly(self, tmp_path, capsys):
+        from repro.models import make_model
+        from repro.models.persistence import save_model
+
+        # 3 entities can never match a loaded benchmark: serve must exit 2
+        # before binding a socket.
+        checkpoint = save_model(make_model("TransE", 3, 2, 4), tmp_path / "m")
+        code = main(
+            [
+                "serve", "--checkpoint", str(checkpoint),
+                "--dataset", "WN18RR", "--scale", "0.05",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
     def test_evaluate_scale_mismatch_fails_cleanly(self, tmp_path, capsys):
         checkpoint = tmp_path / "model.npz"
