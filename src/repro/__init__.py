@@ -35,6 +35,8 @@ Quickstart::
 """
 
 from repro.core import (
+    ArrayNegativeCache,
+    CacheStore,
     HashedNegativeCache,
     NegativeCache,
     NSCachingSampler,
@@ -42,7 +44,9 @@ from repro.core import (
     UpdateStrategy,
 )
 from repro.data import (
+    KeyIndex,
     KGDataset,
+    TripleKeyIndex,
     SyntheticKGConfig,
     Vocabulary,
     fb13_like,
@@ -99,7 +103,9 @@ from repro.train import TrainConfig, Trainer, pretrain, warm_start
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrayNegativeCache",
     "BernoulliSampler",
+    "CacheStore",
     "ComplEx",
     "DistMult",
     "EmbeddingSnapshot",
@@ -109,6 +115,7 @@ __all__ = [
     "KBGANSampler",
     "KGDataset",
     "KGEModel",
+    "KeyIndex",
     "NSCachingSampler",
     "NegativeCache",
     "NegativeSampler",
@@ -127,6 +134,7 @@ __all__ = [
     "TransE",
     "TransH",
     "TransR",
+    "TripleKeyIndex",
     "UniformSampler",
     "UpdateStrategy",
     "Vocabulary",

@@ -140,6 +140,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.serve.engine", "repro.serve.topk"),
             "benchmarks/bench_serve_throughput.py",
         ),
+        Experiment(
+            "X4",
+            "Extension: cache-engine throughput (array vs dict backend)",
+            "gather/CE-scatter op mix and full sample+update across batch sizes and N1/N2",
+            ("repro.core.array_cache", "repro.core.cache", "repro.data.keyindex"),
+            "benchmarks/bench_cache_engine.py",
+        ),
     )
 }
 

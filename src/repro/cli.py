@@ -20,6 +20,7 @@ import sys
 from typing import Sequence
 
 from repro.bench.harness import MODEL_DEFAULTS, build_model, make_config
+from repro.core.store import CACHE_BACKENDS
 from repro.bench.registry import describe_experiments
 from repro.bench.tables import format_table
 from repro.data.benchmarks import BENCHMARKS, load_benchmark
@@ -59,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cache-size", type=int, default=50, help="N1")
     train.add_argument("--candidate-size", type=int, default=50, help="N2")
     train.add_argument("--lazy-epochs", type=int, default=0, help="lazy-update n")
+    train.add_argument(
+        "--cache-backend", default="array", choices=CACHE_BACKENDS,
+        help="NSCaching cache storage: vectorised array (default) or dict",
+    )
+    train.add_argument(
+        "--profile", action="store_true",
+        help="report per-phase timing (sample/score/cache-update/…) after training",
+    )
     train.add_argument("--out", default=None, help="checkpoint path (.npz)")
     train.add_argument(
         "--per-category", action="store_true",
@@ -119,6 +128,7 @@ def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
             "cache_size": args.cache_size,
             "candidate_size": args.candidate_size,
             "lazy_epochs": args.lazy_epochs,
+            "cache_backend": args.cache_backend,
         }
     if args.sampler in ("KBGAN", "SelfAdv"):
         return {"candidate_size": args.candidate_size}
@@ -158,9 +168,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     config = make_config(args.model, args.epochs, seed=args.seed, **overrides)
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
-    trainer = Trainer(model, dataset, sampler, config)
+    trainer = Trainer(model, dataset, sampler, config, profile=args.profile)
     trainer.run()
     print(f"trained {args.epochs} epochs in {trainer.train_seconds:.1f}s")
+    if args.profile:
+        phases = trainer.profile_report()
+        total = sum(phases.values()) or 1.0
+        print(
+            format_table(
+                ("phase", "seconds", "% of hot loop"),
+                [
+                    (name, round(seconds, 4), round(100 * seconds / total, 1))
+                    for name, seconds in phases.items()
+                ],
+                title="per-phase timing (training hot loop)",
+            )
+        )
     _print_metrics(evaluate(model, dataset, "test"))
     if args.per_category:
         _print_breakdown(model, dataset, "test")

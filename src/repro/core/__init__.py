@@ -1,7 +1,11 @@
 """The paper's contribution: cache-based negative sampling.
 
-* :mod:`repro.core.cache` — the head/tail negative cache (ids only,
-  §III-B3);
+* :mod:`repro.core.store` — the :class:`CacheStore` protocol all cache
+  backends implement, and the backend registry;
+* :mod:`repro.core.array_cache` — preallocated array cache, the fully
+  vectorised default backend;
+* :mod:`repro.core.cache` — the dict-of-arrays head/tail negative cache
+  (ids only, §III-B3; reference backend);
 * :mod:`repro.core.strategies` — sample-from-cache and update-cache
   strategies with the exploration/exploitation trade-offs of Figure 6;
 * :mod:`repro.core.nscaching` — :class:`NSCachingSampler`, Algorithms 2-3;
@@ -9,10 +13,12 @@
 * :mod:`repro.core.stats` — RR / NZL / CE instrumentation (Figures 7-8).
 """
 
+from repro.core.array_cache import ArrayNegativeCache, multiset_overlap_rows
 from repro.core.cache import NegativeCache
 from repro.core.hashed import HashedNegativeCache, stable_key_hash
 from repro.core.nscaching import NSCachingSampler
 from repro.core.stats import EpochSeries, NegativeTracker
+from repro.core.store import CACHE_BACKENDS, CacheStore, make_cache_backend
 from repro.core.strategies import (
     SampleStrategy,
     UpdateStrategy,
@@ -22,6 +28,9 @@ from repro.core.strategies import (
 )
 
 __all__ = [
+    "ArrayNegativeCache",
+    "CACHE_BACKENDS",
+    "CacheStore",
     "EpochSeries",
     "HashedNegativeCache",
     "NSCachingSampler",
@@ -30,6 +39,8 @@ __all__ = [
     "SampleStrategy",
     "UpdateStrategy",
     "duplicate_mask",
+    "make_cache_backend",
+    "multiset_overlap_rows",
     "sample_from_cache",
     "select_cache_survivors",
     "stable_key_hash",

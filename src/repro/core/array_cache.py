@@ -1,0 +1,300 @@
+"""Array-backed negative cache: the NSCaching hot loop as pure numpy.
+
+The dict cache of :mod:`repro.core.cache` pays Python-level costs per key
+per batch: tuple construction, dict lookups, a per-row ``put`` loop and a
+pure-Python multiset walk for the CE metric.  This module stores the whole
+cache as one preallocated block instead::
+
+    ids    : int64  [n_keys, N1]   cached entity ids, one row per key
+    scores : float64[n_keys, N1]   optional (IS/top sampling only)
+    _live  : bool   [n_keys]       which rows have been initialised
+
+Rows are addressed by the dense indices of a
+:class:`~repro.data.keyindex.KeyIndex` (attached once at bind time), so a
+batch access is a single fancy-index ``gather`` and a refresh is a single
+``scatter`` — zero per-row Python.  Lazy random initialisation draws from
+the generator in first-occurrence order, which keeps the RNG stream
+bit-identical to the dict cache's per-key draws: both backends produce the
+same training trajectory from the same seed.
+
+The CE metric (changed cache elements, Figure 8) is computed for a whole
+batch at once by :func:`multiset_overlap_rows`, an exact vectorised
+replacement for the per-entry Python merge walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.keyindex import KeyIndex
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ArrayNegativeCache", "multiset_overlap_rows"]
+
+
+def _occurrence_rank(sorted_rows: np.ndarray) -> np.ndarray:
+    """Per element of a row-wise sorted array: its index among equal values.
+
+    ``[3, 5, 5, 5, 9] -> [0, 0, 1, 2, 0]``.  Tagging each value with its
+    rank makes multisets behave as sets: ``min(count_a(v), count_b(v))``
+    equals the number of ``(v, rank)`` pairs the two rows share.
+    """
+    b, n = sorted_rows.shape
+    idx = np.broadcast_to(np.arange(n), (b, n))
+    is_run_start = np.ones((b, n), dtype=bool)
+    is_run_start[:, 1:] = sorted_rows[:, 1:] != sorted_rows[:, :-1]
+    run_start = np.maximum.accumulate(np.where(is_run_start, idx, 0), axis=1)
+    return idx - run_start
+
+
+def multiset_overlap_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise multiset intersection sizes of two ``[B, N]`` id arrays.
+
+    Exact vectorised equivalent of running
+    :func:`repro.core.cache._multiset_overlap` on every row pair.
+
+    Method: tag every element with its occurrence rank among equal values
+    in its (sorted) row.  ``(row, value, rank)`` records are unique within
+    each side, and ``min(count_a(v), count_b(v))`` is exactly the number of
+    records the two sides share — so the multiset problem becomes a set
+    intersection.  Packing each record into one int64 turns that into a
+    single flat sort: shared records land as adjacent equal pairs.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError(f"expected equal [B, N] shapes, got {a.shape} and {b.shape}")
+    n_rows, n_cols = a.shape
+    if a.size == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    a = np.sort(a, axis=1)
+    b = np.sort(b, axis=1)
+    lo = min(int(a[:, 0].min()), int(b[:, 0].min()))
+    hi = max(int(a[:, -1].max()), int(b[:, -1].max()))
+    span = hi - lo + 1
+    if n_rows * span * n_cols >= 2**62:  # packed code would overflow int64
+        raise ValueError(
+            f"id range too wide to pack: {n_rows} rows x span {span} x {n_cols} cols"
+        )
+    row_base = (np.arange(n_rows, dtype=np.int64) * span)[:, None]
+    codes = np.concatenate(
+        [
+            ((row_base + (a - lo)) * n_cols + _occurrence_rank(a)).ravel(),
+            ((row_base + (b - lo)) * n_cols + _occurrence_rank(b)).ravel(),
+        ]
+    )
+    codes.sort()
+    matched = codes[:-1][codes[1:] == codes[:-1]]
+    return np.bincount(matched // (span * n_cols), minlength=n_rows).astype(np.int64)
+
+
+class ArrayNegativeCache:
+    """A preallocated, fully vectorised negative cache (CacheStore).
+
+    Construction mirrors :class:`~repro.core.cache.NegativeCache` (so both
+    fit the same ``cache_factory`` signature); storage is allocated when a
+    :class:`~repro.data.keyindex.KeyIndex` is attached, which fixes the
+    number of rows.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        n_entities: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        store_scores: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"cache size N1 must be > 0, got {size}")
+        if n_entities <= 0:
+            raise ValueError(f"n_entities must be > 0, got {n_entities}")
+        self.size = int(size)
+        self.n_entities = int(n_entities)
+        self.store_scores = bool(store_scores)
+        self.rng = ensure_rng(rng)
+        self._index: KeyIndex | None = None
+        self._ids: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
+        self._live: np.ndarray | None = None
+        #: Total cache elements replaced since construction (the CE metric).
+        self.changed_elements = 0
+        #: Number of entries created lazily.
+        self.initialised_entries = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach_index(self, index: KeyIndex) -> None:
+        """Bind the key→row map and preallocate storage for its rows."""
+        self._index = index
+        self._ids = np.zeros((index.n_keys, self.size), dtype=np.int64)
+        self._live = np.zeros(index.n_keys, dtype=bool)
+        if self.store_scores:
+            self._scores = np.zeros((index.n_keys, self.size), dtype=np.float64)
+
+    def _require_index(self) -> KeyIndex:
+        if self._index is None or self._ids is None or self._live is None:
+            raise RuntimeError(
+                "ArrayNegativeCache has no storage yet; call "
+                "attach_index(KeyIndex) before gather/scatter"
+            )
+        return self._index
+
+    # -- access --------------------------------------------------------------
+    def _materialise(self, rows: np.ndarray) -> None:
+        """Random-init any not-yet-live rows, in first-occurrence order.
+
+        First-occurrence order (not sorted order) matters: it makes the
+        generator consume draws exactly as the dict cache's lazy per-key
+        ``get`` does, keeping the two backends bit-identical under a seed.
+        """
+        assert self._ids is not None and self._live is not None
+        pending = rows[~self._live[rows]]
+        if len(pending) == 0:
+            return
+        uniq, first_pos = np.unique(pending, return_index=True)
+        uniq = uniq[np.argsort(first_pos, kind="stable")]
+        self._ids[uniq] = self.rng.integers(
+            0, self.n_entities, size=(len(uniq), self.size), dtype=np.int64
+        )
+        self._live[uniq] = True
+        self.initialised_entries += len(uniq)
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Cached ids for a batch of rows; shape ``[len(rows), N1]``.
+
+        Rows never touched before are random-initialised first (the
+        paper's from-scratch init).  The result is a copy — mutating it
+        cannot corrupt cache state.
+        """
+        self._require_index()
+        rows = np.asarray(rows, dtype=np.int64)
+        self._materialise(rows)
+        assert self._ids is not None
+        return self._ids[rows]
+
+    def gather_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Stored scores for a batch of rows (zeros until first refresh)."""
+        if not self.store_scores:
+            raise RuntimeError("cache was built with store_scores=False")
+        self._require_index()
+        rows = np.asarray(rows, dtype=np.int64)
+        self._materialise(rows)
+        assert self._scores is not None
+        return self._scores[rows]
+
+    # -- mutation ------------------------------------------------------------
+    def scatter(
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> int:
+        """Replace the entries at ``rows``; returns #elements that changed.
+
+        Semantically equivalent to calling the dict cache's ``put`` once
+        per row in order: when a batch repeats a row, each write's CE is
+        counted against the *previous* write, and the last write wins.
+        """
+        self._require_index()
+        assert self._ids is not None and self._live is not None
+        rows = np.asarray(rows, dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape != (len(rows), self.size):
+            raise ValueError(
+                f"entries must have shape ({len(rows)}, {self.size}), got {ids.shape}"
+            )
+        if self.store_scores and scores is None:
+            raise ValueError("store_scores=True cache requires scores on scatter()")
+        if len(rows) == 0:
+            return 0
+
+        prev = self._ids[rows]
+        live = self._live[rows].copy()
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        dup = sorted_rows[1:] == sorted_rows[:-1]
+        repeat = np.zeros(len(rows), dtype=bool)
+        repeat[order[1:]] = dup
+        if repeat.any():
+            # Non-first writes compare against the preceding write's ids.
+            prev[order[1:][dup]] = ids[order[:-1][dup]]
+            live = live | repeat
+
+        overlap = multiset_overlap_rows(ids, prev)
+        changed = int(np.where(live, self.size - overlap, self.size).sum())
+        self.changed_elements += changed
+        self.initialised_entries += int(np.count_nonzero(~live))
+
+        # Last write wins: assign only each row's final occurrence.
+        is_last = np.zeros(len(rows), dtype=bool)
+        is_last[order[:-1]] = ~dup
+        is_last[order[-1]] = True
+        self._ids[rows[is_last]] = ids[is_last]
+        self._live[rows] = True
+        if self.store_scores:
+            assert self._scores is not None and scores is not None
+            scores = np.asarray(scores, dtype=np.float64)
+            self._scores[rows[is_last]] = scores[is_last]
+        return changed
+
+    # -- key-addressed access (probing / callbacks) ---------------------------
+    def get(self, key: tuple[int, int]) -> np.ndarray:
+        """Entity ids cached under a ``(id, id)`` key (a copy)."""
+        index = self._require_index()
+        return self.gather(np.array([index.row_of(key)], dtype=np.int64))[0]
+
+    def scores(self, key: tuple[int, int]) -> np.ndarray:
+        """Stored scores under a ``(id, id)`` key (a copy)."""
+        index = self._require_index()
+        return self.gather_scores(np.array([index.row_of(key)], dtype=np.int64))[0]
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        if self._index is None or self._live is None:
+            return False
+        if not self._index.contains(key):
+            return False
+        return bool(self._live[self._index.row_of(key)])
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Number of initialised cache rows."""
+        return int(self._live.sum()) if self._live is not None else 0
+
+    def keys(self) -> list[tuple[int, int]]:
+        """Keys of all initialised rows."""
+        if self._index is None or self._live is None:
+            return []
+        pairs = self._index.keys()[self._live]
+        return [(int(a), int(b)) for a, b in pairs]
+
+    def memory_bytes(self) -> int:
+        """Bytes held by *initialised* entries (the paper's O(|S|·N1) figure).
+
+        Comparable across backends; :meth:`allocated_bytes` reports the
+        preallocated block.
+        """
+        per_row = self.size * 8 * (2 if self.store_scores else 1)
+        return self.n_entries * per_row
+
+    def allocated_bytes(self) -> int:
+        """Actual bytes of the preallocated arrays (0 before attach)."""
+        total = self._ids.nbytes if self._ids is not None else 0
+        total += self._scores.nbytes if self._scores is not None else 0
+        total += self._live.nbytes if self._live is not None else 0
+        return total
+
+    def reset_counters(self) -> None:
+        """Zero the CE / initialisation counters (per-epoch accounting)."""
+        self.changed_elements = 0
+        self.initialised_entries = 0
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def __repr__(self) -> str:
+        n_keys = self._index.n_keys if self._index is not None else 0
+        return (
+            f"ArrayNegativeCache(size={self.size}, n_keys={n_keys}, "
+            f"entries={self.n_entries}, store_scores={self.store_scores})"
+        )

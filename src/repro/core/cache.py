@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.keyindex import KeyIndex
 from repro.utils.rng import ensure_rng
 
 __all__ = ["NegativeCache"]
 
 Key = tuple[int, int]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark an array read-only (cache entries are replaced, never mutated)."""
+    array.setflags(write=False)
+    return array
 
 
 class NegativeCache:
@@ -45,6 +52,7 @@ class NegativeCache:
         self.rng = ensure_rng(rng)
         self._ids: dict[Key, np.ndarray] = {}
         self._scores: dict[Key, np.ndarray] = {}
+        self._key_index: KeyIndex | None = None
         #: Total cache elements replaced since construction (the CE metric).
         self.changed_elements = 0
         #: Number of entries created lazily.
@@ -52,13 +60,19 @@ class NegativeCache:
 
     # -- access ------------------------------------------------------------
     def get(self, key: Key) -> np.ndarray:
-        """Entity ids cached under ``key`` (random-initialised on first touch)."""
+        """Entity ids cached under ``key`` (random-initialised on first touch).
+
+        The returned array is a **read-only view** of cache state; writing
+        through it raises instead of silently corrupting the cache.
+        """
         entry = self._ids.get(key)
         if entry is None:
-            entry = self.rng.integers(0, self.n_entities, size=self.size, dtype=np.int64)
+            entry = _frozen(
+                self.rng.integers(0, self.n_entities, size=self.size, dtype=np.int64)
+            )
             self._ids[key] = entry
             if self.store_scores:
-                self._scores[key] = np.zeros(self.size, dtype=np.float64)
+                self._scores[key] = _frozen(np.zeros(self.size, dtype=np.float64))
             self.initialised_entries += 1
         return entry
 
@@ -76,6 +90,45 @@ class NegativeCache:
     def scores_many(self, keys: list[Key]) -> np.ndarray:
         """Stack stored scores for a batch of keys."""
         return np.stack([self.scores(key) for key in keys])
+
+    # -- CacheStore: row-addressed access -------------------------------------
+    # Reference implementation of the protocol the vectorised
+    # ArrayNegativeCache is measured against: rows are translated back to
+    # tuple keys and served by the per-key dict machinery above.
+    def attach_index(self, index: KeyIndex) -> None:
+        """Bind the key→row map used by gather/scatter."""
+        self._key_index = index
+
+    def _rows_to_keys(self, rows: np.ndarray) -> list[Key]:
+        if self._key_index is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no key index; call "
+                "attach_index(KeyIndex) before gather/scatter"
+            )
+        return [self._key_index.key_of(int(row)) for row in np.asarray(rows)]
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Cached ids for a batch of rows; shape ``[len(rows), N1]``."""
+        return self.get_many(self._rows_to_keys(rows))
+
+    def gather_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Stored scores for a batch of rows."""
+        return self.scores_many(self._rows_to_keys(rows))
+
+    def scatter(
+        self, rows: np.ndarray, ids: np.ndarray, scores: np.ndarray | None = None
+    ) -> int:
+        """Row-by-row :meth:`put`; returns total #elements that changed."""
+        keys = self._rows_to_keys(rows)
+        ids = np.asarray(ids)
+        if ids.shape != (len(keys), self.size):
+            raise ValueError(
+                f"entries must have shape ({len(keys)}, {self.size}), got {ids.shape}"
+            )
+        changed = 0
+        for i, key in enumerate(keys):
+            changed += self.put(key, ids[i], scores[i] if scores is not None else None)
+        return changed
 
     # -- mutation -------------------------------------------------------------
     def put(self, key: Key, ids: np.ndarray, scores: np.ndarray | None = None) -> int:
@@ -95,11 +148,11 @@ class NegativeCache:
         else:
             # Multiset difference size via sorted comparison.
             changed = self.size - _multiset_overlap(old, ids)
-        self._ids[key] = ids.copy()
+        self._ids[key] = _frozen(ids.copy())
         if self.store_scores:
             if scores is None:
                 raise ValueError("store_scores=True cache requires scores on put()")
-            self._scores[key] = np.asarray(scores, dtype=np.float64).copy()
+            self._scores[key] = _frozen(np.asarray(scores, dtype=np.float64).copy())
         self.changed_elements += changed
         return changed
 

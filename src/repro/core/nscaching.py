@@ -16,6 +16,15 @@ hard negatives), larger ``N2`` = more exploration (faster refresh).  The
 cache update may be applied lazily every ``lazy_epochs + 1`` epochs,
 dividing its cost by ``n + 1`` (Table I).
 
+Hot-loop layout: at :meth:`bind` time the distinct cache keys of the
+training split are enumerated once into a
+:class:`~repro.data.keyindex.TripleKeyIndex`, and both caches are
+addressed by dense row indices through the
+:class:`~repro.core.store.CacheStore` protocol.  A batch access is then
+one vectorised ``gather`` and a refresh one ``scatter`` — no per-triple
+Python tuples or loops.  The trainer can precompute the row indices of the
+whole split once (:meth:`precompute_rows`) and pass per-batch slices in.
+
 Batching note: the paper updates caches triple-by-triple; this
 implementation vectorises over the batch.  When two rows of one batch share
 a cache key, both read the same pre-batch entry and the later write wins —
@@ -28,11 +37,11 @@ contrasts with IGAN/KBGAN.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, NamedTuple
 
 import numpy as np
 
-from repro.core.cache import NegativeCache
+from repro.core.store import CACHE_BACKENDS, CacheStore, make_cache_backend
 from repro.core.strategies import (
     SampleStrategy,
     UpdateStrategy,
@@ -40,13 +49,25 @@ from repro.core.strategies import (
     select_cache_survivors,
 )
 from repro.data.dataset import KGDataset
+from repro.data.keyindex import TripleKeyIndex
 from repro.data.triples import HEAD, REL, TAIL
 from repro.models.base import KGEModel
 from repro.sampling.base import NegativeSampler
 
-__all__ = ["NSCachingSampler"]
+__all__ = ["BatchRows", "NSCachingSampler"]
 
-CacheFactory = Callable[..., NegativeCache]
+CacheFactory = Callable[..., CacheStore]
+
+
+class BatchRows(NamedTuple):
+    """Per-triple cache-row indices: head cache (r,t) and tail cache (h,r)."""
+
+    head: np.ndarray
+    tail: np.ndarray
+
+    def take(self, indices: np.ndarray) -> "BatchRows":
+        """Rows for a subset of the indexed triples."""
+        return BatchRows(self.head[indices], self.tail[indices])
 
 
 class NSCachingSampler(NegativeSampler):
@@ -63,6 +84,7 @@ class NSCachingSampler(NegativeSampler):
         update_strategy: UpdateStrategy | str = UpdateStrategy.IMPORTANCE,
         lazy_epochs: int = 0,
         bernoulli: bool = True,
+        cache_backend: str = "array",
         cache_factory: CacheFactory | None = None,
     ) -> None:
         """
@@ -80,10 +102,14 @@ class NSCachingSampler(NegativeSampler):
             ``n`` — skip cache refreshes except every ``n+1``-th epoch.
         bernoulli:
             Use the relation-aware head/tail coin (paper §IV-B1).
+        cache_backend:
+            ``"array"`` (vectorised, default) or ``"dict"`` (the original
+            per-key store).  Both yield bit-identical training under a
+            fixed seed; array is the fast path.
         cache_factory:
             Alternative cache constructor (e.g.
             :class:`~repro.core.hashed.HashedNegativeCache` for the
-            memory-bounded extension).
+            memory-bounded extension).  Overrides ``cache_backend``.
         """
         super().__init__(bernoulli=bernoulli)
         if cache_size <= 0 or candidate_size <= 0:
@@ -93,66 +119,99 @@ class NSCachingSampler(NegativeSampler):
             )
         if lazy_epochs < 0:
             raise ValueError(f"lazy_epochs must be >= 0, got {lazy_epochs}")
+        if cache_factory is None and cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"cache_backend must be one of {CACHE_BACKENDS}, got "
+                f"{cache_backend!r}"
+            )
         self.cache_size = int(cache_size)
         self.candidate_size = int(candidate_size)
         self.sample_strategy = SampleStrategy(sample_strategy)
         self.update_strategy = UpdateStrategy(update_strategy)
         self.lazy_epochs = int(lazy_epochs)
-        self._cache_factory = cache_factory or NegativeCache
-        self.head_cache: NegativeCache | None = None
-        self.tail_cache: NegativeCache | None = None
+        self.cache_backend = cache_backend if cache_factory is None else "custom"
+        self._cache_factory = cache_factory
+        self.key_index: TripleKeyIndex | None = None
+        self.head_cache: CacheStore | None = None
+        self.tail_cache: CacheStore | None = None
 
     # -- lifecycle ------------------------------------------------------------
+    def _make_cache(self, n_entities: int, store_scores: bool) -> CacheStore:
+        if self._cache_factory is not None:
+            return self._cache_factory(
+                self.cache_size, n_entities, self.rng, store_scores=store_scores
+            )
+        return make_cache_backend(
+            self.cache_backend,
+            self.cache_size,
+            n_entities,
+            self.rng,
+            store_scores=store_scores,
+        )
+
     def bind(
         self,
         model: KGEModel,
         dataset: KGDataset,
         rng: np.random.Generator | int | None = None,
     ) -> "NSCachingSampler":
-        """Create the head/tail caches sized for ``dataset`` (lazy entries).
+        """Index the train split's cache keys and create both caches.
 
         Scores are co-stored only when the sampling strategy needs them
         (the paper's extra-memory note for IS/top sampling).
         """
         super().bind(model, dataset, rng)
+        self.key_index = TripleKeyIndex.from_triples(
+            dataset.train, dataset.n_entities, dataset.n_relations
+        )
         store_scores = self.sample_strategy is not SampleStrategy.UNIFORM
-        self.head_cache = self._cache_factory(
-            self.cache_size,
-            dataset.n_entities,
-            self.rng,
-            store_scores=store_scores,
-        )
-        self.tail_cache = self._cache_factory(
-            self.cache_size,
-            dataset.n_entities,
-            self.rng,
-            store_scores=store_scores,
-        )
+        self.head_cache = self._make_cache(dataset.n_entities, store_scores)
+        self.tail_cache = self._make_cache(dataset.n_entities, store_scores)
+        self.head_cache.attach_index(self.key_index.head)
+        self.tail_cache.attach_index(self.key_index.tail)
         return self
 
-    def _head_keys(self, batch: np.ndarray) -> list[tuple[int, int]]:
-        """Head cache keys: ``(r, t)`` per Alg. 2 step 5."""
-        return [(int(r), int(t)) for r, t in zip(batch[:, REL], batch[:, TAIL])]
+    # -- row resolution -----------------------------------------------------------
+    def precompute_rows(self, triples: np.ndarray) -> BatchRows:
+        """Cache rows for every triple; compute once, slice per batch.
 
-    def _tail_keys(self, batch: np.ndarray) -> list[tuple[int, int]]:
-        """Tail cache keys: ``(h, r)``."""
-        return [(int(h), int(r)) for h, r in zip(batch[:, HEAD], batch[:, REL])]
+        The trainer calls this for the whole training split up front and
+        passes per-batch slices to :meth:`sample`/:meth:`update`, removing
+        key resolution from the epoch loop entirely.
+        """
+        self._require_bound()
+        assert self.key_index is not None
+        triples = np.asarray(triples, dtype=np.int64)
+        return BatchRows(
+            head=self.key_index.head_rows(triples),
+            tail=self.key_index.tail_rows(triples),
+        )
+
+    def _resolve_rows(self, batch: np.ndarray, rows: BatchRows | None) -> BatchRows:
+        if rows is not None:
+            return rows
+        return self.precompute_rows(batch)
 
     # -- Alg. 2 steps 5-7 ---------------------------------------------------------
-    def sample(self, batch: np.ndarray) -> np.ndarray:
-        """Draw one negative per positive from the caches (Alg. 2 steps 5-7)."""
+    def sample(self, batch: np.ndarray, rows: BatchRows | None = None) -> np.ndarray:
+        """Draw one negative per positive from the caches (Alg. 2 steps 5-7).
+
+        ``batch`` must come from the training split the sampler was bound
+        to: cache storage is preallocated per distinct train-split key, so
+        a triple whose ``(r, t)`` / ``(h, r)`` pair never occurs in train
+        raises ``KeyError`` (the dict backend shares this contract).
+        """
         self._require_bound()
         assert self.head_cache is not None and self.tail_cache is not None
         batch = np.asarray(batch, dtype=np.int64)
+        rows = self._resolve_rows(batch, rows)
 
-        head_keys = self._head_keys(batch)
-        tail_keys = self._tail_keys(batch)
-        head_ids = self.head_cache.get_many(head_keys)  # [B, N1]
-        tail_ids = self.tail_cache.get_many(tail_keys)
+        head_ids = self.head_cache.gather(rows.head)  # [B, N1]
+        tail_ids = self.tail_cache.gather(rows.tail)
 
         need_scores = self.sample_strategy is not SampleStrategy.UNIFORM
-        head_scores = self.head_cache.scores_many(head_keys) if need_scores else None
-        tail_scores = self.tail_cache.scores_many(tail_keys) if need_scores else None
+        head_scores = self.head_cache.gather_scores(rows.head) if need_scores else None
+        tail_scores = self.tail_cache.gather_scores(rows.tail) if need_scores else None
 
         sampled_heads = sample_from_cache(
             head_ids, head_scores, self.sample_strategy, self.rng
@@ -168,22 +227,32 @@ class NSCachingSampler(NegativeSampler):
         return negatives
 
     # -- Alg. 3 --------------------------------------------------------------------
-    def update(self, batch: np.ndarray, negatives: np.ndarray) -> None:
-        """Refresh both caches for the batch's keys (Alg. 3), unless lazy."""
+    def update(
+        self,
+        batch: np.ndarray,
+        negatives: np.ndarray,
+        rows: BatchRows | None = None,
+    ) -> None:
+        """Refresh both caches for the batch's keys (Alg. 3), unless lazy.
+
+        As with :meth:`sample`, ``batch`` must be train-split triples.
+        """
         if self.epoch % (self.lazy_epochs + 1) != 0:
             return  # lazy update: skip this epoch entirely
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
-        self._refresh_side(batch, head_side=True)
-        self._refresh_side(batch, head_side=False)
+        rows = self._resolve_rows(batch, rows)
+        self._refresh_side(batch, rows.head, head_side=True)
+        self._refresh_side(batch, rows.tail, head_side=False)
 
-    def _refresh_side(self, batch: np.ndarray, *, head_side: bool) -> None:
+    def _refresh_side(
+        self, batch: np.ndarray, rows: np.ndarray, *, head_side: bool
+    ) -> None:
         """Run Algorithm 3 for one cache, vectorised over the batch."""
         assert self.head_cache is not None and self.tail_cache is not None
         cache = self.head_cache if head_side else self.tail_cache
-        keys = self._head_keys(batch) if head_side else self._tail_keys(batch)
 
-        current = cache.get_many(keys)  # [B, N1]
+        current = cache.gather(rows)  # [B, N1]
         fresh = self.rng.integers(
             0, self.dataset.n_entities, size=(len(batch), self.candidate_size),
             dtype=np.int64,
@@ -198,9 +267,7 @@ class NSCachingSampler(NegativeSampler):
         new_ids, new_scores = select_cache_survivors(
             union, scores, self.cache_size, self.update_strategy, self.rng
         )
-        store_scores = cache.store_scores
-        for i, key in enumerate(keys):
-            cache.put(key, new_ids[i], new_scores[i] if store_scores else None)
+        cache.scatter(rows, new_ids, new_scores if cache.store_scores else None)
 
     # -- introspection ---------------------------------------------------------------
     def cache_memory_bytes(self) -> int:
@@ -221,5 +288,5 @@ class NSCachingSampler(NegativeSampler):
         return (
             f"NSCachingSampler(N1={self.cache_size}, N2={self.candidate_size}, "
             f"sample={self.sample_strategy.value}, update={self.update_strategy.value}, "
-            f"lazy={self.lazy_epochs})"
+            f"lazy={self.lazy_epochs}, backend={self.cache_backend})"
         )

@@ -1,0 +1,89 @@
+"""The cache-storage protocol shared by all negative-cache backends.
+
+:class:`~repro.core.nscaching.NSCachingSampler` talks to its head/tail
+caches exclusively through this row-addressed surface: rows come from a
+:class:`~repro.data.keyindex.KeyIndex` resolved at bind time, so the hot
+loop never materialises per-triple Python keys.  Three backends implement
+it:
+
+* :class:`~repro.core.array_cache.ArrayNegativeCache` — preallocated
+  contiguous arrays, fully vectorised (the default);
+* :class:`~repro.core.cache.NegativeCache` — the original dict of per-key
+  arrays (reference/parity backend);
+* :class:`~repro.core.hashed.HashedNegativeCache` — the memory-bounded
+  extension (dict machinery over hashed buckets).
+
+Key-addressed probing (``cache.get((a, b))``, ``key in cache``) stays
+available on every backend for callbacks and the Table VI study.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.keyindex import KeyIndex
+
+__all__ = ["CacheStore", "CACHE_BACKENDS", "make_cache_backend"]
+
+
+@runtime_checkable
+class CacheStore(Protocol):
+    """Row-addressed negative-cache storage."""
+
+    size: int
+    store_scores: bool
+    changed_elements: int
+    initialised_entries: int
+
+    def attach_index(self, index: KeyIndex) -> None:
+        """Bind the key→row map (and allocate storage where applicable)."""
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Cached ids for ``rows``; shape ``[len(rows), N1]``; lazy-inits."""
+
+    def gather_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Stored scores for ``rows`` (requires ``store_scores=True``)."""
+
+    def scatter(
+        self, rows: np.ndarray, ids: np.ndarray, scores: np.ndarray | None = None
+    ) -> int:
+        """Replace entries at ``rows``; returns #elements changed (CE)."""
+
+    def get(self, key: tuple[int, int]) -> np.ndarray:
+        """Key-addressed probe of one entry."""
+
+    def memory_bytes(self) -> int:
+        """Footprint of materialised entries."""
+
+    def reset_counters(self) -> None:
+        """Zero the CE / initialisation counters."""
+
+
+def _backend_registry() -> dict[str, type]:
+    # Local import: repro.core.cache and array_cache import nothing from
+    # here, but keeping the registry lazy avoids import-order knots.
+    from repro.core.array_cache import ArrayNegativeCache
+    from repro.core.cache import NegativeCache
+
+    return {"array": ArrayNegativeCache, "dict": NegativeCache}
+
+
+#: Names accepted by ``NSCachingSampler(cache_backend=...)`` and the CLI.
+CACHE_BACKENDS: tuple[str, ...] = tuple(sorted(_backend_registry()))
+
+
+def make_cache_backend(
+    name: str,
+    size: int,
+    n_entities: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    store_scores: bool = False,
+) -> CacheStore:
+    """Instantiate a registered cache backend by name."""
+    registry = _backend_registry()
+    if name not in registry:
+        raise KeyError(f"unknown cache backend {name!r}; options: {CACHE_BACKENDS}")
+    return registry[name](size, n_entities, rng, store_scores=store_scores)

@@ -8,6 +8,8 @@ This package provides everything the paper gets from "download WN18/FB15K":
   bundle with filtered-ranking indexes;
 * :mod:`repro.data.io` — TSV load/save in the standard ``h \\t r \\t t``
   benchmark format;
+* :mod:`repro.data.keyindex` — dense integer indexes over the distinct
+  cache keys of a training split (the substrate of the array cache);
 * :mod:`repro.data.relations` — relation cardinality analysis and the
   Bernoulli corruption statistics of Wang et al. (2014);
 * :mod:`repro.data.synthetic` — a latent-structure generator that plants a
@@ -31,6 +33,7 @@ from repro.data.benchmarks import (
 from repro.data.dataset import KGDataset
 from repro.data.fb13 import fb13_like
 from repro.data.io import load_triples_tsv, save_triples_tsv
+from repro.data.keyindex import KeyIndex, TripleKeyIndex
 from repro.data.negatives import (
     classification_split,
     corrupt_uniform,
@@ -48,8 +51,10 @@ from repro.data.triples import Vocabulary, as_triple_array, triple_key_set
 __all__ = [
     "BENCHMARKS",
     "KGDataset",
+    "KeyIndex",
     "RelationCategory",
     "SyntheticKGConfig",
+    "TripleKeyIndex",
     "Vocabulary",
     "as_triple_array",
     "bernoulli_head_probabilities",

@@ -1,0 +1,143 @@
+"""Dense integer indexes for the NSCaching cache keys (paper §III-B).
+
+NSCaching addresses its head cache by ``(r, t)`` and its tail cache by
+``(h, r)``.  The dict-backed cache materialises one Python tuple per batch
+row per access; at paper defaults that is two tuples per triple per batch
+per epoch.  :class:`KeyIndex` removes the tuples from the hot path: the
+distinct key pairs of a dataset are enumerated **once** (``np.unique`` over
+an integer encoding of the train split) and every pair maps to a dense row
+index into a preallocated array cache.  Batch resolution is then a single
+vectorised ``searchsorted``, and the trainer can go further and precompute
+the row indices of the whole training split up front.
+
+:class:`TripleKeyIndex` bundles the two sides so samplers build both maps
+in one pass over the triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.triples import HEAD, REL, TAIL
+
+__all__ = ["KeyIndex", "TripleKeyIndex"]
+
+
+class KeyIndex:
+    """A bijection between distinct ``(first, second)`` id pairs and rows.
+
+    Pairs are encoded as ``first * n_second + second`` (an injective code
+    because ``0 <= second < n_second``), deduplicated and sorted; a pair's
+    row is its rank among the distinct codes.
+    """
+
+    def __init__(self, first: np.ndarray, second: np.ndarray, n_second: int) -> None:
+        first = np.asarray(first, dtype=np.int64)
+        second = np.asarray(second, dtype=np.int64)
+        if first.shape != second.shape or first.ndim != 1:
+            raise ValueError(
+                f"key components must be equal-length 1-D arrays, got "
+                f"{first.shape} and {second.shape}"
+            )
+        if n_second <= 0:
+            raise ValueError(f"n_second must be > 0, got {n_second}")
+        if len(second) and (second.min() < 0 or second.max() >= n_second):
+            raise ValueError("second component out of range [0, n_second)")
+        if len(first) and first.min() < 0:
+            raise ValueError("first component must be non-negative")
+        self.n_second = int(n_second)
+        self._codes = np.unique(first * self.n_second + second)  # sorted
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct pairs (= cache rows needed)."""
+        return len(self._codes)
+
+    # -- lookups ---------------------------------------------------------
+    def rows(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        """Row index of each ``(first[i], second[i])`` pair; shape ``[B]``.
+
+        Raises ``KeyError`` for pairs that were not in the indexed set —
+        the array cache has no storage for them.
+        """
+        first = np.asarray(first, dtype=np.int64)
+        second = np.asarray(second, dtype=np.int64)
+        codes = first * self.n_second + second
+        if len(codes) == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = np.searchsorted(self._codes, codes)
+        rows_clipped = np.minimum(rows, self.n_keys - 1) if self.n_keys else rows
+        missing = self.n_keys == 0 or not np.array_equal(
+            self._codes[rows_clipped], codes
+        )
+        if missing:
+            bad = (
+                np.flatnonzero(self._codes[rows_clipped] != codes)[0]
+                if self.n_keys
+                else 0
+            )
+            raise KeyError(
+                f"pair ({int(first[bad])}, {int(second[bad])}) is not in the "
+                "key index (only keys seen at build time have cache rows)"
+            )
+        return rows
+
+    def row_of(self, key: tuple[int, int]) -> int:
+        """Row index of a single pair."""
+        return int(self.rows(np.array([key[0]]), np.array([key[1]]))[0])
+
+    def contains(self, key: tuple[int, int]) -> bool:
+        """Whether a pair has a row."""
+        code = int(key[0]) * self.n_second + int(key[1])
+        pos = np.searchsorted(self._codes, code)
+        return pos < self.n_keys and self._codes[pos] == code
+
+    def key_of(self, row: int) -> tuple[int, int]:
+        """The pair stored at ``row`` (inverse of :meth:`row_of`)."""
+        code = int(self._codes[row])  # IndexError for out-of-range rows
+        return code // self.n_second, code % self.n_second
+
+    def keys(self) -> np.ndarray:
+        """All pairs as an ``int64 [n_keys, 2]`` array, in row order."""
+        return np.stack(
+            [self._codes // self.n_second, self._codes % self.n_second], axis=1
+        )
+
+    def __repr__(self) -> str:
+        return f"KeyIndex(n_keys={self.n_keys}, n_second={self.n_second})"
+
+
+@dataclass(frozen=True)
+class TripleKeyIndex:
+    """Head- and tail-cache key indexes for one training split.
+
+    ``head`` maps the head-cache key ``(r, t)`` (Alg. 2 step 5) and
+    ``tail`` maps the tail-cache key ``(h, r)``.
+    """
+
+    head: KeyIndex
+    tail: KeyIndex
+
+    @classmethod
+    def from_triples(
+        cls, triples: np.ndarray, n_entities: int, n_relations: int
+    ) -> "TripleKeyIndex":
+        """Index the distinct cache keys of a triple array."""
+        triples = np.asarray(triples, dtype=np.int64)
+        return cls(
+            head=KeyIndex(triples[:, REL], triples[:, TAIL], n_entities),
+            tail=KeyIndex(triples[:, HEAD], triples[:, REL], n_relations),
+        )
+
+    def head_rows(self, batch: np.ndarray) -> np.ndarray:
+        """Head-cache rows for a batch of triples."""
+        batch = np.asarray(batch, dtype=np.int64)
+        return self.head.rows(batch[:, REL], batch[:, TAIL])
+
+    def tail_rows(self, batch: np.ndarray) -> np.ndarray:
+        """Tail-cache rows for a batch of triples."""
+        batch = np.asarray(batch, dtype=np.int64)
+        return self.tail.rows(batch[:, HEAD], batch[:, REL])

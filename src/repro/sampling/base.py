@@ -80,15 +80,22 @@ class NegativeSampler(ABC):
 
     # -- main API ---------------------------------------------------------------
     @abstractmethod
-    def sample(self, batch: np.ndarray) -> np.ndarray:
-        """Return one negative triple per positive; shape ``[B, 3]``."""
+    def sample(self, batch: np.ndarray, rows: object = None) -> np.ndarray:
+        """Return one negative triple per positive; shape ``[B, 3]``.
 
-    def update(self, batch: np.ndarray, negatives: np.ndarray) -> None:
+        ``rows`` carries optional precomputed per-triple cache-row indices
+        (see :meth:`repro.core.nscaching.NSCachingSampler.precompute_rows`);
+        stateless samplers ignore it.
+        """
+
+    def update(
+        self, batch: np.ndarray, negatives: np.ndarray, rows: object = None
+    ) -> None:
         """Post-sampling hook (cache refresh / generator training).
 
         Called by the trainer once per batch, after :meth:`sample` but
         before the embedding update, mirroring Algorithm 2 (step 8 precedes
-        step 9).  Default: no-op.
+        step 9).  Default: no-op.  ``rows`` is as in :meth:`sample`.
         """
 
     def on_epoch_start(self, epoch: int) -> None:

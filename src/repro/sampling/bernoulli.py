@@ -24,7 +24,7 @@ class BernoulliSampler(NegativeSampler):
     def __init__(self) -> None:
         super().__init__(bernoulli=True)
 
-    def sample(self, batch: np.ndarray) -> np.ndarray:
+    def sample(self, batch: np.ndarray, rows: object = None) -> np.ndarray:
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
         replacements = self.rng.integers(

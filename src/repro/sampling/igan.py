@@ -82,7 +82,7 @@ class IGANSampler(NegativeSampler):
         return self
 
     # -- sampling ---------------------------------------------------------------
-    def sample(self, batch: np.ndarray) -> np.ndarray:
+    def sample(self, batch: np.ndarray, rows: object = None) -> np.ndarray:
         self._require_bound()
         assert self.generator is not None
         batch = np.asarray(batch, dtype=np.int64)
@@ -91,14 +91,14 @@ class IGANSampler(NegativeSampler):
 
         scores = np.empty((b, self.dataset.n_entities), dtype=np.float64)
         if head_mask.any():
-            rows = np.flatnonzero(head_mask)
-            scores[rows] = self.generator.score_all_heads(
-                batch[rows, REL], batch[rows, TAIL]
+            sel = np.flatnonzero(head_mask)
+            scores[sel] = self.generator.score_all_heads(
+                batch[sel, REL], batch[sel, TAIL]
             )
         if (~head_mask).any():
-            rows = np.flatnonzero(~head_mask)
-            scores[rows] = self.generator.score_all_tails(
-                batch[rows, HEAD], batch[rows, REL]
+            sel = np.flatnonzero(~head_mask)
+            scores[sel] = self.generator.score_all_tails(
+                batch[sel, HEAD], batch[sel, REL]
             )
         scores /= self.temperature
         shifted = scores - scores.max(axis=1, keepdims=True)
@@ -130,7 +130,9 @@ class IGANSampler(NegativeSampler):
         return negatives
 
     # -- generator REINFORCE step -------------------------------------------------
-    def update(self, batch: np.ndarray, negatives: np.ndarray) -> None:
+    def update(
+        self, batch: np.ndarray, negatives: np.ndarray, rows: object = None
+    ) -> None:
         if self._last is None:
             return
         assert self.generator is not None and self._gen_optimizer is not None

@@ -109,7 +109,7 @@ class KBGANSampler(NegativeSampler):
                 self.generator.params[name][...] = pretrained.params[name]
 
     # -- sampling ---------------------------------------------------------------
-    def sample(self, batch: np.ndarray) -> np.ndarray:
+    def sample(self, batch: np.ndarray, rows: object = None) -> np.ndarray:
         self._require_bound()
         assert self.generator is not None
         batch = np.asarray(batch, dtype=np.int64)
@@ -121,14 +121,14 @@ class KBGANSampler(NegativeSampler):
 
         scores = np.empty((b, self.candidate_size), dtype=np.float64)
         if head_mask.any():
-            rows = np.flatnonzero(head_mask)
-            scores[rows] = self.generator.score_heads(
-                candidates[rows], batch[rows, REL], batch[rows, TAIL]
+            sel = np.flatnonzero(head_mask)
+            scores[sel] = self.generator.score_heads(
+                candidates[sel], batch[sel, REL], batch[sel, TAIL]
             )
         if (~head_mask).any():
-            rows = np.flatnonzero(~head_mask)
-            scores[rows] = self.generator.score_tails(
-                batch[rows, HEAD], batch[rows, REL], candidates[rows]
+            sel = np.flatnonzero(~head_mask)
+            scores[sel] = self.generator.score_tails(
+                batch[sel, HEAD], batch[sel, REL], candidates[sel]
             )
         probs = _softmax(scores)
         # Vectorised categorical sampling via inverse CDF.
@@ -152,7 +152,9 @@ class KBGANSampler(NegativeSampler):
         return negatives
 
     # -- generator REINFORCE step -------------------------------------------------
-    def update(self, batch: np.ndarray, negatives: np.ndarray) -> None:
+    def update(
+        self, batch: np.ndarray, negatives: np.ndarray, rows: object = None
+    ) -> None:
         if self._last is None:
             return
         assert self.generator is not None and self._gen_optimizer is not None

@@ -38,7 +38,7 @@ class SelfAdversarialSampler(NegativeSampler):
         self.candidate_size = int(candidate_size)
         self.alpha = float(alpha)
 
-    def sample(self, batch: np.ndarray) -> np.ndarray:
+    def sample(self, batch: np.ndarray, rows: object = None) -> np.ndarray:
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
         b = len(batch)

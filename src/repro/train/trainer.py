@@ -6,12 +6,18 @@ optional L2 regulariser, and exposes per-epoch statistics: mean loss,
 non-zero-loss ratio (NZL), average gradient l2 norm (Figure 10), cache
 changed-elements (Figure 8) and the repeat ratio of sampled negatives
 (Figure 7).
+
+Two hot-path amenities: samplers that expose ``precompute_rows`` (the
+NSCaching array cache) get the whole split's cache-row indices resolved
+once at construction and sliced per batch, and ``profile=True`` times the
+per-phase breakdown (sample / score / cache-update / gradients /
+optimizer) so speedups are measurable from the CLI.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator, Sequence
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Sequence
 
 import numpy as np
 
@@ -58,6 +64,9 @@ class TrainingHistory:
 class Trainer:
     """Runs the KG-embedding training loop for any sampler/model pair."""
 
+    #: Phase names reported by the profiler, in hot-loop order.
+    PROFILE_PHASES = ("sample", "score", "cache_update", "gradients", "optimizer")
+
     def __init__(
         self,
         model: KGEModel,
@@ -65,16 +74,27 @@ class Trainer:
         sampler: NegativeSampler,
         config: TrainConfig | None = None,
         callbacks: Sequence[object] = (),
+        *,
+        profile: bool = False,
     ) -> None:
         self.model = model
         self.dataset = dataset
         self.sampler = sampler
         self.config = config or TrainConfig()
         self.callbacks = list(callbacks)
+        self.profile = bool(profile)
+        self.phase_timers: dict[str, Timer] = {
+            name: Timer() for name in self.PROFILE_PHASES
+        }
 
         rng_batches, rng_sampler = spawn_rngs(self.config.seed, 2)
         self._rng = rng_batches
         self.sampler.bind(model, dataset, rng_sampler)
+
+        # Row-indexed samplers resolve the whole split's cache rows once;
+        # batches then carry integer slices instead of re-deriving keys.
+        precompute = getattr(self.sampler, "precompute_rows", None)
+        self._train_rows = precompute(dataset.train) if callable(precompute) else None
 
         self.loss = self._make_loss()
         self.optimizer = make_optimizer(
@@ -124,6 +144,17 @@ class Trainer:
         """Ask the training loop to stop after the current epoch."""
         self._stop = True
 
+    # -- profiling ------------------------------------------------------------
+    def _phase(self, name: str) -> ContextManager[object]:
+        """The phase's timer when profiling, else a free no-op."""
+        return self.phase_timers[name] if self.profile else nullcontext()
+
+    def profile_report(self) -> dict[str, float]:
+        """Accumulated seconds per hot-loop phase (empty unless profiling)."""
+        if not self.profile:
+            return {}
+        return {name: timer.elapsed for name, timer in self.phase_timers.items()}
+
     # -- main loop -----------------------------------------------------------------
     def run(self, epochs: int | None = None) -> TrainingHistory:
         """Train for ``epochs`` (default: the config's) and return history."""
@@ -160,8 +191,14 @@ class Trainer:
         epoch_timer = Timer()
         with epoch_timer, self._timer:
             for start in range(0, len(train), self.config.batch_size):
-                batch = train[order[start : start + self.config.batch_size]]
-                batch_stats = self.train_batch(batch)
+                indices = order[start : start + self.config.batch_size]
+                batch = train[indices]
+                rows = (
+                    self._train_rows.take(indices)
+                    if self._train_rows is not None
+                    else None
+                )
+                batch_stats = self.train_batch(batch, rows)
                 losses.append(batch_stats["loss"])
                 nzl_values.append(batch_stats["nzl"])
                 grad_norms.append(batch_stats["grad_norm"])
@@ -180,34 +217,52 @@ class Trainer:
             stats["cache_changes"] = float(changed(reset=True))
         return stats
 
-    def train_batch(self, batch: np.ndarray) -> dict[str, float]:
-        """Algorithm 2 steps 4-9 for one mini-batch."""
-        negatives = self.sampler.sample(batch)
+    def train_batch(self, batch: np.ndarray, rows: object = None) -> dict[str, float]:
+        """Algorithm 2 steps 4-9 for one mini-batch.
+
+        ``rows`` carries precomputed cache-row indices for row-indexed
+        samplers (sliced from the split-wide precomputation).
+        """
+        with self._phase("sample"):
+            negatives = (
+                self.sampler.sample(batch, rows)
+                if rows is not None
+                else self.sampler.sample(batch)
+            )
         if self.negative_tracker is not None:
             self.negative_tracker.record(negatives)
 
-        pos_scores = self.model.score_triples(batch)
-        neg_scores = self.model.score_triples(negatives)
-        loss_values = self.loss.value(pos_scores, neg_scores)
-        d_pos, d_neg = self.loss.score_grads(pos_scores, neg_scores)
+        with self._phase("score"):
+            pos_scores = self.model.score_triples(batch)
+            neg_scores = self.model.score_triples(negatives)
+            loss_values = self.loss.value(pos_scores, neg_scores)
+            d_pos, d_neg = self.loss.score_grads(pos_scores, neg_scores)
 
         # Alg. 2 step 8: the cache refresh precedes the embedding update.
-        self.sampler.update(batch, negatives)
+        with self._phase("cache_update"):
+            if rows is not None:
+                self.sampler.update(batch, negatives, rows)
+            else:
+                self.sampler.update(batch, negatives)
 
-        bag = self.model.grad_triples(batch, d_pos)
-        bag.merge(self.model.grad_triples(negatives, d_neg))
-        if self.regularizer is not None:
-            self.regularizer.add_gradients(
-                bag, self.model.params, self._touched_rows(batch, negatives)
-            )
-        grad_norm = bag.global_norm()
-        self.optimizer.step(self.model.params, bag)
+        with self._phase("gradients"):
+            bag = self.model.grad_triples(batch, d_pos)
+            bag.merge(self.model.grad_triples(negatives, d_neg))
+            if self.regularizer is not None:
+                self.regularizer.add_gradients(
+                    bag, self.model.params, self._touched_rows(batch, negatives)
+                )
+            grad_norm = bag.global_norm()
 
-        if self.config.normalize:
-            touched = np.concatenate(
-                [batch[:, HEAD], batch[:, TAIL], negatives[:, HEAD], negatives[:, TAIL]]
-            )
-            self.model.normalize(touched)
+        with self._phase("optimizer"):
+            self.optimizer.step(self.model.params, bag)
+
+            if self.config.normalize:
+                touched = np.concatenate(
+                    [batch[:, HEAD], batch[:, TAIL],
+                     negatives[:, HEAD], negatives[:, TAIL]]
+                )
+                self.model.normalize(touched)
 
         return {
             "loss": float(np.mean(loss_values)),

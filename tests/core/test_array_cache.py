@@ -1,0 +1,202 @@
+"""Tests for the preallocated array cache and its vectorised CE counter."""
+
+import numpy as np
+import pytest
+
+from repro.core.array_cache import ArrayNegativeCache, multiset_overlap_rows
+from repro.core.cache import _multiset_overlap
+from repro.core.store import CacheStore, make_cache_backend
+from repro.data.keyindex import KeyIndex
+
+
+def _index(n_keys: int = 8, n_second: int = 100) -> KeyIndex:
+    return KeyIndex(
+        np.arange(n_keys, dtype=np.int64), np.arange(n_keys, dtype=np.int64), n_second
+    )
+
+
+def _cache(size=5, n_entities=50, seed=0, n_keys=8, **kwargs) -> ArrayNegativeCache:
+    cache = ArrayNegativeCache(size, n_entities, np.random.default_rng(seed), **kwargs)
+    cache.attach_index(_index(n_keys))
+    return cache
+
+
+class TestConstruction:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match="N1"):
+            ArrayNegativeCache(0, 20)
+        with pytest.raises(ValueError, match="n_entities"):
+            ArrayNegativeCache(5, 0)
+
+    def test_gather_before_attach_rejected(self):
+        cache = ArrayNegativeCache(5, 20)
+        with pytest.raises(RuntimeError, match="attach_index"):
+            cache.gather(np.array([0]))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(_cache(), CacheStore)
+
+    def test_registry_builds_both_backends(self):
+        for name in ("array", "dict"):
+            cache = make_cache_backend(name, 4, 20, 0)
+            assert cache.size == 4
+        with pytest.raises(KeyError, match="unknown cache backend"):
+            make_cache_backend("sqlite", 4, 20, 0)
+
+
+class TestGather:
+    def test_lazy_random_initialisation(self):
+        cache = _cache()
+        out = cache.gather(np.array([0, 3]))
+        assert out.shape == (2, 5)
+        assert np.all((out >= 0) & (out < 50))
+        assert cache.initialised_entries == 2
+        assert cache.n_entries == 2
+
+    def test_gather_is_stable(self):
+        cache = _cache()
+        first = cache.gather(np.array([1, 2]))
+        np.testing.assert_array_equal(cache.gather(np.array([1, 2])), first)
+        assert cache.initialised_entries == 2
+
+    def test_gather_returns_copy(self):
+        cache = _cache()
+        out = cache.gather(np.array([0]))
+        out[...] = -1
+        assert cache.gather(np.array([0])).min() >= 0
+
+    def test_duplicate_rows_share_entry(self):
+        cache = _cache()
+        out = cache.gather(np.array([4, 4]))
+        np.testing.assert_array_equal(out[0], out[1])
+        assert cache.initialised_entries == 1
+
+    def test_matches_dict_rng_stream(self):
+        """Lazy init consumes the generator exactly like the dict cache."""
+        index = _index()
+        array_cache = ArrayNegativeCache(5, 50, np.random.default_rng(7))
+        array_cache.attach_index(index)
+        dict_cache = make_cache_backend("dict", 5, 50, np.random.default_rng(7))
+        dict_cache.attach_index(index)
+        rows = np.array([3, 1, 3, 0])
+        np.testing.assert_array_equal(
+            array_cache.gather(rows), dict_cache.gather(rows)
+        )
+
+
+class TestScatter:
+    def test_replaces_entry(self):
+        cache = _cache(size=3)
+        cache.scatter(np.array([2]), np.array([[1, 2, 3]]))
+        np.testing.assert_array_equal(cache.gather(np.array([2]))[0], [1, 2, 3])
+
+    def test_wrong_shape_rejected(self):
+        cache = _cache(size=3)
+        with pytest.raises(ValueError, match="shape"):
+            cache.scatter(np.array([0]), np.array([[1, 2]]))
+
+    def test_ce_counting_matches_reference(self):
+        cache = _cache(size=3)
+        cache.scatter(np.array([0]), np.array([[1, 2, 3]]))
+        cache.reset_counters()
+        assert cache.scatter(np.array([0]), np.array([[3, 2, 9]])) == 1
+        assert cache.changed_elements == 1
+
+    def test_scatter_on_fresh_row_counts_full_and_initialises(self):
+        cache = _cache(size=3)
+        assert cache.scatter(np.array([5]), np.array([[1, 2, 3]])) == 3
+        assert cache.initialised_entries == 1
+
+    def test_duplicate_rows_sequential_semantics(self):
+        """Repeated rows in one scatter behave like sequential puts."""
+        cache = _cache(size=3)
+        cache.scatter(np.array([0]), np.array([[1, 2, 3]]))
+        cache.reset_counters()
+        ids = np.array([[4, 5, 6], [4, 5, 7]])
+        # put #1 vs {1,2,3}: 3 changed; put #2 vs {4,5,6}: 1 changed.
+        assert cache.scatter(np.array([0, 0]), ids) == 4
+        np.testing.assert_array_equal(cache.gather(np.array([0]))[0], [4, 5, 7])
+
+    def test_empty_scatter(self):
+        cache = _cache(size=3)
+        assert cache.scatter(np.empty(0, dtype=np.int64), np.empty((0, 3))) == 0
+
+
+class TestScores:
+    def test_scores_require_flag(self):
+        cache = _cache()
+        with pytest.raises(RuntimeError, match="store_scores"):
+            cache.gather_scores(np.array([0]))
+
+    def test_scores_roundtrip(self):
+        cache = _cache(size=3, store_scores=True)
+        np.testing.assert_array_equal(
+            cache.gather_scores(np.array([0]))[0], np.zeros(3)
+        )
+        cache.scatter(
+            np.array([0]), np.array([[1, 2, 3]]), np.array([[0.1, 0.2, 0.3]])
+        )
+        np.testing.assert_allclose(
+            cache.gather_scores(np.array([0]))[0], [0.1, 0.2, 0.3]
+        )
+
+    def test_scatter_without_scores_rejected_when_required(self):
+        cache = _cache(size=3, store_scores=True)
+        with pytest.raises(ValueError, match="requires scores"):
+            cache.scatter(np.array([0]), np.array([[1, 2, 3]]))
+
+
+class TestKeyAddressed:
+    def test_get_and_contains(self):
+        cache = _cache()
+        assert (0, 0) not in cache
+        entry = cache.get((0, 0))
+        assert entry.shape == (5,)
+        assert (0, 0) in cache
+        assert (9, 9) not in cache  # not in the index at all
+
+    def test_keys_lists_initialised_rows(self):
+        cache = _cache()
+        cache.gather(np.array([2]))
+        assert cache.keys() == [(2, 2)]
+
+
+class TestAccounting:
+    def test_memory_bytes_counts_initialised_entries(self):
+        cache = _cache(size=4)
+        assert cache.memory_bytes() == 0
+        cache.gather(np.array([0]))
+        one = cache.memory_bytes()
+        assert one == 4 * 8
+        cache.gather(np.array([1]))
+        assert cache.memory_bytes() == 2 * one
+
+    def test_allocated_bytes_counts_preallocation(self):
+        cache = _cache(size=4, n_keys=8)
+        assert cache.allocated_bytes() >= 8 * 4 * 8
+
+    def test_len_and_repr(self):
+        cache = _cache()
+        cache.gather(np.array([0, 1]))
+        assert len(cache) == 2
+        assert "n_keys=8" in repr(cache)
+
+
+class TestMultisetOverlapRows:
+    def test_matches_scalar_reference(self, rng):
+        a = rng.integers(0, 12, size=(64, 9))
+        b = rng.integers(0, 12, size=(64, 9))
+        expected = np.array([_multiset_overlap(x, y) for x, y in zip(a, b)])
+        np.testing.assert_array_equal(multiset_overlap_rows(a, b), expected)
+
+    def test_identical_rows_full_overlap(self, rng):
+        a = rng.integers(0, 100, size=(8, 6))
+        np.testing.assert_array_equal(multiset_overlap_rows(a, a), np.full(8, 6))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            multiset_overlap_rows(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_empty(self):
+        out = multiset_overlap_rows(np.empty((3, 0)), np.empty((3, 0)))
+        np.testing.assert_array_equal(out, np.zeros(3))

@@ -52,6 +52,67 @@ class TestCacheBasics:
             NegativeCache(5, 0)
 
 
+class TestEntriesAreReadOnly:
+    def test_get_rejects_writes(self, rng):
+        cache = NegativeCache(5, 20, rng)
+        entry = cache.get((0, 1))
+        with pytest.raises(ValueError, match="read-only"):
+            entry[0] = 99
+
+    def test_put_entry_rejects_writes(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        cache.put((0, 0), np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="read-only"):
+            cache.get((0, 0))[:] = 0
+
+    def test_scores_reject_writes(self, rng):
+        cache = NegativeCache(3, 20, rng, store_scores=True)
+        with pytest.raises(ValueError, match="read-only"):
+            cache.scores((0, 0))[0] = 1.0
+
+    def test_caller_arrays_not_frozen(self, rng):
+        """put() must not freeze the caller's own array."""
+        cache = NegativeCache(3, 20, rng)
+        mine = np.array([1, 2, 3])
+        cache.put((0, 0), mine)
+        mine[0] = 7  # still writable; cache unaffected
+        assert cache.get((0, 0))[0] == 1
+
+
+class TestRowAdapters:
+    """The dict cache speaks the row-addressed CacheStore protocol too."""
+
+    def _with_index(self, rng, size=3, n_keys=4):
+        from repro.data.keyindex import KeyIndex
+
+        cache = NegativeCache(size, 20, rng)
+        cache.attach_index(
+            KeyIndex(np.arange(n_keys), np.arange(n_keys), n_keys)
+        )
+        return cache
+
+    def test_gather_matches_get(self, rng):
+        cache = self._with_index(rng)
+        stacked = cache.gather(np.array([0, 2, 0]))
+        np.testing.assert_array_equal(stacked[0], cache.get((0, 0)))
+        np.testing.assert_array_equal(stacked[1], cache.get((2, 2)))
+        np.testing.assert_array_equal(stacked[0], stacked[2])
+
+    def test_scatter_matches_put(self, rng):
+        cache = self._with_index(rng)
+        changed = cache.scatter(
+            np.array([1, 1]), np.array([[1, 2, 3], [1, 2, 9]])
+        )
+        # Sequential puts: 3 changed on the fresh row, then 1 more.
+        assert changed == 4
+        np.testing.assert_array_equal(cache.get((1, 1)), [1, 2, 9])
+
+    def test_gather_without_index_rejected(self, rng):
+        cache = NegativeCache(3, 20, rng)
+        with pytest.raises(RuntimeError, match="attach_index"):
+            cache.gather(np.array([0]))
+
+
 class TestChangedElements:
     def test_identical_put_counts_zero(self, rng):
         cache = NegativeCache(3, 20, rng)

@@ -1,0 +1,82 @@
+"""Tests for the dense cache-key indexes."""
+
+import numpy as np
+import pytest
+
+from repro.data.keyindex import KeyIndex, TripleKeyIndex
+from repro.data.triples import HEAD, REL, TAIL
+
+
+class TestKeyIndex:
+    def test_distinct_pairs_get_distinct_rows(self):
+        index = KeyIndex(np.array([1, 1, 2, 2, 1]), np.array([3, 4, 3, 3, 3]), 10)
+        assert index.n_keys == 3  # (1,3), (1,4), (2,3)
+        rows = index.rows(np.array([1, 1, 2]), np.array([3, 4, 3]))
+        assert len(set(rows.tolist())) == 3
+
+    def test_rows_roundtrip_key_of(self):
+        index = KeyIndex(np.array([0, 5, 9]), np.array([2, 0, 6]), 7)
+        for key in [(0, 2), (5, 0), (9, 6)]:
+            assert index.key_of(index.row_of(key)) == key
+
+    def test_unknown_pair_raises_keyerror(self):
+        index = KeyIndex(np.array([1]), np.array([1]), 4)
+        with pytest.raises(KeyError, match=r"\(2, 3\)"):
+            index.rows(np.array([1, 2]), np.array([1, 3]))
+
+    def test_contains(self):
+        index = KeyIndex(np.array([1, 2]), np.array([0, 3]), 5)
+        assert index.contains((1, 0))
+        assert index.contains((2, 3))
+        assert not index.contains((1, 3))
+        assert not index.contains((0, 0))
+
+    def test_keys_in_row_order(self):
+        index = KeyIndex(np.array([2, 0, 1]), np.array([1, 2, 0]), 4)
+        pairs = index.keys()
+        for row, (a, b) in enumerate(pairs):
+            assert index.row_of((int(a), int(b))) == row
+
+    def test_empty_batch(self):
+        index = KeyIndex(np.array([1]), np.array([1]), 4)
+        assert index.rows(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_second"):
+            KeyIndex(np.array([0]), np.array([0]), 0)
+        with pytest.raises(ValueError, match="out of range"):
+            KeyIndex(np.array([0]), np.array([5]), 3)
+        with pytest.raises(ValueError, match="equal-length"):
+            KeyIndex(np.array([0, 1]), np.array([0]), 3)
+
+
+class TestTripleKeyIndex:
+    def test_sides_use_paper_keys(self, tiny_kg):
+        index = TripleKeyIndex.from_triples(
+            tiny_kg.train, tiny_kg.n_entities, tiny_kg.n_relations
+        )
+        batch = tiny_kg.train[:16]
+        head_rows = index.head_rows(batch)
+        tail_rows = index.tail_rows(batch)
+        for i, (h, r, t) in enumerate(batch.tolist()):
+            assert index.head.key_of(int(head_rows[i])) == (r, t)
+            assert index.tail.key_of(int(tail_rows[i])) == (h, r)
+
+    def test_covers_whole_split(self, tiny_kg):
+        index = TripleKeyIndex.from_triples(
+            tiny_kg.train, tiny_kg.n_entities, tiny_kg.n_relations
+        )
+        head_rows = index.head_rows(tiny_kg.train)
+        assert head_rows.shape == (len(tiny_kg.train),)
+        # Rows are dense: every index below n_keys, every key reachable.
+        assert set(head_rows.tolist()) == set(range(index.head.n_keys))
+
+    def test_shared_keys_share_rows(self, tiny_kg):
+        index = TripleKeyIndex.from_triples(
+            tiny_kg.train, tiny_kg.n_entities, tiny_kg.n_relations
+        )
+        triples = tiny_kg.train
+        rows = index.tail_rows(triples)
+        pair_to_row: dict[tuple[int, int], int] = {}
+        for (h, r, _t), row in zip(triples.tolist(), rows.tolist()):
+            assert pair_to_row.setdefault((h, r), row) == row

@@ -1,0 +1,111 @@
+"""Dict ↔ array cache-backend parity.
+
+The array engine is a performance refactor, not a behaviour change: under
+the same seed both backends must produce identical cache entries, CE
+counts, memory accounting — and identical training trajectories.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.array_cache import ArrayNegativeCache
+from repro.core.cache import NegativeCache
+from repro.core.nscaching import NSCachingSampler
+from repro.data.keyindex import KeyIndex
+from repro.models import make_model
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+N_KEYS = 6
+N_ENTITIES = 30
+ENTRY = 4
+
+
+def _pair() -> tuple[NegativeCache, ArrayNegativeCache]:
+    index = KeyIndex(
+        np.arange(N_KEYS, dtype=np.int64),
+        np.arange(N_KEYS, dtype=np.int64),
+        N_KEYS,
+    )
+    dict_cache = NegativeCache(ENTRY, N_ENTITIES, np.random.default_rng(99))
+    array_cache = ArrayNegativeCache(ENTRY, N_ENTITIES, np.random.default_rng(99))
+    dict_cache.attach_index(index)
+    array_cache.attach_index(index)
+    return dict_cache, array_cache
+
+
+# One operation = (op, rows): gather the rows, or scatter fresh ids there.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["gather", "scatter"]),
+        st.lists(st.integers(0, N_KEYS - 1), min_size=1, max_size=8),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestOperationSequenceParity:
+    @given(ops=_ops, data_seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_same_entries_ce_and_memory(self, ops, data_seed):
+        dict_cache, array_cache = _pair()
+        data_rng = np.random.default_rng(data_seed)
+        for op, row_list in ops:
+            rows = np.array(row_list, dtype=np.int64)
+            if op == "gather":
+                np.testing.assert_array_equal(
+                    dict_cache.gather(rows), array_cache.gather(rows)
+                )
+            else:
+                ids = data_rng.integers(0, N_ENTITIES, size=(len(rows), ENTRY))
+                changed_dict = dict_cache.scatter(rows, ids)
+                changed_array = array_cache.scatter(rows, ids)
+                assert changed_dict == changed_array
+        assert dict_cache.changed_elements == array_cache.changed_elements
+        assert dict_cache.initialised_entries == array_cache.initialised_entries
+        assert dict_cache.n_entries == array_cache.n_entries
+        assert dict_cache.memory_bytes() == array_cache.memory_bytes()
+        for row in range(N_KEYS):
+            key = (row, row)
+            if key in dict_cache:
+                assert key in array_cache
+                np.testing.assert_array_equal(
+                    dict_cache.get(key), array_cache.get(key)
+                )
+
+
+class TestTrainingParity:
+    def _history(self, tiny_kg, backend):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=0
+        )
+        sampler = NSCachingSampler(
+            cache_size=8, candidate_size=8, cache_backend=backend
+        )
+        trainer = Trainer(
+            model,
+            tiny_kg,
+            sampler,
+            TrainConfig(epochs=4, batch_size=64, learning_rate=0.05, seed=0),
+        )
+        history = trainer.run()
+        return history, trainer
+
+    def test_same_seed_same_loss_trajectory(self, tiny_kg):
+        dict_history, dict_trainer = self._history(tiny_kg, "dict")
+        array_history, array_trainer = self._history(tiny_kg, "array")
+        np.testing.assert_allclose(
+            dict_history["loss"].values, array_history["loss"].values, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            dict_history["cache_changes"].values,
+            array_history["cache_changes"].values,
+            atol=0,
+        )
+        np.testing.assert_allclose(
+            dict_trainer.model.params["entity"],
+            array_trainer.model.params["entity"],
+            atol=1e-12,
+        )

@@ -24,6 +24,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--checkpoint", "m.npz"])
 
+    def test_train_cache_backend_default_and_choices(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE"]
+        )
+        assert args.cache_backend == "array"
+        assert args.profile is False
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "dict", "--profile"]
+        )
+        assert args.cache_backend == "dict"
+        assert args.profile is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "WN18RR", "--model", "TransE",
+                 "--cache-backend", "sqlite"]
+            )
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(
             ["serve", "--checkpoint", "m.npz", "--dataset", "WN18RR"]
@@ -47,7 +65,31 @@ class TestCommands:
 
     def test_experiments_command(self, capsys):
         assert main(["experiments"]) == 0
-        assert "Table IV" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "cache-engine throughput" in out
+
+    def test_train_profile_and_dict_backend(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--sampler", "NSCaching",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--cache-backend", "dict",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase timing" in out
+        for phase in ("sample", "cache_update", "optimizer"):
+            assert phase in out
 
     def test_train_evaluate_roundtrip(self, tmp_path, capsys):
         checkpoint = tmp_path / "model.npz"

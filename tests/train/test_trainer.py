@@ -153,6 +153,49 @@ class TestTraining:
         assert trainer.train_seconds == pytest.approx(before, abs=5e-3)
 
 
+class TestProfiling:
+    def test_profile_off_by_default(self, tiny_kg):
+        trainer = _trainer(tiny_kg)
+        trainer.run()
+        assert trainer.profile_report() == {}
+        assert all(t.elapsed == 0.0 for t in trainer.phase_timers.values())
+
+    def test_profile_records_all_phases(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model,
+            tiny_kg,
+            NSCachingSampler(cache_size=4, candidate_size=4),
+            TrainConfig(epochs=2, batch_size=64),
+            profile=True,
+        )
+        trainer.run()
+        report = trainer.profile_report()
+        assert set(report) == set(Trainer.PROFILE_PHASES)
+        assert all(seconds > 0 for seconds in report.values())
+
+    def test_profile_does_not_change_results(self, tiny_kg):
+        plain = _trainer(tiny_kg, epochs=3).run()
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        profiled = Trainer(
+            model, tiny_kg, BernoulliSampler(),
+            TrainConfig(epochs=3, batch_size=64), profile=True,
+        ).run()
+        np.testing.assert_allclose(plain["loss"].values, profiled["loss"].values)
+
+
+class TestPrecomputedRows:
+    def test_trainer_precomputes_for_nscaching(self, tiny_kg):
+        trainer = _trainer(
+            tiny_kg, sampler=NSCachingSampler(cache_size=4, candidate_size=4)
+        )
+        assert trainer._train_rows is not None
+        assert trainer._train_rows.head.shape == (len(tiny_kg.train),)
+
+    def test_stateless_samplers_skip_precompute(self, tiny_kg):
+        assert _trainer(tiny_kg, sampler=BernoulliSampler())._train_rows is None
+
+
 class TestGradientFlow:
     def test_grad_norm_positive_during_training(self, tiny_kg):
         trainer = _trainer(tiny_kg, epochs=1)
