@@ -147,6 +147,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.core.array_cache", "repro.core.cache", "repro.data.keyindex"),
             "benchmarks/bench_cache_engine.py",
         ),
+        Experiment(
+            "X5",
+            "Extension: fused score-and-select cache refresh",
+            "update() ms/batch per scoring family: generic reference vs fused "
+            "score_candidates kernels at N1=N2=50, batch 1024",
+            ("repro.models.base", "repro.core.nscaching", "repro.core.strategies"),
+            "benchmarks/bench_fused_refresh.py",
+        ),
     )
 }
 

@@ -65,8 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="NSCaching cache storage: vectorised array (default) or dict",
     )
     train.add_argument(
+        "--no-fused-refresh", action="store_true",
+        help="use the unfused reference cache-refresh path (bit-identical, "
+             "slower; for debugging and A/B timing)",
+    )
+    train.add_argument(
         "--profile", action="store_true",
-        help="report per-phase timing (sample/score/cache-update/…) after training",
+        help="report per-phase timing (sample/score/cache-update/"
+             "score-candidates/…) after training",
     )
     train.add_argument("--out", default=None, help="checkpoint path (.npz)")
     train.add_argument(
@@ -129,6 +135,7 @@ def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
             "candidate_size": args.candidate_size,
             "lazy_epochs": args.lazy_epochs,
             "cache_backend": args.cache_backend,
+            "fused": not args.no_fused_refresh,
         }
     if args.sampler in ("KBGAN", "SelfAdv"):
         return {"candidate_size": args.candidate_size}

@@ -25,6 +25,16 @@ one vectorised ``gather`` and a refresh one ``scatter`` — no per-triple
 Python tuples or loops.  The trainer can precompute the row indices of the
 whole split once (:meth:`precompute_rows`) and pass per-batch slices in.
 
+The refresh itself (Alg. 3) runs **fused** by default: the candidate
+union is assembled in a persistent per-sampler buffer, scored in one shot
+through the model's :meth:`~repro.models.base.KGEModel.score_candidates`
+kernel, and the top-``N1`` survivors go straight from ``argpartition``
+into the cache ``scatter`` — no intermediate concatenate/score-gather
+copies.  ``fused=False`` keeps the step-by-step reference orchestration;
+both paths consume the generator identically and call the same scoring
+kernel, so they are bit-identical under a fixed seed (enforced by the
+parity suite in ``tests/integration/test_backend_parity.py``).
+
 Batching note: the paper updates caches triple-by-triple; this
 implementation vectorises over the batch.  When two rows of one batch share
 a cache key, both read the same pre-batch entry and the later write wins —
@@ -51,8 +61,9 @@ from repro.core.strategies import (
 from repro.data.dataset import KGDataset
 from repro.data.keyindex import TripleKeyIndex
 from repro.data.triples import HEAD, REL, TAIL
-from repro.models.base import KGEModel
+from repro.models.base import CANDIDATE_MODES, KGEModel
 from repro.sampling.base import NegativeSampler
+from repro.utils.timer import Timer
 
 __all__ = ["BatchRows", "NSCachingSampler"]
 
@@ -86,6 +97,7 @@ class NSCachingSampler(NegativeSampler):
         bernoulli: bool = True,
         cache_backend: str = "array",
         cache_factory: CacheFactory | None = None,
+        fused: bool = True,
     ) -> None:
         """
         Parameters
@@ -110,6 +122,11 @@ class NSCachingSampler(NegativeSampler):
             Alternative cache constructor (e.g.
             :class:`~repro.core.hashed.HashedNegativeCache` for the
             memory-bounded extension).  Overrides ``cache_backend``.
+        fused:
+            Run the Alg. 3 refresh through the fused score-and-select
+            path (default).  ``False`` keeps the unfused reference
+            orchestration — same kernels, same RNG stream, bit-identical
+            results; it exists for parity testing and benchmarking.
         """
         super().__init__(bernoulli=bernoulli)
         if cache_size <= 0 or candidate_size <= 0:
@@ -131,9 +148,14 @@ class NSCachingSampler(NegativeSampler):
         self.lazy_epochs = int(lazy_epochs)
         self.cache_backend = cache_backend if cache_factory is None else "custom"
         self._cache_factory = cache_factory
+        self.fused = bool(fused)
         self.key_index: TripleKeyIndex | None = None
         self.head_cache: CacheStore | None = None
         self.tail_cache: CacheStore | None = None
+        #: Optional stopwatch the trainer attaches under ``--profile`` to
+        #: time candidate scoring separately from the rest of the refresh.
+        self.score_timer: Timer | None = None
+        self._union: np.ndarray | None = None  # fused-path candidate buffer
 
     # -- lifecycle ------------------------------------------------------------
     def _make_cache(self, n_entities: int, store_scores: bool) -> CacheStore:
@@ -232,40 +254,87 @@ class NSCachingSampler(NegativeSampler):
         batch: np.ndarray,
         negatives: np.ndarray,
         rows: BatchRows | None = None,
+        *,
+        modes: tuple[str, ...] = CANDIDATE_MODES,
     ) -> None:
-        """Refresh both caches for the batch's keys (Alg. 3), unless lazy.
+        """Refresh the caches for the batch's keys (Alg. 3), unless lazy.
 
         As with :meth:`sample`, ``batch`` must be train-split triples.
+        ``modes`` selects which caches to refresh (``"head"`` = the
+        head-corruption cache keyed by ``(r, t)``, ``"tail"`` = the
+        tail-corruption cache keyed by ``(h, r)``; default both).  An
+        unknown mode raises ``ValueError`` up front — even on lazily
+        skipped epochs — instead of silently refreshing the tail cache.
         """
+        for mode in modes:
+            if mode not in CANDIDATE_MODES:
+                raise ValueError(
+                    f"unknown corruption mode {mode!r}; expected one of "
+                    f"{CANDIDATE_MODES}"
+                )
         if self.epoch % (self.lazy_epochs + 1) != 0:
             return  # lazy update: skip this epoch entirely
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
         rows = self._resolve_rows(batch, rows)
-        self._refresh_side(batch, rows.head, head_side=True)
-        self._refresh_side(batch, rows.tail, head_side=False)
+        for mode in modes:
+            side_rows = rows.head if mode == "head" else rows.tail
+            self._refresh_side(batch, side_rows, mode)
 
-    def _refresh_side(
-        self, batch: np.ndarray, rows: np.ndarray, *, head_side: bool
-    ) -> None:
-        """Run Algorithm 3 for one cache, vectorised over the batch."""
+    def _score_union(
+        self, batch: np.ndarray, union: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Score the candidate union with the model's fused kernel."""
+        anchors = batch[:, TAIL] if mode == "head" else batch[:, HEAD]
+        if self.score_timer is not None:
+            with self.score_timer:
+                return self.model.score_candidates(anchors, batch[:, REL], union, mode)
+        return self.model.score_candidates(anchors, batch[:, REL], union, mode)
+
+    def _union_buffer(self, n_rows: int) -> np.ndarray:
+        """Persistent ``[B, N1+N2]`` block the fused refresh assembles into."""
+        width = self.cache_size + self.candidate_size
+        if self._union is None or self._union.shape[0] < n_rows:
+            self._union = np.empty((n_rows, width), dtype=np.int64)
+        return self._union[:n_rows]
+
+    def _refresh_side(self, batch: np.ndarray, rows: np.ndarray, mode: str) -> None:
+        """Run Algorithm 3 for one cache, vectorised over the batch.
+
+        Fused path: cache entries and fresh draws land directly in the
+        persistent union buffer, the block is scored once through
+        ``score_candidates``, and survivors go from ``argpartition``
+        straight into ``scatter`` (scores are only gathered when the
+        cache co-stores them).  The unfused path keeps the reference
+        concatenate → score → select → scatter orchestration; both draw
+        from the generator identically, so results are bit-identical.
+        """
         assert self.head_cache is not None and self.tail_cache is not None
-        cache = self.head_cache if head_side else self.tail_cache
+        cache = self.head_cache if mode == "head" else self.tail_cache
+        n1, n2 = self.cache_size, self.candidate_size
+
+        if self.fused:
+            union = self._union_buffer(len(batch))
+            union[:, :n1] = cache.gather(rows)
+            union[:, n1:] = self.rng.integers(
+                0, self.dataset.n_entities, size=(len(batch), n2), dtype=np.int64
+            )
+            scores = self._score_union(batch, union, mode)
+            new_ids, new_scores = select_cache_survivors(
+                union, scores, n1, self.update_strategy, self.rng,
+                return_scores=cache.store_scores,
+            )
+            cache.scatter(rows, new_ids, new_scores)
+            return
 
         current = cache.gather(rows)  # [B, N1]
         fresh = self.rng.integers(
-            0, self.dataset.n_entities, size=(len(batch), self.candidate_size),
-            dtype=np.int64,
+            0, self.dataset.n_entities, size=(len(batch), n2), dtype=np.int64
         )
         union = np.concatenate([current, fresh], axis=1)  # [B, N1+N2]
-
-        if head_side:
-            scores = self.model.score_heads(union, batch[:, REL], batch[:, TAIL])
-        else:
-            scores = self.model.score_tails(batch[:, HEAD], batch[:, REL], union)
-
+        scores = self._score_union(batch, union, mode)
         new_ids, new_scores = select_cache_survivors(
-            union, scores, self.cache_size, self.update_strategy, self.rng
+            union, scores, n1, self.update_strategy, self.rng
         )
         cache.scatter(rows, new_ids, new_scores if cache.store_scores else None)
 
@@ -288,5 +357,6 @@ class NSCachingSampler(NegativeSampler):
         return (
             f"NSCachingSampler(N1={self.cache_size}, N2={self.candidate_size}, "
             f"sample={self.sample_strategy.value}, update={self.update_strategy.value}, "
-            f"lazy={self.lazy_epochs}, backend={self.cache_backend})"
+            f"lazy={self.lazy_epochs}, backend={self.cache_backend}, "
+            f"fused={self.fused})"
         )

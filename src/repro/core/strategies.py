@@ -126,13 +126,23 @@ def select_cache_survivors(
     n_keep: int,
     strategy: UpdateStrategy,
     rng: np.random.Generator | int | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+    *,
+    return_scores: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
     """Select ``n_keep`` entries per row from the Alg. 3 candidate union.
 
     Returns ``(ids, scores)`` each of shape ``[B, n_keep]``.  Duplicate ids
     within a row are suppressed before selection.  Importance selection is
     sampling *without replacement* with probability ``softmax(score)``
     (Eq. 6), realised as top-``n_keep`` of ``score + Gumbel noise``.
+
+    This runs once per cache per batch in the refresh hot loop, so the
+    selection keys are built in place (Gumbel noise reused as the key
+    buffer) rather than through ``np.where`` copies, and the score gather
+    is skipped entirely with ``return_scores=False`` (the caches only
+    co-store scores for the IS/top sampling strategies) — ``scores`` is
+    then ``None``.  RNG consumption is identical either way, so toggling
+    it cannot perturb a seeded run.
     """
     rng = ensure_rng(rng)
     candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
@@ -151,14 +161,15 @@ def select_cache_survivors(
     # (harmless: the cache then holds a repeat, as the paper's would).
     dup = duplicate_mask(candidate_ids)
     if strategy is UpdateStrategy.TOP:
-        keys = np.where(dup, -np.inf, candidate_scores)
+        keys = candidate_scores.copy()
     elif strategy is UpdateStrategy.IMPORTANCE:
-        keys = candidate_scores + _gumbel(candidate_scores.shape, rng)
-        keys = np.where(dup, -np.inf, keys)
+        keys = _gumbel(candidate_scores.shape, rng)
+        keys += candidate_scores
     else:  # UNIFORM
         keys = rng.random((b, n))
-        keys = np.where(dup, -np.inf, keys)
+    keys[dup] = -np.inf
 
     top = np.argpartition(-keys, n_keep - 1, axis=1)[:, :n_keep]
     rows = np.arange(b)[:, None]
-    return candidate_ids[rows, top], candidate_scores[rows, top]
+    ids = candidate_ids[rows, top]
+    return ids, candidate_scores[rows, top] if return_scores else None

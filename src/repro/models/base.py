@@ -14,7 +14,14 @@ A model owns its parameter tables and exposes three things:
   head-side twins) used by the cache update (Alg. 3 step 4), KBGAN/IGAN
   generators, and the link-prediction evaluator.  The base class provides
   correct broadcast implementations; subclasses override them with faster
-  closed forms where available.
+  closed forms where available;
+* **fused candidate scoring**: :meth:`KGEModel.score_candidates` — one
+  validated entry point for scoring a ``[B, C]`` candidate block against
+  per-row ``(anchor, relation)`` queries, the primitive the NSCaching
+  refresh (Alg. 3 step 4) is built on.  Validation and dispatch live in
+  the base class; models override the :meth:`_score_candidates_impl`
+  kernel hook with fused per-family kernels (see the conformance suite in
+  ``tests/models/test_conformance.py`` for the contract they must honour).
 """
 
 from __future__ import annotations
@@ -26,7 +33,12 @@ import numpy as np
 from repro.models.params import GradientBag
 from repro.utils.rng import ensure_rng
 
-__all__ = ["KGEModel"]
+__all__ = ["CANDIDATE_MODES", "KGEModel"]
+
+#: Corruption modes understood by :meth:`KGEModel.score_candidates`:
+#: ``"tail"`` scores ``(anchor, r, candidate)``; ``"head"`` scores
+#: ``(candidate, r, anchor)``.
+CANDIDATE_MODES: tuple[str, ...] = ("head", "tail")
 
 
 class KGEModel(ABC):
@@ -123,6 +135,80 @@ class KGEModel(ABC):
         flat_r = np.repeat(r, c)
         flat_t = np.repeat(t, c)
         return self.score(candidates.ravel(), flat_r, flat_t).reshape(b, c)
+
+    def score_candidates(
+        self,
+        anchors: np.ndarray,
+        r: np.ndarray,
+        candidates: np.ndarray,
+        mode: str = "tail",
+    ) -> np.ndarray:
+        """Score a ``[B, C]`` candidate block against per-row queries.
+
+        The fused scoring primitive behind the NSCaching cache refresh
+        (Alg. 3 step 4): every row ``b`` carries one partial triple and
+        ``C`` corruption candidates.
+
+        Parameters
+        ----------
+        anchors:
+            ``[B]`` entity ids of the *uncorrupted* side — the heads when
+            ``mode="tail"``, the tails when ``mode="head"``.
+        r:
+            ``[B]`` relation ids.
+        candidates:
+            ``[B, C]`` entity ids filling the corrupted slot.  May be
+            non-contiguous; it is never written to.
+        mode:
+            ``"tail"`` scores ``(anchors_b, r_b, candidates[b, c])``;
+            ``"head"`` scores ``(candidates[b, c], r_b, anchors_b)``.
+            Anything else raises ``ValueError`` before any scoring work.
+
+        Returns
+        -------
+        ``float64 [B, C]`` plausibility scores matching :meth:`score`.
+
+        This entry point owns validation and dispatch; models specialise
+        the :meth:`_score_candidates_impl` kernel hook instead of
+        overriding this method, so every kernel inherits the same
+        contract (checked model-by-model in the conformance suite).
+        """
+        if mode not in CANDIDATE_MODES:
+            raise ValueError(
+                f"unknown corruption mode {mode!r}; expected one of "
+                f"{CANDIDATE_MODES}"
+            )
+        anchors = np.asarray(anchors, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.ndim != 2:
+            raise ValueError(
+                f"candidates must be [B, C], got shape {candidates.shape}"
+            )
+        if anchors.shape != (len(candidates),) or r.shape != (len(candidates),):
+            raise ValueError(
+                f"anchors {anchors.shape} and r {r.shape} must both be "
+                f"[{len(candidates)}] to match candidates {candidates.shape}"
+            )
+        if candidates.size == 0:  # empty batch or zero-candidate block
+            return np.zeros(candidates.shape, dtype=np.float64)
+        out = self._score_candidates_impl(anchors, r, candidates, mode)
+        return np.asarray(out, dtype=np.float64)
+
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Kernel hook behind :meth:`score_candidates` (inputs validated).
+
+        The generic fallback delegates to the model's bulk scorers, which
+        at worst broadcast through :meth:`score` — correct for any model.
+        Override this (not :meth:`score_candidates`) with a fused kernel
+        when per-family structure pays: compute the per-row query once,
+        then score the whole candidate block with one matmul/broadcast op.
+        """
+        if mode == "tail":
+            return self.score_tails(anchors, r, candidates)
+        return self.score_heads(candidates, r, anchors)
 
     def score_all_tails(
         self, h: np.ndarray, r: np.ndarray, chunk: int = 64

@@ -88,6 +88,21 @@ class ComplEx(KGEModel):
             "bd,bcd->bc", d, p["entity_im"][candidates]
         )
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: the complex query coefficients are built
+        once per row, then the block is scored with two batched matmuls
+        (one per real/imaginary table)."""
+        if mode == "tail":
+            a, b = self._tail_query(anchors, r)
+        else:
+            a, b = self._head_query(r, anchors)
+        p = self.params
+        out = np.matmul(p["entity_re"][candidates], a[:, :, None])
+        out += np.matmul(p["entity_im"][candidates], b[:, :, None])
+        return out[:, :, 0]
+
     def score_all_tails(self, h: np.ndarray, r: np.ndarray, chunk: int = 64) -> np.ndarray:
         h = np.asarray(h, dtype=np.int64)
         r = np.asarray(r, dtype=np.int64)

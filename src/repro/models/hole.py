@@ -65,6 +65,18 @@ class HolE(KGEModel):
         query = _ccorr(rel[r], ent[t])  # f(h) = (r ccorr t) . h
         return np.einsum("bd,bcd->bc", query, ent[candidates])
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: one FFT query per row (the linear form of
+        the circular op), block scored with a single batched matmul."""
+        ent, rel = self.params["entity"], self.params["relation"]
+        if mode == "tail":
+            query = _cconv(rel[r], ent[anchors])  # f(t) = (r conv h) . t
+        else:
+            query = _ccorr(rel[r], ent[anchors])  # f(h) = (r ccorr t) . h
+        return np.matmul(ent[candidates], query[:, :, None])[:, :, 0]
+
     def score_all_tails(self, h: np.ndarray, r: np.ndarray, chunk: int = 64) -> np.ndarray:
         ent, rel = self.params["entity"], self.params["relation"]
         h = np.asarray(h, dtype=np.int64)

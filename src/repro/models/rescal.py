@@ -55,6 +55,20 @@ class RESCAL(KGEModel):
         query = np.einsum("bij,bj->bi", m, ent[t])  # M t
         return np.einsum("bi,bci->bc", query, ent[candidates])
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: the relation matrix is contracted with the
+        anchor once per row (``h^T M`` or ``M t``), then the block is scored
+        with one batched matmul."""
+        ent = self.params["entity"]
+        m = self.params["relation"][r]
+        if mode == "tail":
+            query = np.einsum("bi,bij->bj", ent[anchors], m)  # h^T M
+        else:
+            query = np.einsum("bij,bj->bi", m, ent[anchors])  # M t
+        return np.matmul(ent[candidates], query[:, :, None])[:, :, 0]
+
     def score_all_tails(self, h: np.ndarray, r: np.ndarray, chunk: int = 64) -> np.ndarray:
         ent = self.params["entity"]
         h = np.asarray(h, dtype=np.int64)

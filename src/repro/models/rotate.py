@@ -115,6 +115,37 @@ class RotatE(KGEModel):
         )
         return -norm_forward(e, self.p)
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: both residual halves are written straight
+        into one ``[B, C, 2d]`` buffer (no per-half temporaries or final
+        concatenate copy)."""
+        p = self.params
+        theta = p["phase"][r]
+        cos, sin = np.cos(theta), np.sin(theta)
+        c_re = p["entity_re"][candidates]  # [B, C, d]
+        c_im = p["entity_im"][candidates]
+        b, c = candidates.shape
+        e = np.empty((b, c, 2 * self.dim))
+        e_re, e_im = e[:, :, : self.dim], e[:, :, self.dim :]
+        if mode == "tail":
+            # Rotate the anchor head once per row; e = (h o r) - cand.
+            h_re, h_im = p["entity_re"][anchors], p["entity_im"][anchors]
+            rot_re = h_re * cos - h_im * sin
+            rot_im = h_re * sin + h_im * cos
+            np.subtract(rot_re[:, None, :], c_re, out=e_re)
+            np.subtract(rot_im[:, None, :], c_im, out=e_im)
+        else:
+            # Rotate every candidate forward; e = (cand o r) - t.
+            np.multiply(c_re, cos[:, None, :], out=e_re)
+            e_re -= c_im * sin[:, None, :]
+            e_re -= p["entity_re"][anchors][:, None, :]
+            np.multiply(c_re, sin[:, None, :], out=e_im)
+            e_im += c_im * cos[:, None, :]
+            e_im -= p["entity_im"][anchors][:, None, :]
+        return -norm_forward(e, self.p)
+
     # -- backward ------------------------------------------------------------
     def grad(
         self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray

@@ -64,6 +64,25 @@ class SimplE(KGEModel):
             + np.einsum("bd,bcd->bc", inv_q, p["entity_tail"][candidates])
         )
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: forward and inverse queries built once per
+        row, block scored with two batched matmuls over the role tables."""
+        p = self.params
+        if mode == "tail":
+            fwd_q = p["entity_head"][anchors] * p["relation"][r]
+            inv_q = p["relation_inv"][r] * p["entity_tail"][anchors]
+            fwd_table, inv_table = p["entity_tail"], p["entity_head"]
+        else:
+            fwd_q = p["relation"][r] * p["entity_tail"][anchors]
+            inv_q = p["entity_head"][anchors] * p["relation_inv"][r]
+            fwd_table, inv_table = p["entity_head"], p["entity_tail"]
+        out = np.matmul(fwd_table[candidates], fwd_q[:, :, None])
+        out += np.matmul(inv_table[candidates], inv_q[:, :, None])
+        out *= 0.5
+        return out[:, :, 0]
+
     # -- backward ------------------------------------------------------------
     def grad(
         self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray

@@ -90,6 +90,29 @@ class TransD(KGEModel):
         hp = raw + dot[:, :, None] * wr[:, None, :]
         return -norm_forward(hp + base[:, None, :], self.p)
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: anchor projection once per row, candidate
+        projection folded into the gathered block in place (no ``we * raw``
+        or projected-block temporaries)."""
+        wr = self.params["relation_proj"][r]  # [B, d]
+        anchor_proj, _, _ = self._project(anchors, wr)
+        raw = self.params["entity"][candidates]  # [B, C, d] copy
+        we = self.params["entity_proj"][candidates]
+        dot = np.einsum("bcd,bcd->bc", we, raw)  # (w_e . e) per candidate
+        if mode == "tail":
+            # e = (hp + r) - (raw + dot * w_r)
+            query = anchor_proj + self.params["relation"][r]
+            np.subtract(query[:, None, :], raw, out=raw)
+            raw -= dot[:, :, None] * wr[:, None, :]
+        else:
+            # e = (raw + dot * w_r) + (r - tp)
+            base = self.params["relation"][r] - anchor_proj
+            raw += base[:, None, :]
+            raw += dot[:, :, None] * wr[:, None, :]
+        return -norm_forward(raw, self.p)
+
     # -- backward ------------------------------------------------------------
     def grad(
         self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray

@@ -64,6 +64,24 @@ class TransE(KGEModel):
         e = ent[candidates] + query[:, None, :]
         return -norm_forward(e, self.p)
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: one residual buffer, no broadcast temp.
+
+        The gathered candidate block is the only ``[B, C, d]`` allocation;
+        the query is folded into it in place before the norm.
+        """
+        ent, rel = self.params["entity"], self.params["relation"]
+        e = ent[candidates]  # [B, C, d] — a fresh copy, safe to overwrite
+        if mode == "tail":
+            query = ent[anchors] + rel[r]  # e = query - cand
+            np.subtract(query[:, None, :], e, out=e)
+        else:
+            query = rel[r] - ent[anchors]  # e = cand + query
+            e += query[:, None, :]
+        return -norm_forward(e, self.p)
+
     def score_all_tails(
         self, h: np.ndarray, r: np.ndarray, chunk: int = 64
     ) -> np.ndarray:

@@ -93,6 +93,30 @@ class TransH(KGEModel):
         hp = heads - wh[:, :, None] * w[:, None, :]
         return -norm_forward(hp + base[:, None, :], self.p)
 
+    def _score_candidates_impl(
+        self, anchors: np.ndarray, r: np.ndarray, candidates: np.ndarray, mode: str
+    ) -> np.ndarray:
+        """Fused candidate kernel: project the anchor once per row, fold the
+        candidate projection into the gathered block in place, and compute
+        the per-candidate hyperplane dot with one batched matmul."""
+        ent = self.params["entity"]
+        w = self.params["normal"][r]  # [B, d]
+        anchor = ent[anchors]
+        anchor_proj = anchor - np.sum(w * anchor, axis=1, keepdims=True) * w
+        cand = ent[candidates]  # [B, C, d] copy — overwritten below
+        wc = np.matmul(cand, w[:, :, None])[:, :, 0]  # (w . cand), [B, C]
+        if mode == "tail":
+            # e = (hp + d_r) - (cand - (w.cand) w)
+            base = anchor_proj + self.params["relation"][r]
+            np.subtract(base[:, None, :], cand, out=cand)
+            cand += wc[:, :, None] * w[:, None, :]
+        else:
+            # e = (cand - (w.cand) w) + (d_r - tp)
+            base = self.params["relation"][r] - anchor_proj
+            cand += base[:, None, :]
+            cand -= wc[:, :, None] * w[:, None, :]
+        return -norm_forward(cand, self.p)
+
     # -- backward ------------------------------------------------------------
     def grad(
         self, h: np.ndarray, r: np.ndarray, t: np.ndarray, upstream: np.ndarray

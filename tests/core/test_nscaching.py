@@ -123,6 +123,63 @@ class TestUpdate:
         assert bound_sampler.head_cache.n_entries > 0
 
 
+class TestUpdateModes:
+    @pytest.mark.parametrize("bad", ["relation", "tails", "both", ""])
+    def test_unknown_mode_rejected(self, bound_sampler, tiny_kg, bad):
+        batch = tiny_kg.train[:4]
+        with pytest.raises(ValueError, match="mode"):
+            bound_sampler.update(batch, batch, modes=(bad,))
+
+    def test_unknown_mode_rejected_even_on_lazy_epochs(self, tiny_kg):
+        """Validation runs before the lazy skip: a typo'd mode may not hide
+        until the next refresh epoch (and may never fall through to a
+        silent tail refresh)."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4, lazy_epochs=3)
+        sampler.bind(model, tiny_kg, rng=0)
+        sampler.on_epoch_start(1)  # this epoch would be lazily skipped
+        batch = tiny_kg.train[:4]
+        with pytest.raises(ValueError, match="mode"):
+            sampler.update(batch, batch, modes=("relation",))
+        assert sampler.changed_elements() == 0  # nothing was refreshed
+
+    def test_single_mode_refreshes_only_that_cache(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:8]
+        bound_sampler.update(batch, batch, modes=("head",))
+        assert bound_sampler.head_cache.changed_elements > 0
+        assert bound_sampler.tail_cache.changed_elements == 0
+        assert bound_sampler.tail_cache.n_entries == 0
+
+
+class TestFusedRefresh:
+    def test_fused_by_default_and_in_repr(self):
+        sampler = NSCachingSampler()
+        assert sampler.fused
+        assert "fused=True" in repr(sampler)
+
+    def test_reference_path_runs(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4, fused=False)
+        sampler.bind(model, tiny_kg, rng=0)
+        batch = tiny_kg.train[:8]
+        sampler.update(batch, sampler.sample(batch))
+        assert sampler.changed_elements() > 0
+
+    def test_union_buffer_reused_across_batches(self, bound_sampler, tiny_kg):
+        batch = tiny_kg.train[:16]
+        bound_sampler.update(batch, batch)
+        buffer = bound_sampler._union
+        assert buffer is not None
+        assert buffer.shape == (16, 12)  # N1 + N2 = 6 + 6
+        bound_sampler.update(tiny_kg.train[16:32], tiny_kg.train[16:32])
+        assert bound_sampler._union is buffer  # no reallocation
+
+    def test_union_buffer_grows_for_larger_batches(self, bound_sampler, tiny_kg):
+        bound_sampler.update(tiny_kg.train[:8], tiny_kg.train[:8])
+        bound_sampler.update(tiny_kg.train[:32], tiny_kg.train[:32])
+        assert bound_sampler._union.shape[0] >= 32
+
+
 class TestStrategyVariants:
     @pytest.mark.parametrize("strategy", list(SampleStrategy))
     def test_all_sampling_strategies_run(self, tiny_kg, strategy):

@@ -116,6 +116,23 @@ class TestSelectCacheSurvivors:
         # Every candidate selected sometimes; low-score ones too.
         assert counts.min() > 0
 
+    @pytest.mark.parametrize("strategy", list(UpdateStrategy))
+    def test_return_scores_false_skips_gather_only(self, strategy):
+        """Dropping the score gather changes neither the ids nor the RNG
+        stream — it only returns ``None`` in the scores slot."""
+        data_rng = np.random.default_rng(3)
+        ids = data_rng.integers(0, 40, size=(5, 8))
+        scores = data_rng.normal(size=(5, 8))
+        with_scores = select_cache_survivors(
+            ids, scores, 3, strategy, np.random.default_rng(7)
+        )
+        without = select_cache_survivors(
+            ids, scores, 3, strategy, np.random.default_rng(7), return_scores=False
+        )
+        np.testing.assert_array_equal(with_scores[0], without[0])
+        assert with_scores[1].shape == (5, 3)
+        assert without[1] is None
+
     def test_keep_more_than_available_rejected(self, rng):
         with pytest.raises(ValueError, match="cannot keep"):
             select_cache_survivors(

@@ -1,11 +1,13 @@
-"""Dict ↔ array cache-backend parity.
+"""Dict ↔ array cache-backend and fused ↔ reference refresh parity.
 
-The array engine is a performance refactor, not a behaviour change: under
-the same seed both backends must produce identical cache entries, CE
-counts, memory accounting — and identical training trajectories.
+The array engine and the fused score-and-select refresh are performance
+refactors, not behaviour changes: under the same seed both cache backends
+— and both refresh orchestrations — must produce identical cache entries,
+CE counts, memory accounting and training trajectories.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +15,8 @@ from repro.core.array_cache import ArrayNegativeCache
 from repro.core.cache import NegativeCache
 from repro.core.nscaching import NSCachingSampler
 from repro.data.keyindex import KeyIndex
-from repro.models import make_model
+from repro.data.synthetic import SyntheticKGConfig, generate_kg
+from repro.models import MODEL_REGISTRY, make_model
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
 
@@ -109,3 +112,99 @@ class TestTrainingParity:
             array_trainer.model.params["entity"],
             atol=1e-12,
         )
+
+
+def _parity_kg():
+    """A small dedicated KG, built once (hypothesis forbids fn fixtures)."""
+    config = SyntheticKGConfig(
+        name="parity",
+        n_entities=40,
+        n_relations=4,
+        latent_dim=6,
+        triples_per_relation=40,
+        diagonal_fraction=0.3,
+        range_fraction=0.5,
+    )
+    return generate_kg(config, rng=5).dataset
+
+
+_PARITY_KG = _parity_kg()
+
+
+def _cache_state(sampler):
+    """All initialised rows of both caches plus the CE counters."""
+    assert sampler.head_cache is not None and sampler.tail_cache is not None
+    n_head = sampler.key_index.head.n_keys
+    n_tail = sampler.key_index.tail.n_keys
+    return (
+        sampler.head_cache.gather(np.arange(n_head, dtype=np.int64)),
+        sampler.tail_cache.gather(np.arange(n_tail, dtype=np.int64)),
+        sampler.head_cache.changed_elements,
+        sampler.tail_cache.changed_elements,
+    )
+
+
+class TestFusedRefreshParity:
+    """The fused refresh is bit-identical to the unfused reference path."""
+
+    @given(
+        model_name=st.sampled_from(sorted(MODEL_REGISTRY)),
+        seed=st.integers(0, 2**16),
+        n1=st.integers(1, 5),
+        n2=st.integers(1, 5),
+        update_strategy=st.sampled_from(["importance", "top", "uniform"]),
+        sample_strategy=st.sampled_from(["uniform", "importance"]),
+        batch_starts=st.lists(st.integers(0, 100), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fused_update_bit_identical(
+        self, model_name, seed, n1, n2, update_strategy, sample_strategy, batch_starts
+    ):
+        dataset = _PARITY_KG
+        samplers = []
+        for fused in (True, False):
+            model = make_model(
+                model_name, dataset.n_entities, dataset.n_relations, 6, rng=seed
+            )
+            sampler = NSCachingSampler(
+                cache_size=n1,
+                candidate_size=n2,
+                update_strategy=update_strategy,
+                sample_strategy=sample_strategy,
+                fused=fused,
+            )
+            sampler.bind(model, dataset, rng=seed)
+            samplers.append(sampler)
+        fused_sampler, reference_sampler = samplers
+
+        for start in batch_starts:
+            batch = dataset.train[start : start + 32]
+            fused_negatives = fused_sampler.sample(batch)
+            reference_negatives = reference_sampler.sample(batch)
+            np.testing.assert_array_equal(fused_negatives, reference_negatives)
+            fused_sampler.update(batch, fused_negatives)
+            reference_sampler.update(batch, reference_negatives)
+
+        for got, expected in zip(
+            _cache_state(fused_sampler), _cache_state(reference_sampler)
+        ):
+            np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("model_name", ("DistMult", "TransD"))
+    def test_training_trajectory_bit_identical(self, tiny_kg, model_name):
+        """End-to-end: fused and reference runs land on identical parameters."""
+        params = []
+        for fused in (True, False):
+            model = make_model(
+                model_name, tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+            )
+            sampler = NSCachingSampler(cache_size=6, candidate_size=6, fused=fused)
+            Trainer(
+                model,
+                tiny_kg,
+                sampler,
+                TrainConfig(epochs=3, batch_size=64, learning_rate=0.05, seed=0),
+            ).run()
+            params.append(model.state_dict())
+        for name in params[0]:
+            np.testing.assert_array_equal(params[0][name], params[1][name])

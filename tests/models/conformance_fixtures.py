@@ -1,0 +1,43 @@
+"""Shared helpers for the model-conformance harness (see ``conftest.py``).
+
+Kept outside ``conftest.py`` so test modules can import the constants and
+oracle directly (the tests directory is not a package).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import make_model
+
+#: Vocabulary the conformance models are built with — deliberately odd
+#: sizes (13 entities, 4 relations, dim 6) to shake out square-shape
+#: assumptions in kernels.
+CONF_N_ENTITIES = 13
+CONF_N_RELATIONS = 4
+CONF_DIM = 6
+
+
+def build_conformance_model(name: str, rng: int = 3):
+    """A small, seeded instance of one registry model."""
+    return make_model(name, CONF_N_ENTITIES, CONF_N_RELATIONS, CONF_DIM, rng=rng)
+
+
+def looped_reference_scores(model, anchors, r, candidates, mode):
+    """Candidate-block scores via one ``score()`` call per row.
+
+    The slowest, most obviously correct formulation — the oracle every
+    ``score_candidates`` kernel must agree with.
+    """
+    b, c = candidates.shape
+    out = np.empty((b, c), dtype=np.float64)
+    for i in range(b):
+        if mode == "tail":
+            out[i] = model.score(
+                np.full(c, anchors[i]), np.full(c, r[i]), candidates[i]
+            )
+        else:
+            out[i] = model.score(
+                candidates[i], np.full(c, r[i]), np.full(c, anchors[i])
+            )
+    return out

@@ -174,6 +174,83 @@ class TestProfiling:
         assert set(report) == set(Trainer.PROFILE_PHASES)
         assert all(seconds > 0 for seconds in report.values())
 
+    def test_profile_reports_score_candidates_phase(self, tiny_kg):
+        """The cache-refresh scoring surfaces as its own non-zero phase."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model,
+            tiny_kg,
+            NSCachingSampler(cache_size=4, candidate_size=4),
+            TrainConfig(epochs=2, batch_size=64),
+            profile=True,
+        )
+        trainer.run()
+        report = trainer.profile_report()
+        assert "score_candidates" in report
+        assert report["score_candidates"] > 0
+
+    def test_profile_phases_sum_to_wall_time(self, tiny_kg):
+        """Phases are disjoint and cover the hot loop: their sum matches the
+        training wall clock (loop bookkeeping is the only slack)."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model,
+            tiny_kg,
+            NSCachingSampler(cache_size=8, candidate_size=8),
+            TrainConfig(epochs=3, batch_size=64),
+            profile=True,
+        )
+        trainer.run()
+        report = trainer.profile_report()
+        total = sum(report.values())
+        wall = trainer.train_seconds
+        assert total <= wall
+        assert total >= 0.5 * wall, (report, wall)
+
+    def test_profile_score_candidates_excluded_from_cache_update(self, tiny_kg):
+        """The report carves the nested scoring time out of cache_update."""
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model,
+            tiny_kg,
+            NSCachingSampler(cache_size=4, candidate_size=4),
+            TrainConfig(epochs=2, batch_size=64),
+            profile=True,
+        )
+        trainer.run()
+        report = trainer.profile_report()
+        raw_update = trainer.phase_timers["cache_update"].elapsed
+        assert report["cache_update"] == pytest.approx(
+            raw_update - report["score_candidates"]
+        )
+
+    def test_reused_sampler_detached_from_previous_profiler(self, tiny_kg):
+        """A sampler handed to a second, non-profiled trainer must stop
+        feeding the first trainer's score_candidates stopwatch."""
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4)
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        profiled = Trainer(
+            model, tiny_kg, sampler, TrainConfig(epochs=1, batch_size=64),
+            profile=True,
+        )
+        profiled.run()
+        recorded = profiled.profile_report()["score_candidates"]
+        model2 = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=1)
+        Trainer(
+            model2, tiny_kg, sampler, TrainConfig(epochs=1, batch_size=64)
+        ).run()
+        assert sampler.score_timer is None
+        assert profiled.profile_report()["score_candidates"] == recorded
+
+    def test_profile_score_candidates_zero_for_stateless_sampler(self, tiny_kg):
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        trainer = Trainer(
+            model, tiny_kg, BernoulliSampler(),
+            TrainConfig(epochs=1, batch_size=64), profile=True,
+        )
+        trainer.run()
+        assert trainer.profile_report()["score_candidates"] == 0.0
+
     def test_profile_does_not_change_results(self, tiny_kg):
         plain = _trainer(tiny_kg, epochs=3).run()
         model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
