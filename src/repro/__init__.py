@@ -36,6 +36,7 @@ Quickstart::
 
 from repro.core import (
     ArrayNegativeCache,
+    BucketedArrayCache,
     CacheStore,
     HashedNegativeCache,
     NegativeCache,
@@ -44,6 +45,7 @@ from repro.core import (
     UpdateStrategy,
 )
 from repro.data import (
+    BucketIndex,
     KeyIndex,
     KGDataset,
     TripleKeyIndex,
@@ -105,6 +107,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrayNegativeCache",
     "BernoulliSampler",
+    "BucketIndex",
+    "BucketedArrayCache",
     "CacheStore",
     "ComplEx",
     "DistMult",

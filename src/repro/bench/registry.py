@@ -155,6 +155,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.models.base", "repro.core.nscaching", "repro.core.strategies"),
             "benchmarks/bench_fused_refresh.py",
         ),
+        Experiment(
+            "X6",
+            "Extension: memory-bounded bucketed array cache (SVI on the fast path)",
+            "allocation/collision trade-off across bucket budgets and fused "
+            "update() throughput vs the unbounded array backend at N1=N2=50",
+            ("repro.core.bucketed", "repro.data.keyindex", "repro.core.store"),
+            "benchmarks/bench_bucketed_cache.py",
+        ),
     )
 }
 

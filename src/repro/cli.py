@@ -20,7 +20,7 @@ import sys
 from typing import Sequence
 
 from repro.bench.harness import MODEL_DEFAULTS, build_model, make_config
-from repro.core.store import CACHE_BACKENDS
+from repro.core.store import cache_backend_names
 from repro.bench.registry import describe_experiments
 from repro.bench.tables import format_table
 from repro.data.benchmarks import BENCHMARKS, load_benchmark
@@ -32,6 +32,13 @@ from repro.sampling import SAMPLER_NAMES, make_sampler
 from repro.train.trainer import Trainer
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,8 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--candidate-size", type=int, default=50, help="N2")
     train.add_argument("--lazy-epochs", type=int, default=0, help="lazy-update n")
     train.add_argument(
-        "--cache-backend", default="array", choices=CACHE_BACKENDS,
-        help="NSCaching cache storage: vectorised array (default) or dict",
+        "--cache-backend", default="array", choices=cache_backend_names(),
+        help="NSCaching cache storage: vectorised array (default), dict, "
+             "or the memory-bounded bucketed-array / hashed backends",
+    )
+    train.add_argument(
+        "--n-buckets", type=_positive_int, default=None, metavar="K",
+        help="bucket rows for the memory-bounded backends (bucketed-array/"
+             "hashed); cache memory becomes O(K * N1) regardless of the "
+             "number of distinct keys",
     )
     train.add_argument(
         "--no-fused-refresh", action="store_true",
@@ -130,13 +144,16 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
     if args.sampler == "NSCaching":
-        return {
+        kwargs: dict[str, object] = {
             "cache_size": args.cache_size,
             "candidate_size": args.candidate_size,
             "lazy_epochs": args.lazy_epochs,
             "cache_backend": args.cache_backend,
             "fused": not args.no_fused_refresh,
         }
+        if args.n_buckets is not None:
+            kwargs["cache_options"] = {"n_buckets": args.n_buckets}
+        return kwargs
     if args.sampler in ("KBGAN", "SelfAdv"):
         return {"candidate_size": args.candidate_size}
     return {}
@@ -174,7 +191,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         overrides["l2_weight"] = args.l2_weight
     config = make_config(args.model, args.epochs, seed=args.seed, **overrides)
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
-    sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
+    try:
+        sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
+    except ValueError as exc:
+        # e.g. --n-buckets with a backend that is not memory-bounded.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     trainer = Trainer(model, dataset, sampler, config, profile=args.profile)
     trainer.run()
     print(f"trained {args.epochs} epochs in {trainer.train_seconds:.1f}s")
@@ -191,6 +213,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 title="per-phase timing (training hot loop)",
             )
         )
+        cache_stats = trainer.cache_report()
+        if cache_stats:
+            print(
+                format_table(
+                    ("cache stat", "value"),
+                    sorted(cache_stats.items()),
+                    title="cache introspection",
+                )
+            )
     _print_metrics(evaluate(model, dataset, "test"))
     if args.per_category:
         _print_breakdown(model, dataset, "test")

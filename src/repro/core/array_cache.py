@@ -72,10 +72,25 @@ def multiset_overlap_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     lo = min(int(a[:, 0].min()), int(b[:, 0].min()))
     hi = max(int(a[:, -1].max()), int(b[:, -1].max()))
     span = hi - lo + 1
-    if n_rows * span * n_cols >= 2**62:  # packed code would overflow int64
-        raise ValueError(
-            f"id range too wide to pack: {n_rows} rows x span {span} x {n_cols} cols"
+    if n_rows * span * n_cols >= 2**62:
+        # Packed codes would overflow int64 (extreme id ranges); run the
+        # same adjacency trick through an explicit lexsort over
+        # (row, value, rank) records instead — overflow-free, mirroring
+        # duplicate_mask's wide-id fallback.
+        rows = np.repeat(np.arange(n_rows, dtype=np.int64), n_cols)
+        rows = np.concatenate([rows, rows])
+        values = np.concatenate([a.ravel(), b.ravel()])
+        ranks = np.concatenate(
+            [_occurrence_rank(a).ravel(), _occurrence_rank(b).ravel()]
         )
+        order = np.lexsort((ranks, values, rows))
+        rows, values, ranks = rows[order], values[order], ranks[order]
+        same = (
+            (rows[1:] == rows[:-1])
+            & (values[1:] == values[:-1])
+            & (ranks[1:] == ranks[:-1])
+        )
+        return np.bincount(rows[:-1][same], minlength=n_rows).astype(np.int64)
     row_base = (np.arange(n_rows, dtype=np.int64) * span)[:, None]
     codes = np.concatenate(
         [
@@ -123,13 +138,19 @@ class ArrayNegativeCache:
         self.initialised_entries = 0
 
     # -- lifecycle -----------------------------------------------------------
+    def _storage_rows(self, index: KeyIndex) -> int:
+        """Rows to preallocate: one per distinct key (subclasses may bound
+        this — the bucketed backend allocates ``n_buckets`` instead)."""
+        return index.n_keys
+
     def attach_index(self, index: KeyIndex) -> None:
         """Bind the key→row map and preallocate storage for its rows."""
         self._index = index
-        self._ids = np.zeros((index.n_keys, self.size), dtype=np.int64)
-        self._live = np.zeros(index.n_keys, dtype=bool)
+        n_rows = self._storage_rows(index)
+        self._ids = np.zeros((n_rows, self.size), dtype=np.int64)
+        self._live = np.zeros(n_rows, dtype=bool)
         if self.store_scores:
-            self._scores = np.zeros((index.n_keys, self.size), dtype=np.float64)
+            self._scores = np.zeros((n_rows, self.size), dtype=np.float64)
 
     def _require_index(self) -> KeyIndex:
         if self._index is None or self._ids is None or self._live is None:
@@ -205,6 +226,15 @@ class ArrayNegativeCache:
             )
         if self.store_scores and scores is None:
             raise ValueError("store_scores=True cache requires scores on scatter()")
+        if scores is not None:
+            # Validate before any write: a wrong-shaped block would
+            # otherwise broadcast or partially fill the score storage.
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (len(rows), self.size):
+                raise ValueError(
+                    f"scores must have shape ({len(rows)}, {self.size}) to "
+                    f"match ids, got {scores.shape}"
+                )
         if len(rows) == 0:
             return 0
 
@@ -233,7 +263,6 @@ class ArrayNegativeCache:
         self._live[rows] = True
         if self.store_scores:
             assert self._scores is not None and scores is not None
-            scores = np.asarray(scores, dtype=np.float64)
             self._scores[rows[is_last]] = scores[is_last]
         return changed
 

@@ -1,0 +1,145 @@
+"""Memory-bounded bucketed array cache — §VI hashing on the fast path.
+
+:class:`~repro.core.hashed.HashedNegativeCache` implements the paper's
+hashing answer to cache memory, but over the slow per-key dict machinery.
+This backend ports the same bucket scheme onto the preallocated array
+engine: storage is ``int64[n_buckets, N1]`` (+ optional scores) no matter
+how many distinct keys the training split has, and every access stays a
+single fancy index because the key→bucket map is precomputed by a
+:class:`~repro.data.keyindex.BucketIndex` (one vectorised
+:func:`~repro.data.keyindex.stable_key_hash` pass at attach time).
+
+Colliding keys share a row exactly as the dict-hashed backend's colliding
+keys share an entry — same hash, same buckets, same RNG consumption — so
+the two backends are bit-identical under a fixed seed (enforced by the
+parity suite in ``tests/integration/test_backend_parity.py``).  The
+bucket row-space is also the seam the ROADMAP sharding items will split:
+shards own disjoint bucket ranges regardless of the key distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.array_cache import ArrayNegativeCache
+from repro.data.keyindex import BucketIndex, KeyIndex
+
+__all__ = ["BucketedArrayCache"]
+
+
+class BucketedArrayCache(ArrayNegativeCache):
+    """An :class:`ArrayNegativeCache` whose keys share ``n_buckets`` rows."""
+
+    def __init__(
+        self,
+        size: int,
+        n_entities: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        n_buckets: int = 1024,
+        store_scores: bool = False,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
+        super().__init__(size, n_entities, rng, store_scores=store_scores)
+        self.n_buckets = int(n_buckets)
+        self._buckets: BucketIndex | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def _storage_rows(self, index: KeyIndex) -> int:
+        # The memory bound: allocation is O(n_buckets * N1) independent of
+        # the number of distinct keys.
+        return self.n_buckets
+
+    def attach_index(self, index: KeyIndex) -> None:
+        """Bind the key→row map and hash every key to its bucket once."""
+        self._buckets = BucketIndex(index, self.n_buckets)
+        super().attach_index(index)
+
+    def _bucket_rows(self, rows: np.ndarray) -> np.ndarray:
+        self._require_index()
+        assert self._buckets is not None
+        return self._buckets.bucket_rows(np.asarray(rows, dtype=np.int64))
+
+    # -- access (dense key rows in, bucket rows under the hood) ----------------
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Cached ids for dense key ``rows``, served from their buckets."""
+        return super().gather(self._bucket_rows(rows))
+
+    def gather_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Stored scores for dense key ``rows``' buckets."""
+        if not self.store_scores:
+            raise RuntimeError("cache was built with store_scores=False")
+        return super().gather_scores(self._bucket_rows(rows))
+
+    def scatter(
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> int:
+        """Replace the buckets of dense key ``rows``; returns the CE count.
+
+        Keys of one batch that collide into the same bucket follow the
+        repeated-row semantics of the array engine: each write's CE is
+        counted against the previous write and the last write wins —
+        exactly the dict-hashed backend's sequential ``put`` behaviour.
+        """
+        return super().scatter(self._bucket_rows(rows), ids, scores)
+
+    # -- key-addressed access (probing / callbacks) ----------------------------
+    # Hashing serves *any* key, not just indexed ones, matching the
+    # dict-hashed backend's reachability.
+    def get(self, key: tuple[int, int]) -> np.ndarray:
+        """Cached ids for ``key``'s bucket (shared across colliding keys)."""
+        self._require_index()
+        assert self._buckets is not None
+        row = np.array([self._buckets.bucket_of(key)], dtype=np.int64)
+        return super().gather(row)[0]
+
+    def scores(self, key: tuple[int, int]) -> np.ndarray:
+        """Stored scores for ``key``'s bucket."""
+        if not self.store_scores:
+            raise RuntimeError("cache was built with store_scores=False")
+        self._require_index()
+        assert self._buckets is not None
+        row = np.array([self._buckets.bucket_of(key)], dtype=np.int64)
+        return super().gather_scores(row)[0]
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        if self._buckets is None or self._live is None:
+            return False
+        return bool(self._live[self._buckets.bucket_of(key)])
+
+    def keys(self) -> list[tuple[int, int]]:
+        """Synthetic ``(bucket, 0)`` keys of all materialised buckets (the
+        dict-hashed backend's bucket keys; real keys are many-to-one)."""
+        if self._live is None:
+            return []
+        return [(int(bucket), 0) for bucket in np.flatnonzero(self._live)]
+
+    # -- collision / memory introspection --------------------------------------
+    def load_factor(self) -> float:
+        """Mean indexed keys per bucket (``n_keys / n_buckets``)."""
+        self._require_index()
+        assert self._buckets is not None
+        return self._buckets.load_factor()
+
+    def n_colliding_keys(self) -> int:
+        """Indexed keys sharing their bucket with at least one other key."""
+        self._require_index()
+        assert self._buckets is not None
+        return self._buckets.n_colliding_keys()
+
+    def memory_bound_bytes(self) -> int:
+        """Worst-case memory if every bucket materialises (the §VI bound)."""
+        per_entry = self.size * 8 * (2 if self.store_scores else 1)
+        return self.n_buckets * per_entry
+
+    def __repr__(self) -> str:
+        n_keys = self._index.n_keys if self._index is not None else 0
+        return (
+            f"BucketedArrayCache(size={self.size}, n_buckets={self.n_buckets}, "
+            f"n_keys={n_keys}, entries={self.n_entries}, "
+            f"store_scores={self.store_scores})"
+        )

@@ -125,6 +125,15 @@ class NegativeCache:
             raise ValueError(
                 f"entries must have shape ({len(keys)}, {self.size}), got {ids.shape}"
             )
+        if scores is not None:
+            # Validate up front: a wrong-shaped block would otherwise fail
+            # (or broadcast) mid-loop, leaving earlier rows written.
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (len(keys), self.size):
+                raise ValueError(
+                    f"scores must have shape ({len(keys)}, {self.size}) to "
+                    f"match ids, got {scores.shape}"
+                )
         changed = 0
         for i, key in enumerate(keys):
             changed += self.put(key, ids[i], scores[i] if scores is not None else None)
@@ -141,6 +150,17 @@ class NegativeCache:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.shape != (self.size,):
             raise ValueError(f"entry must have shape ({self.size},), got {ids.shape}")
+        # All validation precedes any write so a rejected put leaves the
+        # entry untouched (no partial id-without-scores state).
+        if self.store_scores and scores is None:
+            raise ValueError("store_scores=True cache requires scores on put()")
+        if scores is not None:
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (self.size,):
+                raise ValueError(
+                    f"scores must have shape ({self.size},) to match the "
+                    f"entry, got {scores.shape}"
+                )
         old = self._ids.get(key)
         if old is None:
             changed = self.size
@@ -150,9 +170,8 @@ class NegativeCache:
             changed = self.size - _multiset_overlap(old, ids)
         self._ids[key] = _frozen(ids.copy())
         if self.store_scores:
-            if scores is None:
-                raise ValueError("store_scores=True cache requires scores on put()")
-            self._scores[key] = _frozen(np.asarray(scores, dtype=np.float64).copy())
+            assert scores is not None
+            self._scores[key] = _frozen(scores.copy())
         self.changed_elements += changed
         return changed
 

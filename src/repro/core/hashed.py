@@ -7,6 +7,14 @@ mapped onto a fixed number of buckets, so memory is ``O(buckets * N1)``
 regardless of ``|S|``.  Colliding keys share one entry, trading sampling
 precision for bounded memory; the extension benchmark measures that
 trade-off (bench_ext_hashed_cache).
+
+This dict-bucket implementation is the readable reference; it registers
+as the ``hashed`` backend (``make_cache_backend("hashed",
+n_buckets=...)``).  The production-scale sibling is
+:class:`~repro.core.bucketed.BucketedArrayCache` (``bucketed-array``),
+which runs the identical bucket scheme — same
+:func:`~repro.data.keyindex.stable_key_hash`, vectorised — on the
+preallocated array engine, bit-identical to this one under a seed.
 """
 
 from __future__ import annotations
@@ -14,18 +22,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cache import Key, NegativeCache
+from repro.data.keyindex import BucketIndex, KeyIndex
 
 __all__ = ["HashedNegativeCache", "stable_key_hash"]
 
 # Knuth-style multiplicative mixing constants (deterministic across runs,
-# unlike Python's salted hash()).
+# unlike Python's salted hash()).  Must match the vectorised
+# ``repro.data.keyindex.stable_key_hash`` (enforced by test).
 _MIX_A = 0x9E3779B97F4A7C15
 _MIX_B = 0xC2B2AE3D27D4EB4F
 _MASK = (1 << 64) - 1
 
 
 def stable_key_hash(key: Key) -> int:
-    """Deterministic 64-bit hash of an ``(id, id)`` cache key."""
+    """Deterministic 64-bit hash of one ``(id, id)`` cache key.
+
+    Scalar counterpart of the vectorised
+    :func:`repro.data.keyindex.stable_key_hash` (kept in pure Python —
+    cheaper than an array round-trip for the dict backend's one-key-at-a-
+    time calls).
+    """
     a, b = int(key[0]), int(key[1])
     x = (a * _MIX_A + b * _MIX_B) & _MASK
     x ^= x >> 29
@@ -50,6 +66,28 @@ class HashedNegativeCache(NegativeCache):
             raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
         super().__init__(size, n_entities, rng, store_scores=store_scores)
         self.n_buckets = int(n_buckets)
+        self._bucket_index: BucketIndex | None = None
+
+    def attach_index(self, index: KeyIndex) -> None:
+        """Bind the key→row map; also index the buckets for introspection."""
+        super().attach_index(index)
+        self._bucket_index = BucketIndex(index, self.n_buckets)
+
+    def _require_buckets(self) -> BucketIndex:
+        if self._bucket_index is None:
+            raise RuntimeError(
+                "HashedNegativeCache has no key index; call "
+                "attach_index(KeyIndex) before bucket introspection"
+            )
+        return self._bucket_index
+
+    def load_factor(self) -> float:
+        """Mean indexed keys per bucket (``n_keys / n_buckets``)."""
+        return self._require_buckets().load_factor()
+
+    def n_colliding_keys(self) -> int:
+        """Indexed keys sharing their bucket with at least one other key."""
+        return self._require_buckets().n_colliding_keys()
 
     def _bucket(self, key: Key) -> Key:
         return (stable_key_hash(key) % self.n_buckets, 0)

@@ -47,11 +47,16 @@ contrasts with IGAN/KBGAN.
 
 from __future__ import annotations
 
-from typing import Callable, NamedTuple
+from typing import Callable, Mapping, NamedTuple
 
 import numpy as np
 
-from repro.core.store import CACHE_BACKENDS, CacheStore, make_cache_backend
+from repro.core.store import (
+    CacheStore,
+    cache_backend_names,
+    make_cache_backend,
+    validate_backend_options,
+)
 from repro.core.strategies import (
     SampleStrategy,
     UpdateStrategy,
@@ -96,6 +101,7 @@ class NSCachingSampler(NegativeSampler):
         lazy_epochs: int = 0,
         bernoulli: bool = True,
         cache_backend: str = "array",
+        cache_options: Mapping[str, object] | None = None,
         cache_factory: CacheFactory | None = None,
         fused: bool = True,
     ) -> None:
@@ -115,13 +121,20 @@ class NSCachingSampler(NegativeSampler):
         bernoulli:
             Use the relation-aware head/tail coin (paper §IV-B1).
         cache_backend:
-            ``"array"`` (vectorised, default) or ``"dict"`` (the original
-            per-key store).  Both yield bit-identical training under a
-            fixed seed; array is the fast path.
+            A registered backend name: ``"array"`` (vectorised, default),
+            ``"dict"`` (the original per-key store), or the
+            memory-bounded §VI pair ``"bucketed-array"`` (vectorised) /
+            ``"hashed"`` (dict reference).  Same-scheme backends yield
+            bit-identical training under a fixed seed; array variants are
+            the fast paths.
+        cache_options:
+            Backend-specific constructor options forwarded to
+            :func:`~repro.core.store.make_cache_backend` — e.g.
+            ``{"n_buckets": 4096}`` for the memory-bounded backends.
+            Validated here so an unsupported option fails before binding.
         cache_factory:
-            Alternative cache constructor (e.g.
-            :class:`~repro.core.hashed.HashedNegativeCache` for the
-            memory-bounded extension).  Overrides ``cache_backend``.
+            Alternative cache constructor for unregistered backends.
+            Overrides ``cache_backend`` (and rejects ``cache_options``).
         fused:
             Run the Alg. 3 refresh through the fused score-and-select
             path (default).  ``False`` keeps the unfused reference
@@ -136,10 +149,17 @@ class NSCachingSampler(NegativeSampler):
             )
         if lazy_epochs < 0:
             raise ValueError(f"lazy_epochs must be >= 0, got {lazy_epochs}")
-        if cache_factory is None and cache_backend not in CACHE_BACKENDS:
+        if cache_factory is None:
+            if cache_backend not in cache_backend_names():
+                raise ValueError(
+                    f"cache_backend must be one of {cache_backend_names()}, "
+                    f"got {cache_backend!r}"
+                )
+            validate_backend_options(cache_backend, dict(cache_options or {}))
+        elif cache_options:
             raise ValueError(
-                f"cache_backend must be one of {CACHE_BACKENDS}, got "
-                f"{cache_backend!r}"
+                "cache_options only applies to registered backends; pass "
+                "them to your cache_factory directly"
             )
         self.cache_size = int(cache_size)
         self.candidate_size = int(candidate_size)
@@ -147,6 +167,7 @@ class NSCachingSampler(NegativeSampler):
         self.update_strategy = UpdateStrategy(update_strategy)
         self.lazy_epochs = int(lazy_epochs)
         self.cache_backend = cache_backend if cache_factory is None else "custom"
+        self.cache_options: dict[str, object] = dict(cache_options or {})
         self._cache_factory = cache_factory
         self.fused = bool(fused)
         self.key_index: TripleKeyIndex | None = None
@@ -169,6 +190,7 @@ class NSCachingSampler(NegativeSampler):
             n_entities,
             self.rng,
             store_scores=store_scores,
+            **self.cache_options,
         )
 
     def bind(
@@ -343,6 +365,38 @@ class NSCachingSampler(NegativeSampler):
         """Combined footprint of both caches."""
         assert self.head_cache is not None and self.tail_cache is not None
         return self.head_cache.memory_bytes() + self.tail_cache.memory_bytes()
+
+    def cache_stats(self) -> dict[str, object]:
+        """Cache introspection: key counts, memory, bucket collisions.
+
+        Always present: the backend name, per-side distinct key counts and
+        the materialised ``memory_bytes``.  The array backends add
+        ``allocated_bytes`` (preallocated block — ``O(n_buckets * N1)``
+        for the bucketed backend, independent of the key count); the
+        memory-bounded pair adds the per-side load factor and number of
+        colliding keys.
+        """
+        self._require_bound()
+        assert self.key_index is not None
+        assert self.head_cache is not None and self.tail_cache is not None
+        stats: dict[str, object] = {
+            "backend": self.cache_backend,
+            "head_keys": self.key_index.head.n_keys,
+            "tail_keys": self.key_index.tail.n_keys,
+            "memory_bytes": self.cache_memory_bytes(),
+        }
+        sides = (("head", self.head_cache), ("tail", self.tail_cache))
+        allocated = [
+            getattr(cache, "allocated_bytes", None) for _, cache in sides
+        ]
+        if all(callable(fn) for fn in allocated):
+            stats["allocated_bytes"] = sum(fn() for fn in allocated)
+        for side, cache in sides:
+            for attr in ("load_factor", "n_colliding_keys"):
+                fn = getattr(cache, attr, None)
+                if callable(fn):
+                    stats[f"{side}_{attr}"] = fn()
+        return stats
 
     def changed_elements(self, reset: bool = False) -> int:
         """CE metric: cache elements replaced since the last reset (Fig. 8)."""

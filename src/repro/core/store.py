@@ -1,17 +1,26 @@
-"""The cache-storage protocol shared by all negative-cache backends.
+"""The cache-storage protocol and backend registry.
 
 :class:`~repro.core.nscaching.NSCachingSampler` talks to its head/tail
 caches exclusively through this row-addressed surface: rows come from a
 :class:`~repro.data.keyindex.KeyIndex` resolved at bind time, so the hot
-loop never materialises per-triple Python keys.  Three backends implement
+loop never materialises per-triple Python keys.  Four backends implement
 it:
 
-* :class:`~repro.core.array_cache.ArrayNegativeCache` — preallocated
-  contiguous arrays, fully vectorised (the default);
-* :class:`~repro.core.cache.NegativeCache` — the original dict of per-key
-  arrays (reference/parity backend);
-* :class:`~repro.core.hashed.HashedNegativeCache` — the memory-bounded
-  extension (dict machinery over hashed buckets).
+* ``array`` — :class:`~repro.core.array_cache.ArrayNegativeCache`:
+  preallocated contiguous arrays, fully vectorised (the default);
+* ``dict`` — :class:`~repro.core.cache.NegativeCache`: the original dict
+  of per-key arrays (reference/parity backend);
+* ``hashed`` — :class:`~repro.core.hashed.HashedNegativeCache`: the
+  memory-bounded §VI extension over dict buckets (reference/parity);
+* ``bucketed-array`` — :class:`~repro.core.bucketed.BucketedArrayCache`:
+  the same bucket scheme on the preallocated array engine — bounded
+  memory *and* vectorised access.
+
+Backends register through :func:`register_backend` together with the
+backend-specific constructor options they accept (``n_buckets`` for the
+two memory-bounded ones); :func:`make_cache_backend` validates and
+forwards those options, so unknown ones fail fast with a clear error
+instead of a ``TypeError`` deep in a constructor.
 
 Key-addressed probing (``cache.get((a, b))``, ``key in cache``) stays
 available on every backend for callbacks and the Table VI study.
@@ -19,13 +28,23 @@ available on every backend for callbacks and the Table VI study.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.data.keyindex import KeyIndex
 
-__all__ = ["CacheStore", "CACHE_BACKENDS", "make_cache_backend"]
+__all__ = [
+    "BackendSpec",
+    "CACHE_BACKENDS",
+    "CacheStore",
+    "backend_options",
+    "cache_backend_names",
+    "make_cache_backend",
+    "register_backend",
+    "validate_backend_options",
+]
 
 
 @runtime_checkable
@@ -61,17 +80,108 @@ class CacheStore(Protocol):
         """Zero the CE / initialisation counters."""
 
 
-def _backend_registry() -> dict[str, type]:
-    # Local import: repro.core.cache and array_cache import nothing from
-    # here, but keeping the registry lazy avoids import-order knots.
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered cache backend: factory plus its extra options."""
+
+    factory: Callable[..., CacheStore]
+    #: Backend-specific constructor keyword names ``make_cache_backend``
+    #: forwards beyond the common (size, n_entities, rng, store_scores).
+    options: frozenset[str] = frozenset()
+    description: str = ""
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+_builtins_registered = False
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., CacheStore],
+    *,
+    options: Iterable[str] = (),
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register a :class:`CacheStore` factory under ``name``.
+
+    ``factory`` must accept ``(size, n_entities, rng, *, store_scores,
+    **options)``; ``options`` declares the backend-specific keywords it
+    supports (anything else passed to :func:`make_cache_backend` is
+    rejected up front).
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"cache backend {name!r} is already registered")
+    _REGISTRY[name] = BackendSpec(factory, frozenset(options), description)
+
+
+def _ensure_builtins() -> None:
+    # A dedicated flag, not `if _REGISTRY`: a third-party register_backend
+    # call landing first must not suppress the built-ins.  (The
+    # CACHE_BACKENDS snapshot below triggers this at import time anyway;
+    # the local imports just keep the module dependency-light.)
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
     from repro.core.array_cache import ArrayNegativeCache
+    from repro.core.bucketed import BucketedArrayCache
     from repro.core.cache import NegativeCache
+    from repro.core.hashed import HashedNegativeCache
 
-    return {"array": ArrayNegativeCache, "dict": NegativeCache}
+    register_backend(
+        "array", ArrayNegativeCache,
+        description="preallocated arrays, fully vectorised (default)",
+    )
+    register_backend(
+        "dict", NegativeCache,
+        description="original per-key dict store (reference/parity)",
+    )
+    register_backend(
+        "hashed", HashedNegativeCache, options=("n_buckets",),
+        description="memory-bounded dict buckets (§VI extension, reference)",
+    )
+    register_backend(
+        "bucketed-array", BucketedArrayCache, options=("n_buckets",),
+        description="memory-bounded bucket scheme on the array engine",
+    )
 
 
-#: Names accepted by ``NSCachingSampler(cache_backend=...)`` and the CLI.
-CACHE_BACKENDS: tuple[str, ...] = tuple(sorted(_backend_registry()))
+def cache_backend_names() -> tuple[str, ...]:
+    """Currently registered backend names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def _backend_spec(name: str) -> BackendSpec:
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown cache backend {name!r}; options: {cache_backend_names()}"
+        )
+    return _REGISTRY[name]
+
+
+def backend_options(name: str) -> frozenset[str]:
+    """The backend-specific option names ``make_cache_backend`` accepts."""
+    return _backend_spec(name).options
+
+
+def validate_backend_options(name: str, options: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` when ``options`` names a kwarg ``name`` lacks.
+
+    Called by :class:`~repro.core.nscaching.NSCachingSampler` at
+    construction so a bad ``--n-buckets``-style option fails before any
+    data is loaded or bound.
+    """
+    spec = _backend_spec(name)
+    unknown = sorted(set(options) - spec.options)
+    if unknown:
+        supported = sorted(spec.options)
+        raise ValueError(
+            f"cache backend {name!r} does not accept option(s) {unknown}; "
+            f"supported: {supported if supported else 'none'}"
+        )
 
 
 def make_cache_backend(
@@ -81,9 +191,19 @@ def make_cache_backend(
     rng: np.random.Generator | int | None = None,
     *,
     store_scores: bool = False,
+    **options: object,
 ) -> CacheStore:
-    """Instantiate a registered cache backend by name."""
-    registry = _backend_registry()
-    if name not in registry:
-        raise KeyError(f"unknown cache backend {name!r}; options: {CACHE_BACKENDS}")
-    return registry[name](size, n_entities, rng, store_scores=store_scores)
+    """Instantiate a registered cache backend by name.
+
+    ``options`` are backend-specific constructor kwargs — ``n_buckets``
+    for the memory-bounded ``hashed`` / ``bucketed-array`` backends.
+    """
+    spec = _backend_spec(name)
+    validate_backend_options(name, options)
+    return spec.factory(size, n_entities, rng, store_scores=store_scores, **options)
+
+
+#: Import-time snapshot of the built-in backend names (kept for API
+#: compatibility); prefer :func:`cache_backend_names`, which also sees
+#: backends registered later.
+CACHE_BACKENDS: tuple[str, ...] = cache_backend_names()

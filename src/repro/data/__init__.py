@@ -33,7 +33,12 @@ from repro.data.benchmarks import (
 from repro.data.dataset import KGDataset
 from repro.data.fb13 import fb13_like
 from repro.data.io import load_triples_tsv, save_triples_tsv
-from repro.data.keyindex import KeyIndex, TripleKeyIndex
+from repro.data.keyindex import (
+    BucketIndex,
+    KeyIndex,
+    TripleKeyIndex,
+    stable_key_hash,
+)
 from repro.data.negatives import (
     classification_split,
     corrupt_uniform,
@@ -50,6 +55,7 @@ from repro.data.triples import Vocabulary, as_triple_array, triple_key_set
 
 __all__ = [
     "BENCHMARKS",
+    "BucketIndex",
     "KGDataset",
     "KeyIndex",
     "RelationCategory",
@@ -70,6 +76,7 @@ __all__ = [
     "load_triples_tsv",
     "relation_cardinalities",
     "save_triples_tsv",
+    "stable_key_hash",
     "triple_key_set",
     "wn18_like",
     "wn18rr_like",

@@ -12,6 +12,13 @@ the row indices of the whole training split up front.
 
 :class:`TripleKeyIndex` bundles the two sides so samplers build both maps
 in one pass over the triples.
+
+:class:`BucketIndex` adds the memory-bounded addressing mode (paper §VI):
+it folds a :class:`KeyIndex`'s dense rows onto a fixed number of bucket
+rows through :func:`stable_key_hash`, the vectorised counterpart of the
+scalar hash in :mod:`repro.core.hashed`.  The whole key set is hashed once
+at construction, so translating a batch of dense rows to bucket rows is a
+single fancy index in the hot loop.
 """
 
 from __future__ import annotations
@@ -22,7 +29,32 @@ import numpy as np
 
 from repro.data.triples import HEAD, REL, TAIL
 
-__all__ = ["KeyIndex", "TripleKeyIndex"]
+__all__ = ["BucketIndex", "KeyIndex", "TripleKeyIndex", "stable_key_hash"]
+
+# Knuth-style multiplicative mixing constants (deterministic across runs
+# and processes, unlike Python's salted ``hash()``).  Must match the
+# scalar implementation in ``repro.core.hashed``.
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xC2B2AE3D27D4EB4F)
+
+
+def stable_key_hash(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit hashes of ``(first[i], second[i])`` id pairs.
+
+    Vectorised: hashing ``n`` keys is four uint64 array ops instead of a
+    per-key Python loop.  Element-for-element identical to the scalar
+    ``repro.core.hashed.stable_key_hash`` (enforced by test); returns a
+    ``uint64`` array of the broadcast shape of the inputs.
+    """
+    # 1-element minimum keeps the arithmetic on arrays: numpy wraps array
+    # integer overflow silently (wanted here) but warns on scalars.
+    a = np.atleast_1d(np.asarray(first, dtype=np.int64)).astype(np.uint64)
+    b = np.atleast_1d(np.asarray(second, dtype=np.int64)).astype(np.uint64)
+    x = a * _MIX_A + b * _MIX_B
+    x ^= x >> np.uint64(29)
+    x *= _MIX_A
+    x ^= x >> np.uint64(32)
+    return x
 
 
 class KeyIndex:
@@ -108,6 +140,67 @@ class KeyIndex:
 
     def __repr__(self) -> str:
         return f"KeyIndex(n_keys={self.n_keys}, n_second={self.n_second})"
+
+
+class BucketIndex:
+    """Folds a :class:`KeyIndex`'s dense rows onto ``n_buckets`` bucket rows.
+
+    The memory-bounded bucketed cache stores ``n_buckets`` rows no matter
+    how many distinct keys the training split has; colliding keys share a
+    row.  All indexed keys are hashed **once** here (one vectorised
+    :func:`stable_key_hash` pass), so per-batch translation is a single
+    fancy index — the per-key Python hash of the dict-hashed backend never
+    enters the hot loop.
+    """
+
+    def __init__(self, index: KeyIndex, n_buckets: int) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
+        self.base = index
+        self.n_buckets = int(n_buckets)
+        pairs = index.keys()
+        self._bucket_of = (
+            stable_key_hash(pairs[:, 0], pairs[:, 1]) % np.uint64(self.n_buckets)
+        ).astype(np.int64)
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        """Distinct keys feeding the buckets (the base index's rows)."""
+        return self.base.n_keys
+
+    # -- lookups ---------------------------------------------------------
+    def bucket_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Bucket row of each dense key row; shape ``[len(rows)]``."""
+        return self._bucket_of[np.asarray(rows, dtype=np.int64)]
+
+    def bucket_of(self, key: tuple[int, int]) -> int:
+        """Bucket row of an arbitrary pair (indexed or not — hashing
+        serves every key, matching the dict-hashed backend)."""
+        h = stable_key_hash(
+            np.array([key[0]], dtype=np.int64), np.array([key[1]], dtype=np.int64)
+        )
+        return int(h[0] % np.uint64(self.n_buckets))
+
+    # -- collision introspection ------------------------------------------
+    def occupancy(self) -> np.ndarray:
+        """Number of indexed keys per bucket row; shape ``[n_buckets]``."""
+        return np.bincount(self._bucket_of, minlength=self.n_buckets)
+
+    def load_factor(self) -> float:
+        """Mean keys per bucket (``n_keys / n_buckets``)."""
+        return self.n_keys / self.n_buckets
+
+    def n_colliding_keys(self) -> int:
+        """Keys that share their bucket with at least one other key."""
+        occupancy = self.occupancy()
+        return int(occupancy[occupancy > 1].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"BucketIndex(n_keys={self.n_keys}, n_buckets={self.n_buckets}, "
+            f"colliding={self.n_colliding_keys()})"
+        )
 
 
 @dataclass(frozen=True)

@@ -185,6 +185,17 @@ class Trainer:
         )
         return report
 
+    def cache_report(self) -> dict[str, object]:
+        """The sampler's cache introspection (empty for cache-less samplers).
+
+        Key counts, materialised/allocated bytes and — for the
+        memory-bounded bucketed backends — load factor and colliding-key
+        counts; the CLI prints this next to the phase table under
+        ``--profile``.
+        """
+        stats = getattr(self.sampler, "cache_stats", None)
+        return stats() if callable(stats) else {}
+
     # -- main loop -----------------------------------------------------------------
     def run(self, epochs: int | None = None) -> TrainingHistory:
         """Train for ``epochs`` (default: the config's) and return history."""

@@ -200,3 +200,67 @@ class TestMultisetOverlapRows:
     def test_empty(self):
         out = multiset_overlap_rows(np.empty((3, 0)), np.empty((3, 0)))
         np.testing.assert_array_equal(out, np.zeros(3))
+
+
+class TestScoresValidation:
+    def test_scatter_wrong_shaped_scores_rejected(self):
+        cache = _cache(size=3, store_scores=True)
+        rows = np.array([0, 1])
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        for bad in (np.ones((2, 2)), np.ones((1, 3)), np.ones(3), np.array(0.5)):
+            with pytest.raises(ValueError, match="scores must have shape"):
+                cache.scatter(rows, ids, bad)
+        assert cache.n_entries == 0  # rejected before any write
+
+    def test_scatter_validates_scores_even_without_storage(self):
+        """A wrong-shaped block is a caller bug whether stored or not."""
+        cache = _cache(size=3)
+        with pytest.raises(ValueError, match="scores must have shape"):
+            cache.scatter(np.array([0]), np.array([[1, 2, 3]]), np.ones(2))
+
+
+class TestMultisetOverlapWideIds:
+    """The packed-code path overflows int64 for extreme id ranges; the
+    lexsort fallback must kick in instead of raising (regression: the CE
+    count of ``scatter`` crashed on wide id ranges where dict worked)."""
+
+    def test_fallback_at_packing_threshold(self):
+        # n_rows * span * n_cols == 2 * 2**60 * 2 == 2**62: first width
+        # the packed path must refuse.
+        a = np.array([[0, 2**60 - 1], [5, 5]])
+        b = np.array([[2**60 - 1, 3], [5, 9]])
+        expected = np.array([_multiset_overlap(x, y) for x, y in zip(a, b)])
+        np.testing.assert_array_equal(multiset_overlap_rows(a, b), expected)
+
+    def test_fallback_matches_packed_path(self, rng):
+        """Both paths agree on data either could handle."""
+        a = rng.integers(0, 10, size=(16, 6))
+        b = rng.integers(0, 10, size=(16, 6))
+        narrow = multiset_overlap_rows(a, b)
+        wide_a, wide_b = a.copy(), b.copy()
+        # Push one row into fallback territory without changing overlaps:
+        # shift a disjoint value pair far apart.
+        wide_a[0], wide_b[0] = np.arange(6), np.arange(6) + 2**61
+        reference = np.array(
+            [_multiset_overlap(x, y) for x, y in zip(wide_a, wide_b)]
+        )
+        np.testing.assert_array_equal(
+            multiset_overlap_rows(wide_a, wide_b), reference
+        )
+        np.testing.assert_array_equal(reference[1:], narrow[1:])
+
+    def test_scatter_ce_count_survives_wide_id_ranges(self):
+        """End to end: a cache over a huge entity space no longer crashes
+        where the dict backend worked."""
+        n_entities = 2**61
+        index = _index(n_keys=4)
+        array_cache = ArrayNegativeCache(3, n_entities, np.random.default_rng(0))
+        dict_cache = make_cache_backend("dict", 3, n_entities, np.random.default_rng(0))
+        array_cache.attach_index(index)
+        dict_cache.attach_index(index)
+        rows = np.array([0, 1])
+        ids = np.array([[0, 1, 2**60], [2**60, 7, 0]])
+        assert array_cache.scatter(rows, ids) == dict_cache.scatter(rows, ids)
+        ids2 = np.array([[2**60, 1, 3], [2**60, 7, 1]])
+        assert array_cache.scatter(rows, ids2) == dict_cache.scatter(rows, ids2)
+        assert array_cache.changed_elements == dict_cache.changed_elements

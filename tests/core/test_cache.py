@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.cache import NegativeCache, _multiset_overlap
+from repro.data.keyindex import KeyIndex
 
 
 class TestCacheBasics:
@@ -197,3 +198,35 @@ class TestMultisetOverlap:
     )
     def test_cases(self, a, b, expected):
         assert _multiset_overlap(np.array(a), np.array(b)) == expected
+
+
+class TestScoresValidation:
+    def test_put_wrong_shaped_scores_rejected(self, rng):
+        cache = NegativeCache(3, 50, rng, store_scores=True)
+        with pytest.raises(ValueError, match="scores must have shape"):
+            cache.put((0, 0), np.array([1, 2, 3]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError, match="scores must have shape"):
+            # A scalar would silently broadcast without validation.
+            cache.put((0, 0), np.array([1, 2, 3]), np.array(0.5))
+
+    def test_rejected_put_leaves_entry_untouched(self, rng):
+        """Validation precedes mutation: no ids-without-scores state."""
+        cache = NegativeCache(3, 50, rng, store_scores=True)
+        cache.put((0, 0), np.array([1, 2, 3]), np.array([0.1, 0.2, 0.3]))
+        before = cache.changed_elements
+        with pytest.raises(ValueError, match="requires scores"):
+            cache.put((0, 0), np.array([7, 8, 9]))
+        np.testing.assert_array_equal(cache.get((0, 0)), [1, 2, 3])
+        np.testing.assert_allclose(cache.scores((0, 0)), [0.1, 0.2, 0.3])
+        assert cache.changed_elements == before
+
+    def test_scatter_wrong_shaped_scores_rejected(self, rng):
+        cache = NegativeCache(3, 50, rng, store_scores=True)
+        index = KeyIndex(np.arange(4), np.arange(4), 4)
+        cache.attach_index(index)
+        rows = np.array([0, 1])
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        with pytest.raises(ValueError, match="scores must have shape"):
+            cache.scatter(rows, ids, np.ones((2, 2)))
+        # Nothing was written: the batch failed as a unit, not mid-loop.
+        assert cache.n_entries == 0

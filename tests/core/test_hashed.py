@@ -53,3 +53,44 @@ class TestHashedCache:
         cache = HashedNegativeCache(4, 100, rng, n_buckets=1)
         cache.get((0, 0))
         assert (123, 456) in cache  # same single bucket
+
+
+class TestRegistryReachability:
+    def test_hashed_is_a_registered_backend(self, rng):
+        """Regression: the SVI extension was unreachable from the backend
+        registry (only array/dict were listed, and its n_buckets kwarg
+        could not be passed through)."""
+        from repro.core.store import cache_backend_names, make_cache_backend
+
+        assert "hashed" in cache_backend_names()
+        cache = make_cache_backend("hashed", 4, 100, rng, n_buckets=5)
+        assert isinstance(cache, HashedNegativeCache)
+        assert cache.n_buckets == 5
+
+    def test_sampler_accepts_hashed_backend(self):
+        from repro.core.nscaching import NSCachingSampler
+
+        sampler = NSCachingSampler(
+            cache_backend="hashed", cache_options={"n_buckets": 7}
+        )
+        assert sampler.cache_backend == "hashed"
+        assert sampler.cache_options == {"n_buckets": 7}
+
+    def test_bucket_introspection_matches_bucketed_array(self, rng):
+        """Same hash, same buckets: the dict reference reports the same
+        load factor / collision counts as the array sibling."""
+        from repro.core.bucketed import BucketedArrayCache
+        from repro.data.keyindex import KeyIndex
+
+        index = KeyIndex(np.arange(12), np.arange(12), 12)
+        hashed = HashedNegativeCache(4, 100, rng, n_buckets=3)
+        bucketed = BucketedArrayCache(4, 100, rng, n_buckets=3)
+        hashed.attach_index(index)
+        bucketed.attach_index(index)
+        assert hashed.load_factor() == bucketed.load_factor() == 4.0
+        assert hashed.n_colliding_keys() == bucketed.n_colliding_keys()
+
+    def test_introspection_requires_index(self, rng):
+        cache = HashedNegativeCache(4, 100, rng, n_buckets=3)
+        with pytest.raises(RuntimeError, match="attach_index"):
+            cache.load_factor()

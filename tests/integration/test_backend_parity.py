@@ -12,9 +12,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.array_cache import ArrayNegativeCache
+from repro.core.bucketed import BucketedArrayCache
 from repro.core.cache import NegativeCache
+from repro.core.hashed import HashedNegativeCache
 from repro.core.nscaching import NSCachingSampler
-from repro.data.keyindex import KeyIndex
+from repro.data.keyindex import BucketIndex, KeyIndex
 from repro.data.synthetic import SyntheticKGConfig, generate_kg
 from repro.models import MODEL_REGISTRY, make_model
 from repro.train.config import TrainConfig
@@ -77,6 +79,131 @@ class TestOperationSequenceParity:
                 np.testing.assert_array_equal(
                     dict_cache.get(key), array_cache.get(key)
                 )
+
+
+N_BUCKETS = 3  # < N_KEYS so the parity ops exercise collisions
+
+
+def _hashed_pair() -> tuple[HashedNegativeCache, BucketedArrayCache]:
+    index = KeyIndex(
+        np.arange(N_KEYS, dtype=np.int64),
+        np.arange(N_KEYS, dtype=np.int64),
+        N_KEYS,
+    )
+    dict_hashed = HashedNegativeCache(
+        ENTRY, N_ENTITIES, np.random.default_rng(99), n_buckets=N_BUCKETS
+    )
+    bucketed = BucketedArrayCache(
+        ENTRY, N_ENTITIES, np.random.default_rng(99), n_buckets=N_BUCKETS
+    )
+    dict_hashed.attach_index(index)
+    bucketed.attach_index(index)
+    return dict_hashed, bucketed
+
+
+class TestHashedBucketedParity:
+    """The memory-bounded pair: dict buckets ↔ bucketed array rows.
+
+    Same hash, same bucket shares, same CE accounting across colliding
+    writes, same RNG stream — bit-identical under a fixed seed.
+    """
+
+    @given(ops=_ops, data_seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_same_entries_ce_and_memory(self, ops, data_seed):
+        dict_hashed, bucketed = _hashed_pair()
+        data_rng = np.random.default_rng(data_seed)
+        for op, row_list in ops:
+            rows = np.array(row_list, dtype=np.int64)
+            if op == "gather":
+                np.testing.assert_array_equal(
+                    dict_hashed.gather(rows), bucketed.gather(rows)
+                )
+            else:
+                ids = data_rng.integers(0, N_ENTITIES, size=(len(rows), ENTRY))
+                assert dict_hashed.scatter(rows, ids) == bucketed.scatter(rows, ids)
+        assert dict_hashed.changed_elements == bucketed.changed_elements
+        assert dict_hashed.initialised_entries == bucketed.initialised_entries
+        assert dict_hashed.n_entries == bucketed.n_entries
+        assert dict_hashed.memory_bytes() == bucketed.memory_bytes()
+        assert set(dict_hashed.keys()) == set(bucketed.keys())
+        for row in range(N_KEYS):
+            key = (row, row)
+            assert (key in dict_hashed) == (key in bucketed)
+            if key in dict_hashed:
+                np.testing.assert_array_equal(
+                    dict_hashed.get(key), bucketed.get(key)
+                )
+
+    def test_two_keys_one_bucket_share_and_ce(self):
+        """The collision case, deterministically: two distinct keys landing
+        in one bucket read each other's writes, and a batch writing both
+        counts CE like two sequential puts."""
+        dict_hashed, bucketed = _hashed_pair()
+        index = bucketed._index
+        buckets = BucketIndex(index, N_BUCKETS)
+        rows_by_bucket = {}
+        for row in range(N_KEYS):
+            rows_by_bucket.setdefault(
+                int(buckets.bucket_rows(np.array([row]))[0]), []
+            ).append(row)
+        colliding = next(rows for rows in rows_by_bucket.values() if len(rows) >= 2)
+        first, second = colliding[:2]
+
+        ids = np.arange(ENTRY)[None, :]
+        for cache in (dict_hashed, bucketed):
+            cache.scatter(np.array([first]), ids)
+        key_second = index.key_of(second)
+        np.testing.assert_array_equal(dict_hashed.get(key_second), ids[0])
+        np.testing.assert_array_equal(bucketed.get(key_second), ids[0])
+
+        # One batch writing both colliding keys: CE of the second write is
+        # counted against the first write, and the last write wins.
+        batch = np.stack([ids[0] + 100, ids[0] + 200])
+        changed = [
+            cache.scatter(np.array([first, second]), batch)
+            for cache in (dict_hashed, bucketed)
+        ]
+        assert changed[0] == changed[1] == 2 * ENTRY
+        np.testing.assert_array_equal(
+            dict_hashed.get(index.key_of(first)), bucketed.get(index.key_of(first))
+        )
+        np.testing.assert_array_equal(bucketed.get(index.key_of(first)), batch[1])
+
+    @pytest.mark.parametrize("n_buckets", (1, 7))
+    def test_same_seed_same_training_trajectory(self, tiny_kg, n_buckets):
+        """End to end: both memory-bounded backends land on identical
+        parameters, losses and CE series under one seed."""
+        results = []
+        for backend in ("hashed", "bucketed-array"):
+            model = make_model(
+                "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=0
+            )
+            sampler = NSCachingSampler(
+                cache_size=8,
+                candidate_size=8,
+                cache_backend=backend,
+                cache_options={"n_buckets": n_buckets},
+            )
+            trainer = Trainer(
+                model,
+                tiny_kg,
+                sampler,
+                TrainConfig(epochs=4, batch_size=64, learning_rate=0.05, seed=0),
+            )
+            history = trainer.run()
+            results.append((history, model))
+        (hashed_history, hashed_model), (bucketed_history, bucketed_model) = results
+        np.testing.assert_array_equal(
+            hashed_history["loss"].values, bucketed_history["loss"].values
+        )
+        np.testing.assert_array_equal(
+            hashed_history["cache_changes"].values,
+            bucketed_history["cache_changes"].values,
+        )
+        np.testing.assert_array_equal(
+            hashed_model.params["entity"], bucketed_model.params["entity"]
+        )
 
 
 class TestTrainingParity:

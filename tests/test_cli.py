@@ -163,3 +163,88 @@ class TestCommands:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestMemoryBoundedBackends:
+    def test_parser_accepts_bounded_backends_and_buckets(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "bucketed-array", "--n-buckets", "64"]
+        )
+        assert args.cache_backend == "bucketed-array"
+        assert args.n_buckets == 64
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "hashed"]
+        )
+        assert args.cache_backend == "hashed"
+        assert args.n_buckets is None
+
+    def test_train_bucketed_array_end_to_end(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--cache-backend", "bucketed-array",
+                "--n-buckets", "16",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mrr" in out
+        # --profile surfaces the bucket introspection.
+        assert "cache introspection" in out
+        assert "allocated_bytes" in out
+        assert "head_load_factor" in out
+
+    def test_train_hashed_backend_reachable(self, capsys):
+        """Regression: `hashed` used to be missing from the registry, so
+        the paper's SVI extension was unreachable from the CLI."""
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--cache-backend", "hashed",
+                "--n-buckets", "8",
+            ]
+        )
+        assert code == 0
+        assert "mrr" in capsys.readouterr().out
+
+    def test_n_buckets_with_plain_backend_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-backend", "array",
+                "--n-buckets", "16",
+            ]
+        )
+        assert code == 2
+        assert "does not accept option" in capsys.readouterr().err
+
+    def test_non_positive_n_buckets_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["train", "--dataset", "WN18RR", "--model", "TransE",
+                 "--cache-backend", "bucketed-array", "--n-buckets", "0"]
+            )
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
