@@ -12,6 +12,9 @@ The package is organised around the paper's stack (see DESIGN.md):
   KBGAN, IGAN, self-adversarial);
 * :mod:`repro.core` — **the contribution**: NSCaching's head/tail caches,
   sampling and update strategies, instrumentation, hashed-cache extension;
+* :mod:`repro.parallel` — scaling: the cache row-space sharded into a
+  shared-memory ``sharded-array`` backend and epoch refreshes run on a
+  multiprocess :class:`~repro.parallel.pool.RefreshPool`;
 * :mod:`repro.train` — the mini-batch trainer, callbacks, pretraining and
   grid search;
 * :mod:`repro.eval` — filtered link prediction, triplet classification and
@@ -94,6 +97,7 @@ from repro.sampling import (
     UniformSampler,
     make_sampler,
 )
+from repro.parallel import RefreshPool, ShardPlan, ShardedCacheStore
 from repro.serve import (
     EmbeddingSnapshot,
     PredictionEngine,
@@ -126,8 +130,11 @@ __all__ = [
     "PredictionEngine",
     "QueryCache",
     "RESCAL",
+    "RefreshPool",
     "RotatE",
     "SampleStrategy",
+    "ShardPlan",
+    "ShardedCacheStore",
     "SelfAdversarialSampler",
     "SimplE",
     "SyntheticKGConfig",

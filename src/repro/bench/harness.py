@@ -101,7 +101,12 @@ def train_and_eval(
     callbacks: Sequence[object] = (),
     split: str = "test",
 ) -> tuple[dict[str, float], Trainer]:
-    """Train and return (filtered link-prediction metrics, trainer)."""
+    """Train and return (filtered link-prediction metrics, trainer).
+
+    The trainer is returned live for introspection; callers that hand in
+    pool-backed samplers (``sharded-array`` + refresh workers) own the
+    matching ``trainer.close()``.
+    """
     trainer = Trainer(model, dataset, sampler, config, callbacks=callbacks)
     trainer.run()
     return evaluate(model, dataset, split, hits_at=(1, 3, 10)), trainer
@@ -157,6 +162,9 @@ def run_setting(
     metrics, trainer = train_and_eval(
         model, dataset, sampler, config, callbacks=callbacks
     )
+    # The trainer is kept in extras for introspection only; release any
+    # sampler-held resources (refresh pools, shared-memory caches) now.
+    trainer.close()
     return SettingResult(
         dataset=dataset.name,
         model=model_name,

@@ -163,6 +163,15 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.core.bucketed", "repro.data.keyindex", "repro.core.store"),
             "benchmarks/bench_bucketed_cache.py",
         ),
+        Experiment(
+            "X7",
+            "Extension: sharded cache row-space + multiprocess epoch refresh",
+            "update() throughput over an n_shards x refresh_workers grid, "
+            "including the 1-worker overhead floor of shared-memory storage",
+            ("repro.parallel.plan", "repro.parallel.sharded",
+             "repro.parallel.pool"),
+            "benchmarks/bench_sharded_refresh.py",
+        ),
     )
 }
 

@@ -70,13 +70,27 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--cache-backend", default="array", choices=cache_backend_names(),
         help="NSCaching cache storage: vectorised array (default), dict, "
-             "or the memory-bounded bucketed-array / hashed backends",
+             "the memory-bounded bucketed-array / hashed backends, or "
+             "sharded-array (shared memory, enables --refresh-workers)",
     )
     train.add_argument(
         "--n-buckets", type=_positive_int, default=None, metavar="K",
         help="bucket rows for the memory-bounded backends (bucketed-array/"
-             "hashed); cache memory becomes O(K * N1) regardless of the "
+             "hashed, or sharded-array which then uses the bucketed inner "
+             "scheme); cache memory becomes O(K * N1) regardless of the "
              "number of distinct keys",
+    )
+    train.add_argument(
+        "--n-shards", type=_positive_int, default=None, metavar="S",
+        help="contiguous shards the sharded-array backend splits the cache "
+             "row-space into (default: the worker count); shards refresh "
+             "concurrently without locking",
+    )
+    train.add_argument(
+        "--refresh-workers", type=_positive_int, default=1, metavar="W",
+        help="worker processes for cache refreshes (requires "
+             "--cache-backend sharded-array); 1 keeps the sequential "
+             "refresh, bit-identical to the array backend",
     )
     train.add_argument(
         "--no-fused-refresh", action="store_true",
@@ -150,9 +164,24 @@ def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
             "lazy_epochs": args.lazy_epochs,
             "cache_backend": args.cache_backend,
             "fused": not args.no_fused_refresh,
+            "refresh_workers": args.refresh_workers,
         }
+        options: dict[str, object] = {}
         if args.n_buckets is not None:
-            kwargs["cache_options"] = {"n_buckets": args.n_buckets}
+            options["n_buckets"] = args.n_buckets
+        if args.cache_backend == "sharded-array":
+            # Shard the row-space at least as finely as the worker count
+            # so every worker can own work; --n-shards overrides.
+            options["n_shards"] = (
+                args.n_shards if args.n_shards is not None else args.refresh_workers
+            )
+            if args.n_buckets is not None:
+                options["inner"] = "bucketed-array"
+        elif args.n_shards is not None:
+            # Rejected by option validation with the clean exit-2 path.
+            options["n_shards"] = args.n_shards
+        if options:
+            kwargs["cache_options"] = options
         return kwargs
     if args.sampler in ("KBGAN", "SelfAdv"):
         return {"candidate_size": args.candidate_size}
@@ -180,6 +209,17 @@ def _print_breakdown(model, dataset, split: str) -> None:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.sampler != "NSCaching" and (
+        args.refresh_workers != 1 or args.n_shards is not None
+    ):
+        # Args-only check: fail loudly (and before any data/model work)
+        # rather than silently training single-process.
+        print(
+            "error: --refresh-workers/--n-shards only apply to the "
+            f"NSCaching sampler, got --sampler {args.sampler}",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
     print(f"dataset {dataset.name}: {dataset.summary()}")
     overrides = {}
@@ -193,35 +233,39 @@ def _cmd_train(args: argparse.Namespace) -> int:
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     try:
         sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
+        trainer = Trainer(model, dataset, sampler, config, profile=args.profile)
     except ValueError as exc:
-        # e.g. --n-buckets with a backend that is not memory-bounded.
+        # e.g. --n-buckets/--n-shards with a backend that does not take
+        # them, a value < 1, or --refresh-workers without sharded caches.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    trainer = Trainer(model, dataset, sampler, config, profile=args.profile)
-    trainer.run()
-    print(f"trained {args.epochs} epochs in {trainer.train_seconds:.1f}s")
-    if args.profile:
-        phases = trainer.profile_report()
-        total = sum(phases.values()) or 1.0
-        print(
-            format_table(
-                ("phase", "seconds", "% of hot loop"),
-                [
-                    (name, round(seconds, 4), round(100 * seconds / total, 1))
-                    for name, seconds in phases.items()
-                ],
-                title="per-phase timing (training hot loop)",
-            )
-        )
-        cache_stats = trainer.cache_report()
-        if cache_stats:
+    try:
+        trainer.run()
+        print(f"trained {args.epochs} epochs in {trainer.train_seconds:.1f}s")
+        if args.profile:
+            phases = trainer.profile_report()
+            total = sum(phases.values()) or 1.0
             print(
                 format_table(
-                    ("cache stat", "value"),
-                    sorted(cache_stats.items()),
-                    title="cache introspection",
+                    ("phase", "seconds", "% of hot loop"),
+                    [
+                        (name, round(seconds, 4), round(100 * seconds / total, 1))
+                        for name, seconds in phases.items()
+                    ],
+                    title="per-phase timing (training hot loop)",
                 )
             )
+            cache_stats = trainer.cache_report()
+            if cache_stats:
+                print(
+                    format_table(
+                        ("cache stat", "value"),
+                        sorted(cache_stats.items()),
+                        title="cache introspection",
+                    )
+                )
+    finally:
+        trainer.close()  # stop refresh workers, release shared memory
     _print_metrics(evaluate(model, dataset, "test"))
     if args.per_category:
         _print_breakdown(model, dataset, "test")

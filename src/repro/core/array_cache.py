@@ -112,6 +112,12 @@ class ArrayNegativeCache:
     number of rows.
     """
 
+    #: This backend honours a caller-derived ``changed=`` CE hint on
+    #: :meth:`scatter` (skipping the multiset sort).  Callers check this
+    #: before paying for the derivation — the dict backends recount
+    #: regardless, so computing a hint for them would be pure waste.
+    consumes_changed_hint = True
+
     def __init__(
         self,
         size: int,
@@ -143,17 +149,53 @@ class ArrayNegativeCache:
         this — the bucketed backend allocates ``n_buckets`` instead)."""
         return index.n_keys
 
+    def _alloc(self, shape: tuple[int, ...], dtype: type) -> np.ndarray:
+        """Allocate one storage block (hook: the sharded backend allocates
+        ``multiprocessing.shared_memory`` segments here instead)."""
+        return np.zeros(shape, dtype=dtype)
+
     def attach_index(self, index: KeyIndex) -> None:
         """Bind the key→row map and preallocate storage for its rows."""
         self._index = index
         n_rows = self._storage_rows(index)
-        self._ids = np.zeros((n_rows, self.size), dtype=np.int64)
-        self._live = np.zeros(n_rows, dtype=bool)
+        self._ids = self._alloc((n_rows, self.size), np.int64)
+        self._live = self._alloc((n_rows,), bool)
         if self.store_scores:
-            self._scores = np.zeros((n_rows, self.size), dtype=np.float64)
+            self._scores = self._alloc((n_rows, self.size), np.float64)
 
-    def _require_index(self) -> KeyIndex:
-        if self._index is None or self._ids is None or self._live is None:
+    def attach_storage(
+        self,
+        index: KeyIndex | None,
+        ids: np.ndarray,
+        live: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> None:
+        """Bind to externally allocated storage instead of allocating.
+
+        This is how :class:`~repro.parallel.pool.RefreshPool` workers view
+        the parent's shared-memory blocks: gather/scatter then operate on
+        the shared rows directly.  ``index`` may be ``None`` when only
+        row-addressed access is needed (key-addressed probes then raise).
+        """
+        if ids.ndim != 2 or ids.shape[1] != self.size:
+            raise ValueError(f"ids must have shape [n_rows, {self.size}], got {ids.shape}")
+        if live.shape != (ids.shape[0],):
+            raise ValueError(
+                f"live must have shape ({ids.shape[0]},), got {live.shape}"
+            )
+        if self.store_scores:
+            if scores is None or scores.shape != ids.shape:
+                raise ValueError(
+                    "store_scores=True storage requires a scores block "
+                    f"of shape {ids.shape}"
+                )
+        self._index = index
+        self._ids = ids
+        self._live = live
+        self._scores = scores if self.store_scores else None
+
+    def _require_index(self) -> KeyIndex | None:
+        if self._ids is None or self._live is None:
             raise RuntimeError(
                 "ArrayNegativeCache has no storage yet; call "
                 "attach_index(KeyIndex) before gather/scatter"
@@ -161,6 +203,16 @@ class ArrayNegativeCache:
         return self._index
 
     # -- access --------------------------------------------------------------
+    def storage_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Translate dense key rows to the rows actually stored.
+
+        The identity here (one storage row per key); the bucketed backend
+        returns bucket rows.  This is the row-space that
+        :class:`~repro.parallel.plan.ShardPlan` partitions and that CE
+        repeat-write semantics are defined over.
+        """
+        return np.asarray(rows, dtype=np.int64)
+
     def _materialise(self, rows: np.ndarray) -> None:
         """Random-init any not-yet-live rows, in first-occurrence order.
 
@@ -209,12 +261,22 @@ class ArrayNegativeCache:
         rows: np.ndarray,
         ids: np.ndarray,
         scores: np.ndarray | None = None,
+        *,
+        changed: int | None = None,
     ) -> int:
         """Replace the entries at ``rows``; returns #elements that changed.
 
         Semantically equivalent to calling the dict cache's ``put`` once
         per row in order: when a batch repeats a row, each write's CE is
         counted against the *previous* write, and the last write wins.
+
+        ``changed`` is an optional caller-derived CE count (the fused
+        refresh computes it from the selection's column structure, see
+        :func:`~repro.core.strategies.selection_changed_elements`).  When
+        given, the scatter-side multiset sort is skipped entirely; the
+        caller guarantees ``rows`` are unique and were gathered (hence
+        live) in the same refresh — exactly the conditions under which
+        the column derivation is exact.
         """
         self._require_index()
         assert self._ids is not None and self._live is not None
@@ -237,6 +299,19 @@ class ArrayNegativeCache:
                 )
         if len(rows) == 0:
             return 0
+
+        if changed is not None:
+            # Fast path: CE precomputed from the selection's column
+            # structure; rows are unique so direct assignment is the
+            # last-write-wins semantics for free.
+            self.initialised_entries += int(np.count_nonzero(~self._live[rows]))
+            self._ids[rows] = ids
+            self._live[rows] = True
+            if self.store_scores:
+                assert self._scores is not None and scores is not None
+                self._scores[rows] = scores
+            self.changed_elements += int(changed)
+            return int(changed)
 
         prev = self._ids[rows]
         live = self._live[rows].copy()
@@ -267,14 +342,23 @@ class ArrayNegativeCache:
         return changed
 
     # -- key-addressed access (probing / callbacks) ---------------------------
+    def _require_keyed_index(self) -> KeyIndex:
+        index = self._require_index()
+        if index is None:
+            raise RuntimeError(
+                "storage-attached cache has no key index; only row-addressed "
+                "gather/scatter is available"
+            )
+        return index
+
     def get(self, key: tuple[int, int]) -> np.ndarray:
         """Entity ids cached under a ``(id, id)`` key (a copy)."""
-        index = self._require_index()
+        index = self._require_keyed_index()
         return self.gather(np.array([index.row_of(key)], dtype=np.int64))[0]
 
     def scores(self, key: tuple[int, int]) -> np.ndarray:
         """Stored scores under a ``(id, id)`` key (a copy)."""
-        index = self._require_index()
+        index = self._require_keyed_index()
         return self.gather_scores(np.array([index.row_of(key)], dtype=np.int64))[0]
 
     def __contains__(self, key: tuple[int, int]) -> bool:

@@ -61,6 +61,10 @@ class BucketedArrayCache(ArrayNegativeCache):
         assert self._buckets is not None
         return self._buckets.bucket_rows(np.asarray(rows, dtype=np.int64))
 
+    def storage_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Bucket row per dense key row (colliding keys share a row)."""
+        return self._bucket_rows(rows)
+
     # -- access (dense key rows in, bucket rows under the hood) ----------------
     def gather(self, rows: np.ndarray) -> np.ndarray:
         """Cached ids for dense key ``rows``, served from their buckets."""
@@ -77,6 +81,8 @@ class BucketedArrayCache(ArrayNegativeCache):
         rows: np.ndarray,
         ids: np.ndarray,
         scores: np.ndarray | None = None,
+        *,
+        changed: int | None = None,
     ) -> int:
         """Replace the buckets of dense key ``rows``; returns the CE count.
 
@@ -84,8 +90,11 @@ class BucketedArrayCache(ArrayNegativeCache):
         repeated-row semantics of the array engine: each write's CE is
         counted against the previous write and the last write wins —
         exactly the dict-hashed backend's sequential ``put`` behaviour.
+        A caller-derived ``changed`` hint is only valid when the *bucket*
+        rows are unique, which is what callers must check via
+        :meth:`storage_rows`.
         """
-        return super().scatter(self._bucket_rows(rows), ids, scores)
+        return super().scatter(self._bucket_rows(rows), ids, scores, changed=changed)
 
     # -- key-addressed access (probing / callbacks) ----------------------------
     # Hashing serves *any* key, not just indexed ones, matching the
@@ -119,17 +128,24 @@ class BucketedArrayCache(ArrayNegativeCache):
         return [(int(bucket), 0) for bucket in np.flatnonzero(self._live)]
 
     # -- collision / memory introspection --------------------------------------
+    def _require_buckets(self) -> BucketIndex:
+        # Collision stats need only the bucket index, not live storage —
+        # they stay readable on a sharded store whose segments were
+        # released.
+        if self._buckets is None:
+            raise RuntimeError(
+                "BucketedArrayCache has no bucket index; call "
+                "attach_index(KeyIndex) before bucket introspection"
+            )
+        return self._buckets
+
     def load_factor(self) -> float:
         """Mean indexed keys per bucket (``n_keys / n_buckets``)."""
-        self._require_index()
-        assert self._buckets is not None
-        return self._buckets.load_factor()
+        return self._require_buckets().load_factor()
 
     def n_colliding_keys(self) -> int:
         """Indexed keys sharing their bucket with at least one other key."""
-        self._require_index()
-        assert self._buckets is not None
-        return self._buckets.n_colliding_keys()
+        return self._require_buckets().n_colliding_keys()
 
     def memory_bound_bytes(self) -> int:
         """Worst-case memory if every bucket materialises (the §VI bound)."""

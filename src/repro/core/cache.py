@@ -115,10 +115,25 @@ class NegativeCache:
         """Stored scores for a batch of rows."""
         return self.scores_many(self._rows_to_keys(rows))
 
+    def storage_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Stored row per dense key row (identity: one entry per key)."""
+        return np.asarray(rows, dtype=np.int64)
+
     def scatter(
-        self, rows: np.ndarray, ids: np.ndarray, scores: np.ndarray | None = None
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        scores: np.ndarray | None = None,
+        *,
+        changed: int | None = None,
     ) -> int:
-        """Row-by-row :meth:`put`; returns total #elements that changed."""
+        """Row-by-row :meth:`put`; returns total #elements that changed.
+
+        ``changed`` (a caller-derived CE count, see the array engine) is
+        deliberately *ignored* here: the dict backend always recounts via
+        the per-put multiset walk, which makes it the reference the fused
+        column-derived CE is parity-tested against.
+        """
         keys = self._rows_to_keys(rows)
         ids = np.asarray(ids)
         if ids.shape != (len(keys), self.size):

@@ -92,6 +92,13 @@ class HashedNegativeCache(NegativeCache):
     def _bucket(self, key: Key) -> Key:
         return (stable_key_hash(key) % self.n_buckets, 0)
 
+    def storage_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Bucket row per dense key row (colliding keys share a row)."""
+        return np.array(
+            [self._bucket(key)[0] for key in self._rows_to_keys(rows)],
+            dtype=np.int64,
+        )
+
     def get(self, key: Key) -> np.ndarray:
         """Cached ids for ``key``'s bucket (shared across colliding keys)."""
         return super().get(self._bucket(key))

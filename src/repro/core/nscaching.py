@@ -35,6 +35,14 @@ both paths consume the generator identically and call the same scoring
 kernel, so they are bit-identical under a fixed seed (enforced by the
 parity suite in ``tests/integration/test_backend_parity.py``).
 
+With ``refresh_workers >= 2`` (and the ``sharded-array`` backend) the
+refresh instead runs on a :class:`~repro.parallel.pool.RefreshPool`:
+each batch is split by the cache's shard plan and every touched shard's
+slice is refreshed by a worker process against shared-memory storage,
+drawing from its own ``(seed, mode, shard, epoch, batch)`` stream —
+deterministic and worker-count-independent, though a different (equally
+valid) trajectory than the sequential single-stream path.
+
 Batching note: the paper updates caches triple-by-triple; this
 implementation vectorises over the batch.  When two rows of one batch share
 a cache key, both read the same pre-batch entry and the later write wins —
@@ -47,6 +55,7 @@ contrasts with IGAN/KBGAN.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Mapping, NamedTuple
 
 import numpy as np
@@ -62,6 +71,7 @@ from repro.core.strategies import (
     UpdateStrategy,
     sample_from_cache,
     select_cache_survivors,
+    selection_changed_elements,
 )
 from repro.data.dataset import KGDataset
 from repro.data.keyindex import TripleKeyIndex
@@ -73,6 +83,8 @@ from repro.utils.timer import Timer
 __all__ = ["BatchRows", "NSCachingSampler"]
 
 CacheFactory = Callable[..., CacheStore]
+
+_NULL_CONTEXT = nullcontext()
 
 
 class BatchRows(NamedTuple):
@@ -104,6 +116,8 @@ class NSCachingSampler(NegativeSampler):
         cache_options: Mapping[str, object] | None = None,
         cache_factory: CacheFactory | None = None,
         fused: bool = True,
+        refresh_workers: int = 1,
+        refresh_processes: bool = True,
     ) -> None:
         """
         Parameters
@@ -140,6 +154,23 @@ class NSCachingSampler(NegativeSampler):
             path (default).  ``False`` keeps the unfused reference
             orchestration — same kernels, same RNG stream, bit-identical
             results; it exists for parity testing and benchmarking.
+            Sequential path only: rejected with ``refresh_workers > 1``
+            (pool workers always run the fused kernel).
+        refresh_workers:
+            ``>= 2`` runs cache refreshes on a
+            :class:`~repro.parallel.pool.RefreshPool` of that many worker
+            processes (requires ``cache_backend="sharded-array"``).  Each
+            shard's slice draws from its own ``(seed, mode, shard, epoch,
+            batch)`` stream, so results are deterministic and independent
+            of the worker count — but a *different* (equally valid)
+            trajectory than the sequential single-stream path.  The
+            default ``1`` keeps the sequential refresh, bit-identical to
+            the ``array`` backend under a fixed seed.
+        refresh_processes:
+            ``False`` makes the parallel refresh run its shard tasks
+            inline in this process (the deterministic fallback) instead
+            of forking workers — bit-identical to process execution; used
+            by the parity tests and on platforms without ``fork``.
         """
         super().__init__(bernoulli=bernoulli)
         if cache_size <= 0 or candidate_size <= 0:
@@ -149,6 +180,22 @@ class NSCachingSampler(NegativeSampler):
             )
         if lazy_epochs < 0:
             raise ValueError(f"lazy_epochs must be >= 0, got {lazy_epochs}")
+        if refresh_workers < 1:
+            raise ValueError(f"refresh_workers must be >= 1, got {refresh_workers}")
+        if refresh_workers > 1 and (
+            cache_factory is not None or cache_backend != "sharded-array"
+        ):
+            raise ValueError(
+                "refresh_workers > 1 requires cache_backend='sharded-array' "
+                "(worker processes need shared-memory storage and a shard "
+                f"plan); got backend {cache_backend!r}"
+            )
+        if refresh_workers > 1 and not fused:
+            raise ValueError(
+                "refresh_workers > 1 always runs the fused refresh kernel in "
+                "its workers; fused=False (--no-fused-refresh) only applies "
+                "to the sequential path"
+            )
         if cache_factory is None:
             if cache_backend not in cache_backend_names():
                 raise ValueError(
@@ -170,13 +217,21 @@ class NSCachingSampler(NegativeSampler):
         self.cache_options: dict[str, object] = dict(cache_options or {})
         self._cache_factory = cache_factory
         self.fused = bool(fused)
+        self.refresh_workers = int(refresh_workers)
+        self.refresh_processes = bool(refresh_processes)
         self.key_index: TripleKeyIndex | None = None
         self.head_cache: CacheStore | None = None
         self.tail_cache: CacheStore | None = None
         #: Optional stopwatch the trainer attaches under ``--profile`` to
         #: time candidate scoring separately from the rest of the refresh.
         self.score_timer: Timer | None = None
+        #: Optional stopwatch for the parallel-refresh dispatch+wait (the
+        #: trainer's ``parallel_refresh`` profile phase).
+        self.parallel_timer: Timer | None = None
         self._union: np.ndarray | None = None  # fused-path candidate buffer
+        self._pool = None  # RefreshPool, created lazily on first parallel update
+        self._pool_seed: int | None = None
+        self._epoch_batch = 0  # per-epoch update counter for task streams
 
     # -- lifecycle ------------------------------------------------------------
     def _make_cache(self, n_entities: int, store_scores: bool) -> CacheStore:
@@ -205,6 +260,7 @@ class NSCachingSampler(NegativeSampler):
         (the paper's extra-memory note for IS/top sampling).
         """
         super().bind(model, dataset, rng)
+        self.close()  # rebinding replaces caches; release pool/shared memory
         self.key_index = TripleKeyIndex.from_triples(
             dataset.train, dataset.n_entities, dataset.n_relations
         )
@@ -213,7 +269,31 @@ class NSCachingSampler(NegativeSampler):
         self.tail_cache = self._make_cache(dataset.n_entities, store_scores)
         self.head_cache.attach_index(self.key_index.head)
         self.tail_cache.attach_index(self.key_index.tail)
+        if self.refresh_workers > 1:
+            # One draw reserved for the pool's task streams.  Taken only in
+            # parallel mode, so the 1-worker stream stays bit-identical to
+            # the plain array backend's.
+            self._pool_seed = int(self.rng.integers(0, 2**63 - 1))
         return self
+
+    def close(self) -> None:
+        """Stop the refresh pool and release shared-memory cache storage.
+
+        Idempotent; the sampler can be re-bound afterwards.  The trainer
+        and CLI call this when training finishes.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for cache in (self.head_cache, self.tail_cache):
+            release = getattr(cache, "close", None)
+            if callable(release):
+                release()
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Epoch notification; also restarts the per-epoch batch counter."""
+        super().on_epoch_start(epoch)
+        self._epoch_batch = 0
 
     # -- row resolution -----------------------------------------------------------
     def precompute_rows(self, triples: np.ndarray) -> BatchRows:
@@ -294,11 +374,16 @@ class NSCachingSampler(NegativeSampler):
                     f"unknown corruption mode {mode!r}; expected one of "
                     f"{CANDIDATE_MODES}"
                 )
+        batch_index = self._epoch_batch
+        self._epoch_batch += 1
         if self.epoch % (self.lazy_epochs + 1) != 0:
             return  # lazy update: skip this epoch entirely
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
         rows = self._resolve_rows(batch, rows)
+        if self.refresh_workers > 1:
+            self._parallel_refresh(batch, rows, modes, batch_index)
+            return
         for mode in modes:
             side_rows = rows.head if mode == "head" else rows.tail
             self._refresh_side(batch, side_rows, mode)
@@ -342,11 +427,23 @@ class NSCachingSampler(NegativeSampler):
                 0, self.dataset.n_entities, size=(len(batch), n2), dtype=np.int64
             )
             scores = self._score_union(batch, union, mode)
-            new_ids, new_scores = select_cache_survivors(
+            selection = select_cache_survivors(
                 union, scores, n1, self.update_strategy, self.rng,
-                return_scores=cache.store_scores,
+                return_scores=cache.store_scores, return_selection=True,
             )
-            cache.scatter(rows, new_ids, new_scores)
+            # CE from the selection's column structure — no scatter-side
+            # multiset sort.  None (duplicate-filled rows / repeated
+            # storage rows) falls back to the sorted reference counting.
+            # Only backends that honour the hint pay for the derivation:
+            # the dict backends recount regardless (keeping the sorted
+            # path agreement-tested), so they take the plain scatter.
+            if getattr(cache, "consumes_changed_hint", False):
+                changed = selection_changed_elements(
+                    selection, cache.storage_rows(rows), n1
+                )
+                cache.scatter(rows, selection.ids, selection.scores, changed=changed)
+            else:
+                cache.scatter(rows, selection.ids, selection.scores)
             return
 
         current = cache.gather(rows)  # [B, N1]
@@ -359,6 +456,80 @@ class NSCachingSampler(NegativeSampler):
             union, scores, n1, self.update_strategy, self.rng
         )
         cache.scatter(rows, new_ids, new_scores if cache.store_scores else None)
+
+    # -- parallel refresh (repro.parallel) -----------------------------------------
+    def _ensure_pool(self):
+        """Create (and lazily start) the refresh pool on first parallel use."""
+        if self._pool is None:
+            from repro.parallel.pool import RefreshPool
+            from repro.parallel.sharded import ShardedCacheStore
+
+            assert self.head_cache is not None and self.tail_cache is not None
+            caches = {"head": self.head_cache, "tail": self.tail_cache}
+            for mode, cache in caches.items():
+                if not isinstance(cache, ShardedCacheStore):
+                    raise RuntimeError(
+                        f"parallel refresh needs sharded caches, got "
+                        f"{type(cache).__name__} for the {mode} side"
+                    )
+            assert self._pool_seed is not None
+            self._pool = RefreshPool(
+                self.model,
+                caches,
+                n_entities=self.dataset.n_entities,
+                candidate_size=self.candidate_size,
+                update_strategy=self.update_strategy,
+                seed=self._pool_seed,
+                n_workers=self.refresh_workers,
+                use_processes=self.refresh_processes,
+            ).start()
+        return self._pool
+
+    def _parallel_refresh(
+        self,
+        batch: np.ndarray,
+        rows: BatchRows,
+        modes: tuple[str, ...],
+        batch_index: int,
+    ) -> None:
+        """Refresh via the worker pool: one task per (mode, touched shard).
+
+        Workers run the same fused kernel against the shared storage and
+        report CE / initialisation deltas, which are folded back into the
+        stores' counters here so ``changed_elements()`` and Figure 8 stay
+        backend-agnostic.
+        """
+        from repro.parallel.pool import ShardTask
+
+        pool = self._ensure_pool()
+        timer = self.parallel_timer
+        with timer if timer is not None else _NULL_CONTEXT:
+            tasks: list[ShardTask] = []
+            for mode in modes:
+                cache = self.head_cache if mode == "head" else self.tail_cache
+                assert cache is not None
+                side_rows = rows.head if mode == "head" else rows.tail
+                storage_rows = cache.storage_rows(side_rows)
+                anchors = batch[:, TAIL] if mode == "head" else batch[:, HEAD]
+                relations = batch[:, REL]
+                for shard, positions in cache.plan.split(storage_rows):
+                    tasks.append(
+                        ShardTask(
+                            mode=mode,
+                            shard=shard,
+                            epoch=self.epoch,
+                            batch=batch_index,
+                            anchors=anchors[positions],
+                            relations=relations[positions],
+                            rows=storage_rows[positions],
+                        )
+                    )
+            results = pool.refresh(tasks)
+        for result in results:
+            cache = self.head_cache if result.mode == "head" else self.tail_cache
+            assert cache is not None
+            cache.changed_elements += result.changed
+            cache.initialised_entries += result.initialised
 
     # -- introspection ---------------------------------------------------------------
     def cache_memory_bytes(self) -> int:
@@ -396,6 +567,24 @@ class NSCachingSampler(NegativeSampler):
                 fn = getattr(cache, attr, None)
                 if callable(fn):
                     stats[f"{side}_{attr}"] = fn()
+            # Sharded stores: per-shard occupancy (live rows) and key
+            # ownership, compacted to `a/b/c` strings for the CLI table.
+            # After close() the plan is gone — skip rather than crash.
+            occupancy = getattr(cache, "shard_occupancy", None)
+            if callable(occupancy) and getattr(cache, "plan", None) is not None:
+                stats[f"{side}_shards"] = cache.plan.n_shards
+                stats[f"{side}_shard_live_rows"] = "/".join(
+                    str(int(n)) for n in occupancy()
+                )
+                stats[f"{side}_shard_keys"] = "/".join(
+                    str(int(n)) for n in cache.shard_key_ownership()
+                )
+        if self.refresh_workers > 1:
+            stats["refresh_workers"] = self.refresh_workers
+            if self._pool is not None:
+                stats["refresh_mode"] = (
+                    "processes" if self._pool.using_processes else "inline"
+                )
         return stats
 
     def changed_elements(self, reset: bool = False) -> int:
@@ -408,9 +597,14 @@ class NSCachingSampler(NegativeSampler):
         return total
 
     def __repr__(self) -> str:
+        workers = (
+            f", refresh_workers={self.refresh_workers}"
+            if self.refresh_workers > 1
+            else ""
+        )
         return (
             f"NSCachingSampler(N1={self.cache_size}, N2={self.candidate_size}, "
             f"sample={self.sample_strategy.value}, update={self.update_strategy.value}, "
             f"lazy={self.lazy_epochs}, backend={self.cache_backend}, "
-            f"fused={self.fused})"
+            f"fused={self.fused}{workers})"
         )

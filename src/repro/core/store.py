@@ -14,13 +14,20 @@ it:
   memory-bounded §VI extension over dict buckets (reference/parity);
 * ``bucketed-array`` — :class:`~repro.core.bucketed.BucketedArrayCache`:
   the same bucket scheme on the preallocated array engine — bounded
-  memory *and* vectorised access.
+  memory *and* vectorised access;
+* ``sharded-array`` — the :mod:`repro.parallel` shared-memory engine
+  (``array`` or ``bucketed-array`` semantics, chosen by the ``inner``
+  option) whose row-space is partitioned by a
+  :class:`~repro.parallel.plan.ShardPlan` so epoch refreshes can run on a
+  :class:`~repro.parallel.pool.RefreshPool` of worker processes.
 
 Backends register through :func:`register_backend` together with the
 backend-specific constructor options they accept (``n_buckets`` for the
-two memory-bounded ones); :func:`make_cache_backend` validates and
-forwards those options, so unknown ones fail fast with a clear error
-instead of a ``TypeError`` deep in a constructor.
+memory-bounded ones, ``n_shards``/``inner``/``n_buckets`` for the sharded
+one); :func:`make_cache_backend` validates both option names *and values*
+and forwards them, so unknown names or out-of-range counts fail fast with
+a clear error instead of a ``TypeError`` deep in a constructor or an
+allocation failure at bind.
 
 Key-addressed probing (``cache.get((a, b))``, ``key in cache``) stays
 available on every backend for callbacks and the Table VI study.
@@ -43,6 +50,7 @@ __all__ = [
     "cache_backend_names",
     "make_cache_backend",
     "register_backend",
+    "require_positive_int_options",
     "validate_backend_options",
 ]
 
@@ -65,10 +73,27 @@ class CacheStore(Protocol):
     def gather_scores(self, rows: np.ndarray) -> np.ndarray:
         """Stored scores for ``rows`` (requires ``store_scores=True``)."""
 
+    def storage_rows(self, rows: np.ndarray) -> np.ndarray:
+        """The rows actually stored for dense key ``rows`` (identity for
+        per-key backends, bucket rows for the memory-bounded ones).  This
+        is the row-space shard plans partition and over which repeat-write
+        CE semantics are defined."""
+
     def scatter(
-        self, rows: np.ndarray, ids: np.ndarray, scores: np.ndarray | None = None
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        scores: np.ndarray | None = None,
+        *,
+        changed: int | None = None,
     ) -> int:
-        """Replace entries at ``rows``; returns #elements changed (CE)."""
+        """Replace entries at ``rows``; returns #elements changed (CE).
+
+        ``changed`` is an optional caller-derived CE count (valid only for
+        unique, already-gathered storage rows); backends may use it to
+        skip their own counting or ignore it and recount.  Backends that
+        honour it advertise ``consumes_changed_hint = True`` so callers
+        can skip deriving a hint nobody will read."""
 
     def get(self, key: tuple[int, int]) -> np.ndarray:
         """Key-addressed probe of one entry."""
@@ -89,10 +114,38 @@ class BackendSpec:
     #: forwards beyond the common (size, n_entities, rng, store_scores).
     options: frozenset[str] = frozenset()
     description: str = ""
+    #: Optional option-*value* validator, called with the full option
+    #: mapping after the name check; raises ``ValueError`` on bad values
+    #: so they fail at construction, not deep inside allocation at bind.
+    check_options: Callable[[Mapping[str, object]], None] | None = None
 
 
 _REGISTRY: dict[str, BackendSpec] = {}
 _builtins_registered = False
+
+
+def require_positive_int_options(options: Mapping[str, object], *names: str) -> None:
+    """Raise ``ValueError`` unless every present ``names`` option is an int >= 1.
+
+    The shared value check for count-like backend options (``n_buckets``,
+    ``n_shards``): a zero/negative/non-integer count is rejected here —
+    at sampler construction and in :func:`make_cache_backend` — with the
+    same clean error path as an unknown option name, instead of surfacing
+    as an allocation failure at bind time.
+    """
+    for name in names:
+        if name not in options:
+            continue
+        value = options[name]
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ValueError(
+                f"backend option {name!r} must be an integer >= 1, "
+                f"got {value!r}"
+            )
+        if int(value) < 1:
+            raise ValueError(
+                f"backend option {name!r} must be >= 1, got {int(value)}"
+            )
 
 
 def register_backend(
@@ -101,6 +154,7 @@ def register_backend(
     *,
     options: Iterable[str] = (),
     description: str = "",
+    check_options: Callable[[Mapping[str, object]], None] | None = None,
     overwrite: bool = False,
 ) -> None:
     """Register a :class:`CacheStore` factory under ``name``.
@@ -108,11 +162,14 @@ def register_backend(
     ``factory`` must accept ``(size, n_entities, rng, *, store_scores,
     **options)``; ``options`` declares the backend-specific keywords it
     supports (anything else passed to :func:`make_cache_backend` is
-    rejected up front).
+    rejected up front), and ``check_options`` optionally validates their
+    *values* at the same early point.
     """
     if name in _REGISTRY and not overwrite:
         raise ValueError(f"cache backend {name!r} is already registered")
-    _REGISTRY[name] = BackendSpec(factory, frozenset(options), description)
+    _REGISTRY[name] = BackendSpec(
+        factory, frozenset(options), description, check_options
+    )
 
 
 def _ensure_builtins() -> None:
@@ -128,6 +185,10 @@ def _ensure_builtins() -> None:
     from repro.core.bucketed import BucketedArrayCache
     from repro.core.cache import NegativeCache
     from repro.core.hashed import HashedNegativeCache
+    from repro.parallel.sharded import check_sharded_options, make_sharded_cache
+
+    def _check_n_buckets(options: Mapping[str, object]) -> None:
+        require_positive_int_options(options, "n_buckets")
 
     register_backend(
         "array", ArrayNegativeCache,
@@ -139,11 +200,19 @@ def _ensure_builtins() -> None:
     )
     register_backend(
         "hashed", HashedNegativeCache, options=("n_buckets",),
+        check_options=_check_n_buckets,
         description="memory-bounded dict buckets (§VI extension, reference)",
     )
     register_backend(
         "bucketed-array", BucketedArrayCache, options=("n_buckets",),
+        check_options=_check_n_buckets,
         description="memory-bounded bucket scheme on the array engine",
+    )
+    register_backend(
+        "sharded-array", make_sharded_cache,
+        options=("n_shards", "inner", "n_buckets"),
+        check_options=check_sharded_options,
+        description="shared-memory array engine sharded for parallel refresh",
     )
 
 
@@ -168,11 +237,12 @@ def backend_options(name: str) -> frozenset[str]:
 
 
 def validate_backend_options(name: str, options: Mapping[str, object]) -> None:
-    """Raise ``ValueError`` when ``options`` names a kwarg ``name`` lacks.
+    """Raise ``ValueError`` for option names or values ``name`` rejects.
 
     Called by :class:`~repro.core.nscaching.NSCachingSampler` at
-    construction so a bad ``--n-buckets``-style option fails before any
-    data is loaded or bound.
+    construction so a bad ``--n-buckets``/``--n-shards``-style option
+    fails before any data is loaded or bound: first unknown names, then
+    the backend's own value check (e.g. count options must be ``>= 1``).
     """
     spec = _backend_spec(name)
     unknown = sorted(set(options) - spec.options)
@@ -182,6 +252,8 @@ def validate_backend_options(name: str, options: Mapping[str, object]) -> None:
             f"cache backend {name!r} does not accept option(s) {unknown}; "
             f"supported: {supported if supported else 'none'}"
         )
+    if spec.check_options is not None:
+        spec.check_options(options)
 
 
 def make_cache_backend(

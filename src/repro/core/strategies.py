@@ -21,6 +21,7 @@ trick so whole batches are processed with one vectorised ``argpartition``.
 from __future__ import annotations
 
 from enum import Enum
+from typing import NamedTuple
 
 import numpy as np
 
@@ -28,10 +29,12 @@ from repro.utils.rng import ensure_rng
 
 __all__ = [
     "SampleStrategy",
+    "SurvivorSelection",
     "UpdateStrategy",
     "duplicate_mask",
     "sample_from_cache",
     "select_cache_survivors",
+    "selection_changed_elements",
 ]
 
 
@@ -120,6 +123,55 @@ def sample_from_cache(
     return ids[np.arange(b), cols]
 
 
+class SurvivorSelection(NamedTuple):
+    """One Alg. 3 selection with its column structure preserved.
+
+    ``columns[b, j]`` is the union column survivor ``ids[b, j]`` was taken
+    from; ``filled[b]`` flags rows where a duplicate-suppressed (``-inf``
+    key) column had to be selected because the row had fewer distinct
+    candidates than ``n_keep``.  The column structure is what
+    :func:`selection_changed_elements` derives the CE metric from without
+    re-sorting the id block.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray | None
+    columns: np.ndarray
+    filled: np.ndarray
+
+
+def selection_changed_elements(
+    selection: SurvivorSelection, storage_rows: np.ndarray, n_keep: int
+) -> int | None:
+    """CE of scattering ``selection`` back, derived from column structure.
+
+    The fused refresh gathers the cache entry into union columns
+    ``[0, n_keep)`` and fresh draws into the rest, then selects with
+    within-row duplicates suppressed.  A survivor taken from a column
+    ``< n_keep`` is therefore an entity that was already cached, and one
+    taken from a column ``>= n_keep`` (a non-duplicate, so its *first*
+    occurrence in the row) cannot appear among the cached columns — the
+    multiset overlap with the previous entry is exactly the number of
+    survivor columns ``< n_keep``, no sort needed.
+
+    Returns ``None`` when the shortcut does not apply and the scatter-side
+    sorted reference (:func:`repro.core.array_cache.multiset_overlap_rows`)
+    must run instead: duplicate-filled rows (a selected duplicate breaks
+    the first-occurrence argument) or repeated storage rows in the batch
+    (CE is then counted against the *previous write*, not the gathered
+    entry).  Agreement with the sorted path is property-tested.
+    """
+    if bool(selection.filled.any()):
+        return None
+    storage_rows = np.asarray(storage_rows, dtype=np.int64)
+    if len(storage_rows) > 1:
+        sorted_rows = np.sort(storage_rows)
+        if bool((sorted_rows[1:] == sorted_rows[:-1]).any()):
+            return None
+    overlap = int(np.count_nonzero(selection.columns < n_keep))
+    return n_keep * len(storage_rows) - overlap
+
+
 def select_cache_survivors(
     candidate_ids: np.ndarray,
     candidate_scores: np.ndarray,
@@ -128,7 +180,8 @@ def select_cache_survivors(
     rng: np.random.Generator | int | None = None,
     *,
     return_scores: bool = True,
-) -> tuple[np.ndarray, np.ndarray | None]:
+    return_selection: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None] | SurvivorSelection:
     """Select ``n_keep`` entries per row from the Alg. 3 candidate union.
 
     Returns ``(ids, scores)`` each of shape ``[B, n_keep]``.  Duplicate ids
@@ -143,6 +196,11 @@ def select_cache_survivors(
     co-store scores for the IS/top sampling strategies) — ``scores`` is
     then ``None``.  RNG consumption is identical either way, so toggling
     it cannot perturb a seeded run.
+
+    With ``return_selection=True`` the result is a
+    :class:`SurvivorSelection` that additionally carries the selected
+    union columns and the duplicate-fill flags, the inputs of the
+    sort-free CE derivation (:func:`selection_changed_elements`).
     """
     rng = ensure_rng(rng)
     candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
@@ -172,4 +230,8 @@ def select_cache_survivors(
     top = np.argpartition(-keys, n_keep - 1, axis=1)[:, :n_keep]
     rows = np.arange(b)[:, None]
     ids = candidate_ids[rows, top]
-    return ids, candidate_scores[rows, top] if return_scores else None
+    scores = candidate_scores[rows, top] if return_scores else None
+    if not return_selection:
+        return ids, scores
+    filled = np.isneginf(keys[rows, top]).any(axis=1)
+    return SurvivorSelection(ids, scores, top, filled)

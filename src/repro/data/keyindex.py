@@ -29,7 +29,13 @@ import numpy as np
 
 from repro.data.triples import HEAD, REL, TAIL
 
-__all__ = ["BucketIndex", "KeyIndex", "TripleKeyIndex", "stable_key_hash"]
+__all__ = [
+    "BucketIndex",
+    "KeyIndex",
+    "TripleKeyIndex",
+    "even_ranges",
+    "stable_key_hash",
+]
 
 # Knuth-style multiplicative mixing constants (deterministic across runs
 # and processes, unlike Python's salted ``hash()``).  Must match the
@@ -55,6 +61,27 @@ def stable_key_hash(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     x *= _MIX_A
     x ^= x >> np.uint64(32)
     return x
+
+
+def even_ranges(n_rows: int, n_parts: int) -> np.ndarray:
+    """Bounds of ``n_parts`` contiguous near-equal ranges covering ``[0, n_rows)``.
+
+    Returns an int64 array of ``n_parts + 1`` ascending bounds with
+    ``bounds[0] == 0`` and ``bounds[-1] == n_rows``; part ``i`` owns rows
+    ``[bounds[i], bounds[i+1])``.  Sizes differ by at most one (the first
+    ``n_rows % n_parts`` parts get the extra row), so partitioning a cache
+    row-space never concentrates load by construction.  Parts may be empty
+    when ``n_parts > n_rows``.
+    """
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+    sizes = np.full(n_parts, n_rows // n_parts, dtype=np.int64)
+    sizes[: n_rows % n_parts] += 1
+    bounds = np.zeros(n_parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
 
 
 class KeyIndex:

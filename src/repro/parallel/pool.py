@@ -1,0 +1,403 @@
+"""The multiprocess cache-refresh pool.
+
+One NSCaching batch refresh is embarrassingly parallel once the cache
+row-space is sharded: every shard's slice of the batch reads and writes a
+disjoint contiguous row range of the shared-memory storage
+(:mod:`repro.parallel.sharded`), so the pool simply ships each slice —
+anchor/relation ids plus storage rows, a few KiB — to a persistent worker
+process and lets it run the *same* fused score-and-select kernel the
+sequential path uses, scattering survivors straight back into shared
+memory.  Worker processes are forked once and live for the whole
+training run; the only per-batch cost beyond the task messages is one
+``memcpy`` of the model parameters into a shared read-only block
+(:meth:`RefreshPool.sync_params`), which keeps workers scoring with the
+*current* embeddings exactly as Algorithm 3 requires.
+
+Determinism: every task draws from its own generator seeded by
+``(seed, mode, shard_id, epoch, batch)``.  Streams belong to *shards*,
+not workers, so results are bit-identical across worker counts,
+scheduling orders, and the in-process fallback (``use_processes=False``
+or platforms without ``fork``) — two seeded runs always produce the same
+caches and training trajectory.  Note this stream layout differs from
+the sequential single-stream path: parallel refresh (>= 2 workers) is a
+*deterministic sibling* of sequential training, not a bit-identical twin;
+with 1 worker the sampler keeps the sequential path, which is
+bit-identical to the plain ``array`` backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.array_cache import ArrayNegativeCache
+from repro.core.strategies import (
+    UpdateStrategy,
+    select_cache_survivors,
+    selection_changed_elements,
+)
+from repro.models.base import CANDIDATE_MODES, KGEModel
+from repro.parallel.sharded import ShardedCacheStore, SharedArrayBlock
+
+__all__ = ["RefreshPool", "ShardTask", "ShardResult"]
+
+#: Stable ordinal per corruption mode, mixed into the per-task seed so the
+#: head- and tail-cache refreshes of one shard draw independent streams.
+_MODE_ORDINAL = {mode: i for i, mode in enumerate(CANDIDATE_MODES)}
+
+#: Seconds between liveness checks while waiting on worker results.  A
+#: slow-but-alive worker is waited on indefinitely (shard slices can be
+#: arbitrarily expensive at scale); only a dead worker aborts the wait.
+_RESULT_POLL_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's slice of one batch refresh (a unit of worker work)."""
+
+    mode: str
+    shard: int
+    epoch: int
+    batch: int
+    anchors: np.ndarray
+    relations: np.ndarray
+    rows: np.ndarray  # storage rows, all inside the shard's range
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Counter deltas a completed task reports back to the parent."""
+
+    mode: str
+    shard: int
+    changed: int
+    initialised: int
+
+
+@dataclass(frozen=True)
+class _TaskFailure:
+    """A worker-side exception, shipped back as text."""
+
+    message: str
+
+
+@dataclass
+class _SideState:
+    """Per-mode worker view: a row-addressed cache over the shared blocks."""
+
+    view: ArrayNegativeCache
+    n1: int
+
+
+class _WorkerState:
+    """Everything a refresh worker needs; built pre-fork, inherited.
+
+    ``run`` is also the single-process fallback: the pool calls it inline
+    when processes are disabled or unavailable, so both execution modes
+    share one code path (and are therefore bit-identical).
+    """
+
+    def __init__(
+        self,
+        model: KGEModel,
+        sides: dict[str, _SideState],
+        n_entities: int,
+        candidate_size: int,
+        update_strategy: UpdateStrategy,
+        seed: int,
+    ) -> None:
+        self.model = model
+        self.sides = sides
+        self.n_entities = n_entities
+        self.candidate_size = candidate_size
+        self.update_strategy = update_strategy
+        self.seed = seed
+
+    def task_rng(self, task: ShardTask) -> np.random.Generator:
+        """The task's own stream: keyed by (seed, mode, shard, epoch, batch)."""
+        entropy = (
+            self.seed,
+            _MODE_ORDINAL[task.mode],
+            task.shard,
+            task.epoch,
+            task.batch,
+        )
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def run(self, task: ShardTask) -> ShardResult:
+        """Fused Alg. 3 refresh of one shard slice, against shared storage."""
+        side = self.sides[task.mode]
+        cache = side.view
+        cache.rng = self.task_rng(task)
+        before_changed = cache.changed_elements
+        before_init = cache.initialised_entries
+
+        n1, n2 = side.n1, self.candidate_size
+        union = np.empty((len(task.rows), n1 + n2), dtype=np.int64)
+        union[:, :n1] = cache.gather(task.rows)  # materialises from task stream
+        union[:, n1:] = cache.rng.integers(
+            0, self.n_entities, size=(len(task.rows), n2), dtype=np.int64
+        )
+        scores = self.model.score_candidates(
+            task.anchors, task.relations, union, task.mode
+        )
+        selection = select_cache_survivors(
+            union, scores, n1, self.update_strategy, cache.rng,
+            return_scores=cache.store_scores, return_selection=True,
+        )
+        changed = selection_changed_elements(selection, task.rows, n1)
+        cache.scatter(task.rows, selection.ids, selection.scores, changed=changed)
+        return ShardResult(
+            task.mode,
+            task.shard,
+            cache.changed_elements - before_changed,
+            cache.initialised_entries - before_init,
+        )
+
+
+def _worker_main(state: _WorkerState, tasks: object, results: object) -> None:
+    """Worker process loop: drain tasks until the ``None`` sentinel."""
+    while True:
+        task = tasks.get()  # type: ignore[attr-defined]
+        if task is None:
+            return
+        try:
+            results.put(state.run(task))  # type: ignore[attr-defined]
+        except Exception as exc:  # ship the failure, keep serving
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit
+            # must terminate the worker normally, not masquerade as a
+            # task failure.
+            import traceback
+
+            results.put(  # type: ignore[attr-defined]
+                _TaskFailure(
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                )
+            )
+
+
+class RefreshPool:
+    """Persistent worker processes running sharded cache refreshes.
+
+    Parameters
+    ----------
+    model:
+        The training model; its parameters are mirrored into a shared
+        read-only block before every refresh (:meth:`sync_params`).
+    caches:
+        One :class:`~repro.parallel.sharded.ShardedCacheStore` per
+        corruption mode (``"head"``/``"tail"``) — storage must already be
+        attached (shards planned) before :meth:`start`.
+    n_workers:
+        Worker processes to fork.  Values ``< 2`` mean no processes: the
+        pool runs every task inline (the deterministic fallback), as it
+        also does when the platform lacks the ``fork`` start method.
+    use_processes:
+        Force the inline fallback with ``False`` (used by the parity
+        tests to pin process execution against in-process execution).
+    seed:
+        Base entropy for the per-``(mode, shard, epoch, batch)`` task
+        streams.
+    """
+
+    def __init__(
+        self,
+        model: KGEModel,
+        caches: dict[str, ShardedCacheStore],
+        *,
+        n_entities: int,
+        candidate_size: int,
+        update_strategy: UpdateStrategy | str,
+        seed: int,
+        n_workers: int = 1,
+        use_processes: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        unknown = sorted(set(caches) - set(CANDIDATE_MODES))
+        if unknown:
+            raise ValueError(f"unknown corruption mode(s) {unknown}")
+        self.model = model
+        self.caches = dict(caches)
+        self.n_entities = int(n_entities)
+        self.candidate_size = int(candidate_size)
+        self.update_strategy = UpdateStrategy(update_strategy)
+        self.seed = int(seed)
+        self.n_workers = int(n_workers)
+        self._want_processes = bool(use_processes) and self.n_workers >= 2
+        self._param_blocks: dict[str, SharedArrayBlock] = {}
+        self._state: _WorkerState | None = None
+        self._processes: list[mp.process.BaseProcess] = []
+        self._tasks: object | None = None
+        self._results: object | None = None
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def using_processes(self) -> bool:
+        """Whether tasks actually run in worker processes (after start)."""
+        return bool(self._processes)
+
+    def start(self) -> "RefreshPool":
+        """Allocate the shared parameter block and fork the workers."""
+        if self._started:
+            return self
+        self._started = True
+
+        # Mirror the model into shared memory: workers score through
+        # read-only views of these blocks, so one parent-side memcpy per
+        # refresh is all it takes to keep them on the current embeddings.
+        worker_model = self.model.copy()
+        for name, param in self.model.params.items():
+            block = SharedArrayBlock(param.shape, param.dtype)
+            assert block.array is not None
+            np.copyto(block.array, param)
+            self._param_blocks[name] = block
+            view = block.array.view()
+            view.setflags(write=False)
+            worker_model.params[name] = view
+
+        sides: dict[str, _SideState] = {}
+        for mode, store in self.caches.items():
+            layout = store.worker_layout()
+            view = ArrayNegativeCache(
+                layout["size"],  # type: ignore[arg-type]
+                self.n_entities,
+                rng=0,  # replaced per task
+                store_scores=bool(layout["store_scores"]),
+            )
+            view.attach_storage(
+                None,
+                layout["ids"],  # type: ignore[arg-type]
+                layout["live"],  # type: ignore[arg-type]
+                layout["scores"],  # type: ignore[arg-type]
+            )
+            sides[mode] = _SideState(view=view, n1=int(layout["size"]))  # type: ignore[arg-type]
+        self._state = _WorkerState(
+            worker_model,
+            sides,
+            self.n_entities,
+            self.candidate_size,
+            self.update_strategy,
+            self.seed,
+        )
+
+        if self._want_processes:
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = None
+            if ctx is not None:
+                self._tasks = ctx.Queue()
+                self._results = ctx.Queue()
+                for _ in range(self.n_workers):
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(self._state, self._tasks, self._results),
+                        daemon=True,
+                    )
+                    process.start()
+                    self._processes.append(process)
+        return self
+
+    def close(self) -> None:
+        """Stop the workers and release the shared parameter block."""
+        for _ in self._processes:
+            assert self._tasks is not None
+            self._tasks.put(None)  # type: ignore[attr-defined]
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._processes = []
+        if self._tasks is not None:
+            self._tasks.close()  # type: ignore[attr-defined]
+            self._tasks = None
+        if self._results is not None:
+            self._results.close()  # type: ignore[attr-defined]
+            self._results = None
+        self._state = None
+        blocks, self._param_blocks = self._param_blocks, {}
+        for block in blocks.values():
+            block.release()
+        self._started = False
+
+    # -- per-refresh operations -------------------------------------------------
+    def sync_params(self) -> None:
+        """Copy the model's current parameters into the shared block."""
+        for name, block in self._param_blocks.items():
+            assert block.array is not None
+            np.copyto(block.array, self.model.params[name])
+
+    def refresh(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Run a batch's shard tasks (both modes together) and collect results.
+
+        Blocks until every task completed; raises ``RuntimeError`` if a
+        worker reported an exception or died.
+        """
+        if not self._started:
+            self.start()
+        assert self._state is not None
+        self.sync_params()
+        if not tasks:
+            return []
+        if not self._processes:
+            return [self._state.run(task) for task in tasks]
+
+        assert self._tasks is not None and self._results is not None
+        for task in tasks:
+            self._tasks.put(task)  # type: ignore[attr-defined]
+        results: list[ShardResult] = []
+        failure: _TaskFailure | None = None
+        # Always drain one result per dispatched task, even after a
+        # failure — a partially read queue would desync every later
+        # refresh (stale results folded into the wrong batch's counters).
+        for _ in tasks:
+            result = self._next_result()
+            if isinstance(result, _TaskFailure):
+                failure = failure or result
+            else:
+                results.append(result)
+        if failure is not None:
+            raise RuntimeError(f"refresh worker failed:\n{failure.message}")
+        return results
+
+    def _next_result(self) -> "ShardResult | _TaskFailure":
+        """One queued result; waits as long as every worker stays alive.
+
+        A shard refresh can legitimately run for minutes at scale, so a
+        slow worker is never a failure.  Any worker *death* (crash, OOM
+        kill) fails the refresh by design: the parent cannot tell whether
+        the dead worker held an unanswered task, and waiting on a result
+        that will never arrive would hang training — fail fast with a
+        clear error instead.
+        """
+        assert self._results is not None
+        while True:
+            try:
+                return self._results.get(  # type: ignore[attr-defined]
+                    timeout=_RESULT_POLL_SECONDS
+                )
+            except queue_module.Empty:  # pragma: no cover - timing dependent
+                dead = [p.pid for p in self._processes if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"refresh worker(s) {dead} died without answering"
+                    ) from None
+
+    def __enter__(self) -> "RefreshPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "processes" if self.using_processes else "inline"
+        return (
+            f"RefreshPool(n_workers={self.n_workers}, mode={mode}, "
+            f"sides={sorted(self.caches)})"
+        )

@@ -73,7 +73,12 @@ def grid_search(
         config = base_config.with_updates(**point) if point else base_config
         model = model_factory(dim, seed)
         trainer = Trainer(model, dataset, sampler_factory(), config)
-        trainer.run()
+        try:
+            trainer.run()
+        finally:
+            # Pool-backed samplers (sharded-array + refresh workers) hold
+            # processes and shared memory per grid point; release them.
+            trainer.close()
         metrics = evaluate(model, dataset, split)
         full_point = {**point, **({"dim": dim} if dim else {})}
         results.append(GridResult(point=full_point, metric=metrics[metric], metrics=metrics))

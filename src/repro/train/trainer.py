@@ -70,11 +70,13 @@ class Trainer:
     """Runs the KG-embedding training loop for any sampler/model pair."""
 
     #: Phase names reported by the profiler, in hot-loop order.
-    #: ``score_candidates`` nests inside ``cache_update`` (the candidate
-    #: scoring of the cache refresh); the report makes them disjoint.
+    #: ``score_candidates`` and ``parallel_refresh`` nest inside
+    #: ``cache_update`` (candidate scoring of the sequential refresh, and
+    #: dispatch+wait of the pooled refresh); the report makes them
+    #: disjoint.
     PROFILE_PHASES = (
         "sample", "score", "cache_update", "score_candidates",
-        "gradients", "optimizer",
+        "parallel_refresh", "gradients", "optimizer",
     )
 
     def __init__(
@@ -109,6 +111,12 @@ class Trainer:
         if hasattr(self.sampler, "score_timer"):
             self.sampler.score_timer = (
                 self.phase_timers["score_candidates"] if self.profile else None
+            )
+        # Same deal for the pooled-refresh stopwatch: the dispatch+wait of
+        # a parallel cache refresh is reported as its own phase.
+        if hasattr(self.sampler, "parallel_timer"):
+            self.sampler.parallel_timer = (
+                self.phase_timers["parallel_refresh"] if self.profile else None
             )
 
         # Row-indexed samplers resolve the whole split's cache rows once;
@@ -181,7 +189,10 @@ class Trainer:
             return {}
         report = {name: timer.elapsed for name, timer in self.phase_timers.items()}
         report["cache_update"] = max(
-            0.0, report["cache_update"] - report["score_candidates"]
+            0.0,
+            report["cache_update"]
+            - report["score_candidates"]
+            - report["parallel_refresh"],
         )
         return report
 
@@ -195,6 +206,17 @@ class Trainer:
         """
         stats = getattr(self.sampler, "cache_stats", None)
         return stats() if callable(stats) else {}
+
+    def close(self) -> None:
+        """Release sampler-held resources (refresh pool, shared memory).
+
+        Safe to call repeatedly and on samplers without resources; training
+        can not continue on this trainer afterwards unless the sampler is
+        re-bound.
+        """
+        release = getattr(self.sampler, "close", None)
+        if callable(release):
+            release()
 
     # -- main loop -----------------------------------------------------------------
     def run(self, epochs: int | None = None) -> TrainingHistory:

@@ -264,3 +264,63 @@ class TestMultisetOverlapWideIds:
         ids2 = np.array([[2**60, 1, 3], [2**60, 7, 1]])
         assert array_cache.scatter(rows, ids2) == dict_cache.scatter(rows, ids2)
         assert array_cache.changed_elements == dict_cache.changed_elements
+
+
+class TestChangedHintAndExternalStorage:
+    """The scatter `changed=` fast path and worker-style storage views."""
+
+    def test_changed_hint_skips_counting_but_updates_counters(self):
+        index = _index(n_keys=3)
+        cache = ArrayNegativeCache(2, 20, np.random.default_rng(0))
+        cache.attach_index(index)
+        rows = np.array([0, 2])
+        cache.gather(rows)  # materialise (the hint contract)
+        before = cache.initialised_entries
+        got = cache.scatter(rows, np.array([[1, 2], [3, 4]]), changed=3)
+        assert got == 3
+        assert cache.changed_elements == 3
+        assert cache.initialised_entries == before
+        np.testing.assert_array_equal(cache.gather(np.array([0]))[0], [1, 2])
+
+    def test_changed_hint_equivalent_to_counted_scatter(self):
+        """With unique live rows, hint-written state matches counted state."""
+        index = _index(n_keys=4)
+        caches = []
+        for _ in range(2):
+            cache = ArrayNegativeCache(3, 30, np.random.default_rng(7))
+            cache.attach_index(index)
+            cache.gather(np.arange(4))
+            caches.append(cache)
+        counted, hinted = caches
+        rows = np.array([1, 3])
+        ids = np.array([[5, 6, 7], [8, 9, 10]])
+        expected = counted.scatter(rows, ids)
+        hinted.scatter(rows, ids, changed=expected)
+        assert counted.changed_elements == hinted.changed_elements
+        np.testing.assert_array_equal(
+            counted.gather(np.arange(4)), hinted.gather(np.arange(4))
+        )
+
+    def test_attach_storage_views_external_arrays(self):
+        ids = np.zeros((5, 2), dtype=np.int64)
+        live = np.zeros(5, dtype=bool)
+        view = ArrayNegativeCache(2, 20, np.random.default_rng(0))
+        view.attach_storage(None, ids, live)
+        view.scatter(np.array([3]), np.array([[7, 8]]))
+        np.testing.assert_array_equal(ids[3], [7, 8])  # wrote through
+        assert live[3]
+        with pytest.raises(RuntimeError, match="no key index"):
+            view.get((0, 0))
+
+    def test_attach_storage_validates_shapes(self):
+        view = ArrayNegativeCache(2, 20, store_scores=True)
+        ids = np.zeros((5, 2), dtype=np.int64)
+        live = np.zeros(5, dtype=bool)
+        with pytest.raises(ValueError, match="scores"):
+            view.attach_storage(None, ids, live)
+        with pytest.raises(ValueError, match="live"):
+            view.attach_storage(None, ids, np.zeros(4, dtype=bool),
+                                np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="ids"):
+            view.attach_storage(None, np.zeros((5, 3), dtype=np.int64), live,
+                                np.zeros((5, 3)))

@@ -7,10 +7,12 @@ from hypothesis import strategies as st
 
 from repro.core.strategies import (
     SampleStrategy,
+    SurvivorSelection,
     UpdateStrategy,
     duplicate_mask,
     sample_from_cache,
     select_cache_survivors,
+    selection_changed_elements,
 )
 
 
@@ -160,3 +162,111 @@ class TestSelectCacheSurvivors:
         for i in range(3):
             candidates = set(ids[i].tolist())
             assert set(kept[i].tolist()) <= candidates
+
+
+class TestSurvivorSelection:
+    def test_selection_carries_columns_and_ids_agree(self, rng):
+        ids = np.array([[10, 20, 30, 40]])
+        scores = np.array([[0.0, 3.0, 2.0, 1.0]])
+        selection = select_cache_survivors(
+            ids, scores, 2, UpdateStrategy.TOP, rng, return_selection=True
+        )
+        assert isinstance(selection, SurvivorSelection)
+        np.testing.assert_array_equal(
+            selection.ids, ids[0][selection.columns]
+        )
+        assert not selection.filled.any()
+
+    def test_filled_flags_duplicate_fill_rows(self, rng):
+        # Only two distinct values but three survivors needed: a -inf
+        # (duplicate) column must be selected.
+        ids = np.array([[7, 7, 7, 9]])
+        scores = np.zeros((1, 4))
+        selection = select_cache_survivors(
+            ids, scores, 3, UpdateStrategy.TOP, rng, return_selection=True
+        )
+        assert selection.filled[0]
+
+    def test_rng_consumption_matches_plain_call(self):
+        ids = np.arange(12).reshape(2, 6)
+        scores = np.linspace(0, 1, 12).reshape(2, 6)
+        plain_rng = np.random.default_rng(3)
+        selection_rng = np.random.default_rng(3)
+        plain_ids, _ = select_cache_survivors(
+            ids, scores, 3, UpdateStrategy.IMPORTANCE, plain_rng
+        )
+        selection = select_cache_survivors(
+            ids, scores, 3, UpdateStrategy.IMPORTANCE, selection_rng,
+            return_selection=True,
+        )
+        np.testing.assert_array_equal(plain_ids, selection.ids)
+        assert plain_rng.integers(0, 2**31) == selection_rng.integers(0, 2**31)
+
+
+class TestSelectionChangedElements:
+    """The sort-free CE derivation vs the sorted multiset reference."""
+
+    @staticmethod
+    def _reference_ce(union, selection, n_keep):
+        from repro.core.array_cache import multiset_overlap_rows
+
+        prev = union[:, :n_keep]
+        return int(
+            (n_keep - multiset_overlap_rows(selection.ids, prev)).sum()
+        )
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_keep=st.integers(1, 5),
+        n_fresh=st.integers(1, 5),
+        batch=st.integers(1, 8),
+        n_values=st.integers(1, 40),
+        strategy=st.sampled_from(list(UpdateStrategy)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_sorted_reference_or_declines(
+        self, seed, n_keep, n_fresh, batch, n_values, strategy
+    ):
+        """Whenever the column derivation answers, it answers exactly what
+        the sorted multiset walk computes — including small id pools where
+        duplicate-filled rows force it to decline (return None)."""
+        rng = np.random.default_rng(seed)
+        union = rng.integers(0, n_values, size=(batch, n_keep + n_fresh))
+        scores = rng.normal(size=union.shape)
+        unique_rows = np.arange(batch, dtype=np.int64)
+        selection = select_cache_survivors(
+            union, scores, n_keep, strategy, rng, return_selection=True
+        )
+        derived = selection_changed_elements(selection, unique_rows, n_keep)
+        if derived is None:
+            assert selection.filled.any()  # the only decline reason here
+        else:
+            assert derived == self._reference_ce(union, selection, n_keep)
+
+    def test_declines_on_repeated_storage_rows(self, rng):
+        union = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+        scores = np.zeros((2, 4))
+        selection = select_cache_survivors(
+            union, scores, 2, UpdateStrategy.TOP, rng, return_selection=True
+        )
+        repeated = np.array([3, 3], dtype=np.int64)
+        assert selection_changed_elements(selection, repeated, 2) is None
+        assert selection_changed_elements(selection, np.array([3, 4]), 2) == (
+            self._reference_ce(union, selection, 2)
+        )
+
+    def test_all_survivors_from_cache_means_zero_ce(self, rng):
+        union = np.array([[1, 2, 9, 9]])  # fresh side all duplicates-free
+        scores = np.array([[5.0, 4.0, 0.0, 0.0]])
+        selection = select_cache_survivors(
+            union, scores, 2, UpdateStrategy.TOP, rng, return_selection=True
+        )
+        assert selection_changed_elements(selection, np.array([0]), 2) == 0
+
+    def test_all_survivors_fresh_means_full_ce(self, rng):
+        union = np.array([[1, 2, 8, 9]])
+        scores = np.array([[0.0, 0.0, 5.0, 4.0]])
+        selection = select_cache_survivors(
+            union, scores, 2, UpdateStrategy.TOP, rng, return_selection=True
+        )
+        assert selection_changed_elements(selection, np.array([0]), 2) == 2

@@ -1,0 +1,89 @@
+"""ShardPlan: contiguous, covering, near-equal partitions of a row-space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.keyindex import even_ranges
+from repro.parallel.plan import ShardPlan
+
+
+class TestEvenRanges:
+    @given(n_rows=st.integers(0, 500), n_parts=st.integers(1, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_cover_and_balance(self, n_rows, n_parts):
+        bounds = even_ranges(n_rows, n_parts)
+        assert bounds[0] == 0 and bounds[-1] == n_rows
+        sizes = np.diff(bounds)
+        assert (sizes >= 0).all()
+        assert sizes.sum() == n_rows
+        if n_rows:
+            assert sizes.max() - sizes.min() <= 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="n_parts"):
+            even_ranges(10, 0)
+        with pytest.raises(ValueError, match="n_rows"):
+            even_ranges(-1, 2)
+
+
+class TestShardPlan:
+    def test_shard_of_rows_matches_bounds(self):
+        plan = ShardPlan(10, 3)
+        rows = np.arange(10)
+        shards = plan.shard_of_rows(rows)
+        for shard in range(plan.n_shards):
+            start, stop = plan.shard_bounds(shard)
+            np.testing.assert_array_equal(
+                shards[start:stop], np.full(stop - start, shard)
+            )
+
+    def test_rows_out_of_range_rejected(self):
+        plan = ShardPlan(10, 2)
+        with pytest.raises(ValueError, match="rows must lie"):
+            plan.shard_of_rows(np.array([10]))
+        with pytest.raises(ValueError, match="rows must lie"):
+            plan.shard_of_rows(np.array([-1]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlan(10, 0)
+        with pytest.raises(IndexError):
+            ShardPlan(10, 2).shard_bounds(2)
+
+    def test_more_shards_than_rows_leaves_empty_shards(self):
+        plan = ShardPlan(2, 5)
+        assert plan.rows_per_shard().sum() == 2
+        assert (plan.rows_per_shard() <= 1).all()
+
+    @given(
+        n_rows=st.integers(1, 200),
+        n_shards=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+        batch=st.integers(0, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions_batch_positions(self, n_rows, n_shards, seed, batch):
+        plan = ShardPlan(n_rows, n_shards)
+        rows = np.random.default_rng(seed).integers(0, n_rows, size=batch)
+        groups = plan.split(rows)
+        all_positions = (
+            np.concatenate([positions for _, positions in groups])
+            if groups
+            else np.empty(0, dtype=np.int64)
+        )
+        # Every batch position appears exactly once across the groups.
+        assert sorted(all_positions.tolist()) == list(range(batch))
+        for shard, positions in groups:
+            start, stop = plan.shard_bounds(shard)
+            shard_rows = rows[positions]
+            assert ((shard_rows >= start) & (shard_rows < stop)).all()
+            # Batch order is preserved inside each shard slice (repeated
+            # rows keep their write order).
+            assert (np.diff(positions) > 0).all()
+
+    def test_occupancy_counts_rows(self):
+        plan = ShardPlan(6, 2)  # shard 0 owns rows 0-2, shard 1 rows 3-5
+        rows = np.array([0, 1, 1, 5])
+        np.testing.assert_array_equal(plan.occupancy_of(rows), [3, 1])

@@ -1,0 +1,262 @@
+"""RefreshPool: deterministic shard streams, process↔inline parity, errors.
+
+The pool's contract is that the *shard*, not the worker, owns the RNG
+stream: results must be identical across worker counts, across repeated
+seeded runs, and between forked-process execution and the in-process
+fallback.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import UpdateStrategy
+from repro.data.keyindex import KeyIndex
+from repro.models import make_model
+from repro.parallel.pool import RefreshPool, ShardTask
+from repro.parallel.sharded import make_sharded_cache
+
+N_ENTITIES = 25
+N_RELATIONS = 4
+ENTRY = 4
+N_KEYS = 8
+
+FORK_AVAILABLE = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not FORK_AVAILABLE, reason="fork start method unavailable"
+)
+
+
+def _head_index() -> KeyIndex:
+    return KeyIndex(
+        np.arange(N_KEYS, dtype=np.int64) % N_RELATIONS,
+        np.arange(N_KEYS, dtype=np.int64) % N_ENTITIES,
+        N_ENTITIES,
+    )
+
+
+def _make_pool(n_workers, use_processes, n_shards=3, seed=7):
+    model = make_model("DistMult", N_ENTITIES, N_RELATIONS, 6, rng=0)
+    caches = {}
+    for mode in ("head", "tail"):
+        store = make_sharded_cache(
+            ENTRY, N_ENTITIES, np.random.default_rng(5), n_shards=n_shards
+        )
+        store.attach_index(_head_index())
+        caches[mode] = store
+    pool = RefreshPool(
+        model,
+        caches,
+        n_entities=N_ENTITIES,
+        candidate_size=ENTRY,
+        update_strategy=UpdateStrategy.IMPORTANCE,
+        seed=seed,
+        n_workers=n_workers,
+        use_processes=use_processes,
+    )
+    return pool, caches
+
+
+def _tasks(caches, epoch=0, batch=0):
+    rng = np.random.default_rng(3)
+    tasks = []
+    for mode, store in caches.items():
+        rows = rng.integers(0, N_KEYS, size=12)
+        storage_rows = store.storage_rows(rows)
+        anchors = rng.integers(0, N_ENTITIES, size=12)
+        relations = rng.integers(0, N_RELATIONS, size=12)
+        for shard, positions in store.plan.split(storage_rows):
+            tasks.append(
+                ShardTask(
+                    mode=mode,
+                    shard=shard,
+                    epoch=epoch,
+                    batch=batch,
+                    anchors=anchors[positions],
+                    relations=relations[positions],
+                    rows=storage_rows[positions],
+                )
+            )
+    return tasks
+
+
+def _run_rounds(n_workers, use_processes, rounds=3):
+    """Final cache states + counter totals after a few refresh rounds."""
+    pool, caches = _make_pool(n_workers, use_processes)
+    try:
+        with pool:
+            for batch in range(rounds):
+                results = pool.refresh(_tasks(caches, epoch=0, batch=batch))
+                assert all(r.changed >= 0 for r in results)
+        states = {
+            mode: store.gather(np.arange(N_KEYS, dtype=np.int64))
+            for mode, store in caches.items()
+        }
+        counters = {
+            mode: (store.changed_elements, store.initialised_entries)
+            for mode, store in caches.items()
+        }
+        return states, counters
+    finally:
+        for store in caches.values():
+            store.close()
+
+
+class TestDeterminism:
+    def test_inline_runs_are_reproducible(self):
+        first = _run_rounds(2, use_processes=False)
+        second = _run_rounds(2, use_processes=False)
+        for mode in first[0]:
+            np.testing.assert_array_equal(first[0][mode], second[0][mode])
+        assert first[1] == second[1]
+
+    @needs_fork
+    def test_processes_match_inline_fallback(self):
+        inline = _run_rounds(2, use_processes=False)
+        procs = _run_rounds(2, use_processes=True)
+        for mode in inline[0]:
+            np.testing.assert_array_equal(inline[0][mode], procs[0][mode])
+        assert inline[1] == procs[1]
+
+    @needs_fork
+    def test_results_independent_of_worker_count(self):
+        two = _run_rounds(2, use_processes=True)
+        three = _run_rounds(3, use_processes=True)
+        for mode in two[0]:
+            np.testing.assert_array_equal(two[0][mode], three[0][mode])
+        assert two[1] == three[1]
+
+    def test_distinct_task_keys_draw_distinct_streams(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            state = pool._state
+            empty = np.empty(0, np.int64)
+
+            def task(mode, shard, epoch, batch):
+                return ShardTask(mode, shard, epoch, batch, empty, empty, empty)
+
+            draws = {
+                name: int(state.task_rng(t).integers(0, 2**31))
+                for name, t in {
+                    "base": task("head", 0, 0, 0),
+                    "mode": task("tail", 0, 0, 0),
+                    "shard": task("head", 1, 0, 0),
+                    "epoch": task("head", 0, 1, 0),
+                    "batch": task("head", 0, 0, 1),
+                }.items()
+            }
+            assert len(set(draws.values())) == len(draws)
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+
+class TestPoolMechanics:
+    @needs_fork
+    def test_worker_processes_actually_fork(self):
+        pool, caches = _make_pool(2, use_processes=True)
+        try:
+            pool.start()
+            assert pool.using_processes
+            assert len(pool._processes) == 2
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_single_worker_never_forks(self):
+        pool, caches = _make_pool(1, use_processes=True)
+        try:
+            pool.start()
+            assert not pool.using_processes
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_empty_refresh_is_a_noop(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            assert pool.refresh([]) == []
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_worker_failure_surfaces_as_runtime_error(self):
+        pool, caches = _make_pool(2, use_processes=True)
+        try:
+            pool.start()
+            bad = ShardTask(
+                "head", 0, 0, 0,
+                np.array([0]), np.array([0]),
+                np.array([N_KEYS + 100]),  # out-of-range storage row
+            )
+            with pytest.raises(RuntimeError, match="refresh worker failed"):
+                pool.refresh([bad])
+            # The pool keeps serving after a failed task.
+            results = pool.refresh(_tasks(caches))
+            assert results
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_partial_failure_drains_sibling_results(self):
+        """A failed task among successful siblings must not leave stale
+        results queued — the next refresh gets exactly its own answers."""
+        pool, caches = _make_pool(2, use_processes=True)
+        try:
+            pool.start()
+            good_tasks = _tasks(caches)
+            bad = ShardTask(
+                "head", 0, 0, 0,
+                np.array([0]), np.array([0]), np.array([N_KEYS + 100]),
+            )
+            with pytest.raises(RuntimeError, match="refresh worker failed"):
+                pool.refresh(good_tasks + [bad])
+            follow_up = _tasks(caches, batch=1)
+            results = pool.refresh(follow_up)
+            assert len(results) == len(follow_up)
+            # Results belong to the follow-up tasks, not the earlier batch.
+            assert sorted((r.mode, r.shard) for r in results) == sorted(
+                (t.mode, t.shard) for t in follow_up
+            )
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_param_sync_ships_current_embeddings(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            pool.model.params["entity"][:] = 123.0
+            pool.sync_params()
+            worker_view = pool._state.model.params["entity"]
+            assert float(worker_view[0, 0]) == 123.0
+            assert not worker_view.flags.writeable  # read-only snapshot
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_rejects_bad_construction(self):
+        model = make_model("TransE", N_ENTITIES, N_RELATIONS, 4, rng=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            RefreshPool(
+                model, {},
+                n_entities=N_ENTITIES, candidate_size=2,
+                update_strategy="importance", seed=0, n_workers=0,
+            )
+        with pytest.raises(ValueError, match="unknown corruption mode"):
+            RefreshPool(
+                model, {"sideways": None},
+                n_entities=N_ENTITIES, candidate_size=2,
+                update_strategy="importance", seed=0,
+            )

@@ -248,3 +248,118 @@ class TestMemoryBoundedBackends:
             )
         assert excinfo.value.code == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestParallelRefreshCLI:
+    def test_parser_accepts_shards_and_workers(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "sharded-array",
+             "--n-shards", "4", "--refresh-workers", "2"]
+        )
+        assert args.cache_backend == "sharded-array"
+        assert args.n_shards == 4
+        assert args.refresh_workers == 2
+
+    def test_shards_default_to_worker_count(self):
+        from repro.cli import _sampler_kwargs
+
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--sampler", "NSCaching",
+             "--cache-backend", "sharded-array", "--refresh-workers", "3"]
+        )
+        kwargs = _sampler_kwargs(args)
+        assert kwargs["cache_options"] == {"n_shards": 3}
+        assert kwargs["refresh_workers"] == 3
+
+    def test_n_buckets_selects_bucketed_inner_scheme(self):
+        from repro.cli import _sampler_kwargs
+
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "sharded-array",
+             "--n-shards", "2", "--n-buckets", "32"]
+        )
+        kwargs = _sampler_kwargs(args)
+        assert kwargs["cache_options"] == {
+            "n_shards": 2, "n_buckets": 32, "inner": "bucketed-array"
+        }
+
+    def test_train_sharded_backend_end_to_end(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--cache-backend", "sharded-array",
+                "--n-shards", "2",
+                "--refresh-workers", "2",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mrr" in out
+        assert "parallel_refresh" in out
+        assert "head_shard_live_rows" in out
+        assert "refresh_workers" in out
+
+    def test_n_shards_with_plain_backend_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--cache-backend", "array",
+                "--n-shards", "4",
+            ]
+        )
+        assert code == 2
+        assert "does not accept option" in capsys.readouterr().err
+
+    def test_workers_without_sharded_backend_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--refresh-workers", "2",
+            ]
+        )
+        assert code == 2
+        assert "sharded-array" in capsys.readouterr().err
+
+    def test_parallel_flags_with_other_sampler_fail_cleanly(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--sampler", "Bernoulli",
+                "--refresh-workers", "2",
+            ]
+        )
+        assert code == 2
+        assert "only apply to the NSCaching sampler" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ("--n-shards", "--refresh-workers"))
+    def test_non_positive_counts_rejected_at_parse(self, capsys, flag):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["train", "--dataset", "WN18RR", "--model", "TransE",
+                 "--cache-backend", "sharded-array", flag, "0"]
+            )
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
