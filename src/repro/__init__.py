@@ -21,9 +21,13 @@ The package is organised around the paper's stack (see DESIGN.md):
   negative-score CCDF analysis;
 * :mod:`repro.bench` — the experiment registry and reporting harness that
   regenerates every table and figure;
+* :mod:`repro.obs` — observability: a near-zero-overhead metrics registry
+  (counters/gauges/histograms, Prometheus + JSON exposition) and the
+  JSONL run log behind ``--metrics-out`` / ``repro metrics``;
 * :mod:`repro.serve` — online serving: embedding snapshots, a batched
   filtered top-k engine with an LRU query cache, and a JSON HTTP API
-  behind ``repro serve``.
+  (``/predict``, ``/healthz``, ``/stats``, ``/metrics``) behind
+  ``repro serve``.
 
 Quickstart::
 
@@ -97,6 +101,7 @@ from repro.sampling import (
     UniformSampler,
     make_sampler,
 )
+from repro.obs import MetricsRegistry, RunLogWriter, read_run_log
 from repro.parallel import RefreshPool, ShardPlan, ShardedCacheStore
 from repro.serve import (
     EmbeddingSnapshot,
@@ -124,6 +129,7 @@ __all__ = [
     "KGDataset",
     "KGEModel",
     "KeyIndex",
+    "MetricsRegistry",
     "NSCachingSampler",
     "NegativeCache",
     "NegativeSampler",
@@ -132,6 +138,7 @@ __all__ = [
     "RESCAL",
     "RefreshPool",
     "RotatE",
+    "RunLogWriter",
     "SampleStrategy",
     "ShardPlan",
     "ShardedCacheStore",
@@ -163,6 +170,7 @@ __all__ = [
     "make_sampler",
     "per_category_link_prediction",
     "pretrain",
+    "read_run_log",
     "save_model",
     "triplet_classification",
     "warm_start",

@@ -172,6 +172,14 @@ EXPERIMENTS: dict[str, Experiment] = {
              "repro.parallel.pool"),
             "benchmarks/bench_sharded_refresh.py",
         ),
+        Experiment(
+            "X8",
+            "Extension: observability overhead on the update() hot loop",
+            "update() throughput with metrics off / on / on + phase spans, "
+            "interleaved passes; instrumented-on must stay within 3% of off",
+            ("repro.obs.registry", "repro.core.nscaching", "repro.utils.timer"),
+            "benchmarks/bench_obs_overhead.py",
+        ),
     )
 }
 

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the workflow end to end, from data to serving::
+Six subcommands cover the workflow end to end, from data to serving::
 
     python -m repro datasets
     python -m repro train --dataset WN18RR --model TransE --sampler NSCaching \
-        --epochs 40 --out transe.npz
+        --epochs 40 --metrics-out run.jsonl --out transe.npz
     python -m repro evaluate --checkpoint transe.npz --dataset WN18RR --top-k 5
     python -m repro serve --checkpoint transe.npz --dataset WN18RR --port 8080
+    python -m repro metrics run.jsonl
     python -m repro experiments
 
 Dataset names are the paper's (``WN18``, ``WN18RR``, ``FB15K``,
@@ -102,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-phase timing (sample/score/cache-update/"
              "score-candidates/…) after training",
     )
+    train.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="stream a JSONL run log (one record per epoch: loss, phase "
+             "seconds, cache churn/survivor fraction); summarise it later "
+             "with `repro metrics PATH`",
+    )
     train.add_argument("--out", default=None, help="checkpoint path (.npz)")
     train.add_argument(
         "--per-category", action="store_true",
@@ -133,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest k a query may request")
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="LRU query-cache entries (0 disables)")
+
+    metrics = sub.add_parser(
+        "metrics", help="summarise a JSONL run log written by train --metrics-out"
+    )
+    metrics.add_argument("run_log", help="path to the run log (.jsonl)")
+    metrics.add_argument(
+        "--tail", type=_positive_int, default=None, metavar="N",
+        help="only print the last N epoch rows (works on in-flight logs)",
+    )
 
     sub.add_parser("experiments", help="print the paper-artefact index")
     return parser
@@ -233,7 +249,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     try:
         sampler = make_sampler(args.sampler, **_sampler_kwargs(args))
-        trainer = Trainer(model, dataset, sampler, config, profile=args.profile)
+        trainer = Trainer(
+            model, dataset, sampler, config,
+            profile=args.profile, metrics_out=args.metrics_out,
+        )
     except ValueError as exc:
         # e.g. --n-buckets/--n-shards with a backend that does not take
         # them, a value < 1, or --refresh-workers without sharded caches.
@@ -266,6 +285,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 )
     finally:
         trainer.close()  # stop refresh workers, release shared memory
+    if args.metrics_out:
+        print(f"run log written to {args.metrics_out}")
     _print_metrics(evaluate(model, dataset, "test"))
     if args.per_category:
         _print_breakdown(model, dataset, "test")
@@ -366,8 +387,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     print(f"serving {snapshot.describe()} on http://{args.host}:{args.port}")
-    print("routes: POST /predict, GET /healthz, GET /stats  (Ctrl-C stops)")
+    print(
+        "routes: POST /predict, GET /healthz, GET /stats, GET /metrics  "
+        "(Ctrl-C stops)"
+    )
     run_server(server)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.runlog import RunLogError, read_run_log
+    from repro.obs.summary import (
+        EPOCH_COLUMNS,
+        epoch_rows,
+        phase_totals,
+        run_overview,
+    )
+
+    try:
+        records = read_run_log(args.run_log)
+    except OSError as exc:
+        print(f"error: cannot read run log: {exc}", file=sys.stderr)
+        return 2
+    except RunLogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: {args.run_log} holds no records", file=sys.stderr)
+        return 2
+    overview = run_overview(records)
+    print(
+        format_table(
+            ("field", "value"),
+            sorted(overview.items()),
+            title=f"run overview ({args.run_log})",
+        )
+    )
+    rows = epoch_rows(records, tail=args.tail or 0)
+    if rows:
+        title = "per-epoch telemetry"
+        if args.tail:
+            title += f" (last {len(rows)} of {overview['epochs_logged']} epochs)"
+        print(format_table(EPOCH_COLUMNS, rows, title=title))
+    phases = phase_totals(records)
+    if phases:
+        total = sum(phases.values()) or 1.0
+        print(
+            format_table(
+                ("phase", "seconds", "% of hot loop"),
+                [
+                    (name, round(seconds, 4), round(100 * seconds / total, 1))
+                    for name, seconds in sorted(
+                        phases.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+                title="per-phase seconds (summed over epochs)",
+            )
+        )
     return 0
 
 
@@ -382,6 +458,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "experiments":
         print(describe_experiments())
         return 0

@@ -374,6 +374,17 @@ class ArrayNegativeCache:
         """Number of initialised cache rows."""
         return int(self._live.sum()) if self._live is not None else 0
 
+    def live_fraction(self) -> float:
+        """Initialised fraction of the allocated row-space, in [0, 1].
+
+        The array-scheme analogue of the bucketed backend's load factor:
+        how much of the preallocated block has been touched.  0.0 before
+        storage is attached.
+        """
+        if self._live is None or len(self._live) == 0:
+            return 0.0
+        return self.n_entries / len(self._live)
+
     def keys(self) -> list[tuple[int, int]]:
         """Keys of all initialised rows."""
         if self._index is None or self._live is None:

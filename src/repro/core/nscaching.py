@@ -55,6 +55,7 @@ contrasts with IGAN/KBGAN.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from typing import Callable, Mapping, NamedTuple
 
@@ -77,6 +78,7 @@ from repro.data.dataset import KGDataset
 from repro.data.keyindex import TripleKeyIndex
 from repro.data.triples import HEAD, REL, TAIL
 from repro.models.base import CANDIDATE_MODES, KGEModel
+from repro.obs.registry import MetricsRegistry
 from repro.sampling.base import NegativeSampler
 from repro.utils.timer import Timer
 
@@ -85,6 +87,75 @@ __all__ = ["BatchRows", "NSCachingSampler"]
 CacheFactory = Callable[..., CacheStore]
 
 _NULL_CONTEXT = nullcontext()
+
+
+class _RefreshMetrics:
+    """Pre-resolved instrument handles for the sampler's hot paths.
+
+    Built once when a :class:`~repro.obs.registry.MetricsRegistry` is
+    attached, so a refresh pays a handful of attribute adds — never a
+    registry lookup.  All counters carry a ``mode`` label (head/tail
+    cache); the per-shard series add a ``shard`` label and are created
+    lazily per touched shard.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+        def per_mode(name: str, help: str) -> dict[str, object]:
+            return {
+                mode: registry.counter(name, help, labels={"mode": mode})
+                for mode in CANDIDATE_MODES
+            }
+
+        self.batches = per_mode(
+            "cache_refresh_batches_total", "cache refresh calls (Alg. 3 batches)"
+        )
+        self.rows = per_mode(
+            "cache_refresh_rows_total", "cache entries refreshed"
+        )
+        self.candidates = per_mode(
+            "cache_refresh_candidates_total",
+            "candidate entities scored during refreshes (rows * (N1+N2))",
+        )
+        self.changed = per_mode(
+            "cache_changed_elements_total",
+            "cache elements replaced by refreshes (the CE / churn metric)",
+        )
+        self.task_seconds = registry.histogram(
+            "refresh_task_seconds", "per-shard refresh task execution time"
+        )
+        self.last_queue_wait = registry.gauge(
+            "refresh_last_queue_wait_seconds",
+            "max dispatch-to-start latency of the most recent pooled refresh",
+        )
+        self._shards: dict[tuple[str, int], tuple[object, object, object]] = {}
+
+    def shard(self, mode: str, shard: int) -> tuple[object, object, object]:
+        """(seconds, tasks, queue-wait) counters for one (mode, shard)."""
+        key = (mode, shard)
+        handles = self._shards.get(key)
+        if handles is None:
+            labels = {"mode": mode, "shard": shard}
+            handles = (
+                self.registry.counter(
+                    "refresh_task_seconds_total",
+                    "cumulative refresh task seconds per shard",
+                    labels=labels,
+                ),
+                self.registry.counter(
+                    "refresh_tasks_total",
+                    "refresh tasks executed per shard",
+                    labels=labels,
+                ),
+                self.registry.counter(
+                    "refresh_queue_wait_seconds_total",
+                    "cumulative dispatch-to-start wait per shard",
+                    labels=labels,
+                ),
+            )
+            self._shards[key] = handles
+        return handles
 
 
 class BatchRows(NamedTuple):
@@ -228,6 +299,8 @@ class NSCachingSampler(NegativeSampler):
         #: Optional stopwatch for the parallel-refresh dispatch+wait (the
         #: trainer's ``parallel_refresh`` profile phase).
         self.parallel_timer: Timer | None = None
+        self._metrics: MetricsRegistry | None = None
+        self._mh: _RefreshMetrics | None = None  # pre-resolved handles
         self._union: np.ndarray | None = None  # fused-path candidate buffer
         self._pool = None  # RefreshPool, created lazily on first parallel update
         self._pool_seed: int | None = None
@@ -294,6 +367,25 @@ class NSCachingSampler(NegativeSampler):
         """Epoch notification; also restarts the per-epoch batch counter."""
         super().on_epoch_start(epoch)
         self._epoch_batch = 0
+
+    # -- observability --------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The attached metrics registry (``None`` = uninstrumented).
+
+        Attaching a registry resolves all instrument handles once; every
+        refresh then reports batches/rows/candidates/changed-elements per
+        cache side, and the pooled refresh adds per-shard task timings.
+        With no registry attached the hot paths take the exact seed code
+        path — training stays bit-identical (bench X8 pins the
+        instrumented overhead < 3%).
+        """
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: MetricsRegistry | None) -> None:
+        self._metrics = registry
+        self._mh = None if registry is None else _RefreshMetrics(registry)
 
     # -- row resolution -----------------------------------------------------------
     def precompute_rows(self, triples: np.ndarray) -> BatchRows:
@@ -441,9 +533,13 @@ class NSCachingSampler(NegativeSampler):
                 changed = selection_changed_elements(
                     selection, cache.storage_rows(rows), n1
                 )
-                cache.scatter(rows, selection.ids, selection.scores, changed=changed)
+                ce = cache.scatter(
+                    rows, selection.ids, selection.scores, changed=changed
+                )
             else:
-                cache.scatter(rows, selection.ids, selection.scores)
+                ce = cache.scatter(rows, selection.ids, selection.scores)
+            if self._mh is not None:
+                self._observe_refresh(mode, len(batch), ce)
             return
 
         current = cache.gather(rows)  # [B, N1]
@@ -455,7 +551,18 @@ class NSCachingSampler(NegativeSampler):
         new_ids, new_scores = select_cache_survivors(
             union, scores, n1, self.update_strategy, self.rng
         )
-        cache.scatter(rows, new_ids, new_scores if cache.store_scores else None)
+        ce = cache.scatter(rows, new_ids, new_scores if cache.store_scores else None)
+        if self._mh is not None:
+            self._observe_refresh(mode, len(batch), ce)
+
+    def _observe_refresh(self, mode: str, n_rows: int, changed: int) -> None:
+        """Fold one refreshed side into the attached registry's counters."""
+        h = self._mh
+        assert h is not None
+        h.batches[mode].inc()
+        h.rows[mode].inc(n_rows)
+        h.candidates[mode].inc(n_rows * (self.cache_size + self.candidate_size))
+        h.changed[mode].inc(changed)
 
     # -- parallel refresh (repro.parallel) -----------------------------------------
     def _ensure_pool(self):
@@ -522,14 +629,33 @@ class NSCachingSampler(NegativeSampler):
                             anchors=anchors[positions],
                             relations=relations[positions],
                             rows=storage_rows[positions],
+                            enqueued_at=time.monotonic(),
                         )
                     )
             results = pool.refresh(tasks)
+        h = self._mh
+        max_wait = 0.0
         for result in results:
             cache = self.head_cache if result.mode == "head" else self.tail_cache
             assert cache is not None
             cache.changed_elements += result.changed
             cache.initialised_entries += result.initialised
+            if h is not None:
+                h.rows[result.mode].inc(result.n_rows)
+                h.candidates[result.mode].inc(
+                    result.n_rows * (self.cache_size + self.candidate_size)
+                )
+                h.changed[result.mode].inc(result.changed)
+                h.task_seconds.observe(result.seconds)
+                seconds, tasks_done, wait = h.shard(result.mode, result.shard)
+                seconds.inc(result.seconds)
+                tasks_done.inc()
+                wait.inc(result.queue_wait)
+                max_wait = max(max_wait, result.queue_wait)
+        if h is not None:
+            for mode in modes:
+                h.batches[mode].inc()
+            h.last_queue_wait.set(max_wait)
 
     # -- introspection ---------------------------------------------------------------
     def cache_memory_bytes(self) -> int:
@@ -563,7 +689,7 @@ class NSCachingSampler(NegativeSampler):
         if all(callable(fn) for fn in allocated):
             stats["allocated_bytes"] = sum(fn() for fn in allocated)
         for side, cache in sides:
-            for attr in ("load_factor", "n_colliding_keys"):
+            for attr in ("live_fraction", "load_factor", "n_colliding_keys"):
                 fn = getattr(cache, attr, None)
                 if callable(fn):
                     stats[f"{side}_{attr}"] = fn()

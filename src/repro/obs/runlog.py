@@ -1,0 +1,208 @@
+"""JSONL run telemetry: one record per line, one file per training run.
+
+The run log is the durable sibling of the live
+:class:`~repro.obs.registry.MetricsRegistry`: where the registry answers
+"what is happening now" (the serve layer's ``/metrics``), the run log
+answers "what happened over this run" — the raw material of every
+convergence/efficiency figure and of the auto-tuning loops the ROADMAP
+plans.
+
+Schema (``version`` = :data:`RUN_LOG_VERSION`):
+
+* ``run_meta`` — one per run, first line: model/dataset/sampler names and
+  the training configuration;
+* ``epoch`` — one per epoch: loss, NZL, gradient norm, wall seconds,
+  samples/sec, the partitioned per-phase seconds, and a ``cache`` block
+  with churn / survivor fraction / refresh counters (plus
+  ``refresh_shards`` per-shard task timings under the parallel refresh);
+* ``run_end`` — one per run, last line: epoch count, total train seconds
+  and the final registry snapshot.
+
+Every record is validated by :func:`validate_record`;
+:func:`read_run_log` applies it to a whole file, which is what
+``repro metrics`` and the CI obs-smoke job run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+__all__ = [
+    "RUN_LOG_VERSION",
+    "EPOCH_REQUIRED_FIELDS",
+    "RunLogError",
+    "RunLogWriter",
+    "read_run_log",
+    "validate_record",
+]
+
+#: Bump when a record's required shape changes.
+RUN_LOG_VERSION = 1
+
+#: Required numeric fields of an ``epoch`` record (beside type/epoch).
+EPOCH_REQUIRED_FIELDS: tuple[str, ...] = (
+    "loss", "nzl", "grad_norm", "epoch_seconds", "samples_per_sec",
+)
+
+_RECORD_TYPES = ("run_meta", "epoch", "run_end")
+
+
+class RunLogError(ValueError):
+    """A structurally invalid run-log record or file."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RunLogError(message)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(record: object) -> dict[str, Any]:
+    """Check one parsed record against the schema; returns it on success.
+
+    Raises :class:`RunLogError` (a ``ValueError``) naming the violation —
+    the CLI maps that to exit code 2.
+    """
+    _require(isinstance(record, dict), f"record must be an object, got {type(record).__name__}")
+    assert isinstance(record, dict)
+    kind = record.get("type")
+    _require(
+        kind in _RECORD_TYPES,
+        f"record type must be one of {_RECORD_TYPES}, got {kind!r}",
+    )
+    _require(
+        record.get("version") == RUN_LOG_VERSION,
+        f"record version must be {RUN_LOG_VERSION}, got {record.get('version')!r}",
+    )
+    if kind == "run_meta":
+        for field in ("model", "dataset", "sampler"):
+            _require(
+                isinstance(record.get(field), str),
+                f"run_meta.{field} must be a string, got {record.get(field)!r}",
+            )
+        _require(
+            isinstance(record.get("config"), dict),
+            "run_meta.config must be an object",
+        )
+    elif kind == "epoch":
+        epoch = record.get("epoch")
+        _require(
+            isinstance(epoch, int) and not isinstance(epoch, bool) and epoch >= 0,
+            f"epoch must be a non-negative integer, got {epoch!r}",
+        )
+        for field in EPOCH_REQUIRED_FIELDS:
+            _require(
+                _is_number(record.get(field)),
+                f"epoch.{field} must be a number, got {record.get(field)!r}",
+            )
+        for field in ("phase_seconds", "cache", "refresh_shards", "extra"):
+            if field in record:
+                _require(
+                    isinstance(record[field], dict),
+                    f"epoch.{field} must be an object when present",
+                )
+        if "cache" in record:
+            for field in ("churn", "refreshed_rows"):
+                _require(
+                    _is_number(record["cache"].get(field)),
+                    f"epoch.cache.{field} must be a number",
+                )
+    else:  # run_end
+        _require(
+            _is_number(record.get("epochs")),
+            "run_end.epochs must be a number",
+        )
+        _require(
+            _is_number(record.get("train_seconds")),
+            "run_end.train_seconds must be a number",
+        )
+    return record
+
+
+class RunLogWriter:
+    """Append-only JSONL writer, flushed per record so tails read live.
+
+    The file is truncated on the first write (a writer is one run);
+    :meth:`close` is idempotent and a closed writer silently drops
+    further records — so trainer teardown paths need no ordering care.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = None
+        self._opened = False
+        self._closed = False
+        self.records_written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Validate and append one record."""
+        if self._closed:
+            return
+        validate_record(record)
+        if not self._opened:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._opened = True
+        assert self._file is not None
+        json.dump(record, self._file, separators=(",", ":"), sort_keys=True)
+        self._file.write("\n")
+        self._file.flush()
+        self.records_written += 1
+
+    def stamp(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Add the schema version and a unix timestamp to a record."""
+        record.setdefault("version", RUN_LOG_VERSION)
+        record.setdefault("unix_time", time.time())
+        return record
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        self._closed = True
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RunLogWriter({str(self.path)!r}, records={self.records_written}, {state})"
+
+
+def read_run_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse and validate a whole run log; raises :class:`RunLogError`.
+
+    Blank lines are tolerated (a crashed writer may leave one); anything
+    else that fails to parse or validate fails the file with its line
+    number.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RunLogError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+            try:
+                records.append(validate_record(record))
+            except RunLogError as exc:
+                raise RunLogError(f"{path}:{lineno}: {exc}") from None
+    return records
+
+
+def epoch_records(records: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The ``epoch`` records of a parsed run log, in order."""
+    return [r for r in records if r.get("type") == "epoch"]

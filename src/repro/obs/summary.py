@@ -1,0 +1,88 @@
+"""Run-log summarisation for the ``repro metrics`` CLI.
+
+Turns a parsed run log (:func:`repro.obs.runlog.read_run_log`) into the
+per-epoch rows and run-level totals the CLI prints — the quick "did the
+cache stay healthy, where did the time go" read on any finished or
+in-flight run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.runlog import epoch_records
+
+__all__ = ["EPOCH_COLUMNS", "run_overview", "epoch_rows", "phase_totals"]
+
+#: Header of the per-epoch table, in print order.
+EPOCH_COLUMNS: tuple[str, ...] = (
+    "epoch", "loss", "nzl", "grad_norm", "seconds", "samples/s",
+    "churn", "survivors",
+)
+
+
+def _fmt_ratio(value: object) -> object:
+    return round(float(value), 4) if isinstance(value, (int, float)) else "--"
+
+
+def run_overview(records: Sequence[dict[str, Any]]) -> dict[str, object]:
+    """Run-level facts: meta fields, epoch count, totals.
+
+    Tolerates partial logs (a live ``tail`` has no ``run_end`` yet): every
+    field falls back to what the present records imply.
+    """
+    meta = next((r for r in records if r.get("type") == "run_meta"), None)
+    end = next((r for r in records if r.get("type") == "run_end"), None)
+    epochs = epoch_records(records)
+    overview: dict[str, object] = {
+        "epochs_logged": len(epochs),
+        "total_seconds": round(
+            sum(float(r["epoch_seconds"]) for r in epochs), 3
+        ),
+        "total_churn": int(
+            sum(float(r.get("cache", {}).get("churn", 0)) for r in epochs)
+        ),
+    }
+    if meta is not None:
+        for field in ("model", "dataset", "sampler"):
+            overview[field] = meta[field]
+    if end is not None:
+        overview["train_seconds"] = round(float(end["train_seconds"]), 3)
+        overview["complete"] = True
+    else:
+        overview["complete"] = False
+    return overview
+
+
+def epoch_rows(
+    records: Sequence[dict[str, Any]], tail: int = 0
+) -> list[tuple[object, ...]]:
+    """Table rows matching :data:`EPOCH_COLUMNS` (last ``tail`` if > 0)."""
+    epochs = epoch_records(records)
+    if tail > 0:
+        epochs = epochs[-tail:]
+    rows: list[tuple[object, ...]] = []
+    for record in epochs:
+        cache = record.get("cache", {})
+        rows.append(
+            (
+                record["epoch"],
+                round(float(record["loss"]), 5),
+                round(float(record["nzl"]), 4),
+                round(float(record["grad_norm"]), 5),
+                round(float(record["epoch_seconds"]), 3),
+                round(float(record["samples_per_sec"])),
+                int(cache["churn"]) if "churn" in cache else "--",
+                _fmt_ratio(cache.get("survivor_fraction")),
+            )
+        )
+    return rows
+
+
+def phase_totals(records: Sequence[dict[str, Any]]) -> dict[str, float]:
+    """Summed per-phase seconds across every epoch record that has them."""
+    totals: dict[str, float] = {}
+    for record in epoch_records(records):
+        for phase, seconds in record.get("phase_seconds", {}).items():
+            totals[phase] = totals.get(phase, 0.0) + float(seconds)
+    return {phase: round(seconds, 4) for phase, seconds in totals.items()}

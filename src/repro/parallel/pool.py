@@ -28,7 +28,9 @@ bit-identical to the plain ``array`` backend.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_module
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,16 +67,32 @@ class ShardTask:
     anchors: np.ndarray
     relations: np.ndarray
     rows: np.ndarray  # storage rows, all inside the shard's range
+    #: ``time.monotonic()`` at dispatch (0.0 = not stamped).  On Linux the
+    #: monotonic clock is system-wide, so a forked worker can subtract it
+    #: from its own reading to measure queue wait.
+    enqueued_at: float = 0.0
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """Counter deltas a completed task reports back to the parent."""
+    """Counter deltas and timings a completed task reports back.
+
+    ``seconds`` is the task's execution wall time inside the worker;
+    ``queue_wait`` the dispatch→start latency (0.0 when the task was not
+    stamped); ``worker_pid`` identifies which process ran it (the parent
+    pid under the inline fallback).  The sampler folds these into its
+    metrics registry, giving the per-shard refresh timings of the run
+    log and ``/metrics``.
+    """
 
     mode: str
     shard: int
     changed: int
     initialised: int
+    n_rows: int = 0
+    seconds: float = 0.0
+    queue_wait: float = 0.0
+    worker_pid: int = 0
 
 
 @dataclass(frozen=True)
@@ -129,6 +147,12 @@ class _WorkerState:
 
     def run(self, task: ShardTask) -> ShardResult:
         """Fused Alg. 3 refresh of one shard slice, against shared storage."""
+        queue_wait = (
+            max(0.0, time.monotonic() - task.enqueued_at)
+            if task.enqueued_at > 0.0
+            else 0.0
+        )
+        started = time.perf_counter()
         side = self.sides[task.mode]
         cache = side.view
         cache.rng = self.task_rng(task)
@@ -155,6 +179,10 @@ class _WorkerState:
             task.shard,
             cache.changed_elements - before_changed,
             cache.initialised_entries - before_init,
+            n_rows=len(task.rows),
+            seconds=time.perf_counter() - started,
+            queue_wait=queue_wait,
+            worker_pid=os.getpid(),
         )
 
 

@@ -148,6 +148,18 @@ class ShardedCacheStore:
         assert self._live is not None
         return plan.occupancy_of(np.flatnonzero(self._live))
 
+    def shard_load_factors(self) -> np.ndarray:
+        """Live-row fraction per shard; shape ``[n_shards]``, in [0, 1].
+
+        The numeric per-shard occupancy the obs layer records per epoch
+        (the CLI's ``cache_stats`` strings are for humans); a skewed
+        vector here means the shard plan is load-imbalanced for this key
+        distribution.
+        """
+        plan = self._require_plan()
+        sizes = plan.rows_per_shard().astype(np.float64)
+        return self.shard_occupancy() / np.maximum(sizes, 1.0)
+
     def shard_key_ownership(self) -> np.ndarray:
         """Distinct cache keys whose storage row each shard owns.
 

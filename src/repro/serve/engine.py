@@ -18,6 +18,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.data.dataset import KGDataset
+from repro.obs.registry import MetricsRegistry
 from repro.serve.cache import QueryCache
 from repro.serve.snapshot import EmbeddingSnapshot
 from repro.serve.topk import TopKResult, TopKScorer
@@ -46,6 +47,13 @@ class PredictionEngine:
         LRU entries to keep; ``0`` disables the query cache.
     chunk:
         Scoring chunk size passed to :class:`TopKScorer`.
+    metrics:
+        The registry backing ``/metrics``; the engine creates its own by
+        default.  Internal counters stay plain ints under the engine's
+        lock — they are mirrored into the registry at export time
+        (:meth:`sync_metrics`); only the predict-latency histogram is
+        observed per request (it takes its own lock, so the threading
+        server is safe).
     """
 
     def __init__(
@@ -57,6 +65,7 @@ class PredictionEngine:
         max_k: int = 1000,
         cache_capacity: int = 1024,
         chunk: int = 64,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if top_k <= 0:
             raise ValueError(f"top_k must be > 0, got {top_k}")
@@ -83,6 +92,15 @@ class PredictionEngine:
         self.queries_served = 0
         #: Vectorised scorer calls issued for cache misses.
         self.scoring_batches = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._predict_seconds = self.metrics.histogram(
+            "serve_predict_seconds", "wall time of one predict() batch"
+        )
+        self._batch_queries = self.metrics.histogram(
+            "serve_batch_queries",
+            "queries per predict() batch",
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
 
     @classmethod
     def from_checkpoint(
@@ -103,6 +121,7 @@ class PredictionEngine:
         ``filtered`` override the engine defaults.  Raises ``ValueError``
         on a malformed query (the HTTP layer maps that to a 400).
         """
+        started = time.perf_counter()
         parsed = [self._parse(q) for q in queries]
         answers: list[dict[str, Any] | None] = [None] * len(parsed)
 
@@ -153,6 +172,8 @@ class PredictionEngine:
 
         with self._lock:
             self.queries_served += len(parsed)
+        self._predict_seconds.observe(time.perf_counter() - started)
+        self._batch_queries.observe(float(len(parsed)))
         return [a for a in answers if a is not None]
 
     def predict_one(self, **query: Any) -> dict[str, Any]:
@@ -160,6 +181,19 @@ class PredictionEngine:
         return self.predict([query])[0]
 
     # -- introspection ------------------------------------------------------
+    def cache_stats(self) -> dict[str, float | int]:
+        """The query-cache counters; all-zero when the cache is disabled.
+
+        Always a dict with the same keys, so ``/stats`` and ``/healthz``
+        consumers never branch on the cache being configured.
+        """
+        if self.cache is not None:
+            return self.cache.stats()
+        return {
+            "capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+            "evictions": 0, "hit_rate": 0.0,
+        }
+
     def stats(self) -> dict[str, Any]:
         """A JSON-safe operational snapshot for ``/stats``."""
         return {
@@ -169,8 +203,53 @@ class PredictionEngine:
             "default_top_k": self.top_k,
             "dataset": self.dataset.name if self.dataset is not None else None,
             "snapshot": self.snapshot.describe(),
-            "cache": self.cache.stats() if self.cache is not None else None,
+            "cache": self.cache_stats(),
         }
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` body: liveness plus the load-bearing counters.
+
+        Shares the snapshot metadata and cache eviction counter with
+        ``/stats`` so probes and dashboards read one consistent story.
+        """
+        cache = self.cache_stats()
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_at,
+            "queries_served": self.queries_served,
+            "snapshot": self.snapshot.describe(),
+            "cache_evictions": cache["evictions"],
+            "cache_entries": cache["entries"],
+        }
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Mirror the engine's counters into the registry and return it.
+
+        Called by the ``/metrics`` route per scrape.  The engine's plain
+        int counters (guarded by its own lock) stay the source of truth;
+        ``set_total`` keeps the exported series cumulative.
+        """
+        registry = self.metrics
+        with self._lock:
+            queries, batches = self.queries_served, self.scoring_batches
+        registry.counter(
+            "serve_queries_total", "queries answered (cache hits included)"
+        ).set_total(queries)
+        registry.counter(
+            "serve_scoring_batches_total", "vectorised scorer calls"
+        ).set_total(batches)
+        registry.gauge(
+            "serve_uptime_seconds", "seconds since the engine started"
+        ).set(time.time() - self._started_at)
+        cache = self.cache_stats()
+        for name in ("hits", "misses", "evictions"):
+            registry.counter(
+                f"serve_cache_{name}_total", f"query-cache {name}"
+            ).set_total(float(cache[name]))
+        registry.gauge(
+            "serve_cache_entries", "query-cache entries currently held"
+        ).set(float(cache["entries"]))
+        return registry
 
     # -- internals ----------------------------------------------------------
     def _parse(

@@ -6,8 +6,13 @@ scoring.  Routes:
 
 * ``POST /predict`` — body ``{"queries": [...]}`` (or a single query
   object); answers ``{"results": [...]}``;
-* ``GET /healthz`` — liveness probe with the snapshot summary;
-* ``GET /stats`` — engine/cache counters.
+* ``GET /healthz`` — liveness probe with uptime, the snapshot summary
+  and the cache eviction/entry counters;
+* ``GET /stats`` — engine/cache counters (the cache block is always
+  present, zeroed when the cache is disabled);
+* ``GET /metrics`` — the engine's registry in Prometheus text exposition
+  format (version 0.0.4); ``/metrics?format=json`` returns the same
+  instruments as JSON.
 
 Malformed JSON or queries answer 400 with ``{"error": ...}``; unknown
 routes answer 404.
@@ -18,10 +23,14 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.engine import PredictionEngine
 
 __all__ = ["make_server", "run_server", "serve_forever"]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Largest accepted request body; a batch of queries is tiny, so anything
 #: bigger is a mistake or abuse.
@@ -41,10 +50,18 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
         # -- routing --------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             self._body_read = False
-            if self.path == "/healthz":
-                self._reply(200, {"status": "ok", "snapshot": engine.snapshot.describe()})
-            elif self.path == "/stats":
+            url = urlsplit(self.path)
+            if url.path == "/healthz":
+                self._reply(200, engine.health())
+            elif url.path == "/stats":
                 self._reply(200, engine.stats())
+            elif url.path == "/metrics":
+                registry = engine.sync_metrics()
+                formats = parse_qs(url.query).get("format", [])
+                if formats and formats[-1] == "json":
+                    self._reply(200, registry.as_json())
+                else:
+                    self._reply_text(200, registry.to_prometheus())
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -94,9 +111,14 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
             raise ValueError("body must be a query object or {'queries': [...]}")
 
         def _reply(self, status: int, body: dict[str, Any]) -> None:
-            data = json.dumps(body).encode("utf-8")
+            self._send(status, json.dumps(body).encode("utf-8"), "application/json")
+
+        def _reply_text(self, status: int, body: str) -> None:
+            self._send(status, body.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+
+        def _send(self, status: int, data: bytes, content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             # Replying with the request body still unread would leave its
             # bytes on a keep-alive socket, where they would be parsed as

@@ -1,25 +1,42 @@
-"""Trainer callbacks: evaluation traces, gradient norms, early stopping.
+"""Trainer callbacks: evaluation traces, early stopping, run telemetry.
 
 Callbacks receive the trainer after every epoch and record whatever the
 experiment needs — the convergence curves of Figures 2-5 (metric vs wall
 time), the gradient norms of Figure 10, and validation-based early
 stopping.  Evaluation time is excluded from the reported clock (the paper
 plots *training* time).
+
+:class:`RunLogCallback` is the trainer's JSONL exporter: it streams one
+:mod:`repro.obs.runlog` record per epoch (loss/NZL/grad norm/throughput,
+the disjoint phase seconds, and — via registry snapshot deltas — the
+cache-health block: churn, survivor fraction, refresh counters and
+per-shard task timings).  The trainer appends it automatically when
+constructed with ``metrics_out=...``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.stats import EpochSeries
 from repro.eval.protocol import evaluate
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import RunLogWriter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.train.trainer import Trainer
 
-__all__ = ["Callback", "EvalCallback", "EarlyStopping", "CacheSnapshotCallback"]
+__all__ = [
+    "Callback",
+    "EvalCallback",
+    "EarlyStopping",
+    "CacheSnapshotCallback",
+    "RunLogCallback",
+]
 
 
 class Callback:
@@ -125,6 +142,156 @@ class EarlyStopping(Callback):
             self.stale += 1
             if self.stale >= self.patience:
                 trainer.request_stop()
+
+
+#: Per-(mode, shard) counters folded into an epoch's ``refresh_shards``.
+_SHARD_SERIES = {
+    "refresh_task_seconds_total": "seconds",
+    "refresh_tasks_total": "tasks",
+    "refresh_queue_wait_seconds_total": "queue_wait_seconds",
+}
+
+
+class RunLogCallback(Callback):
+    """Stream one run-log record per epoch to a JSONL file.
+
+    Epoch records combine three sources: the trainer's aggregate stats
+    (loss, NZL, gradient norm, wall seconds), the phase stopwatches
+    (reported as per-epoch deltas of the disjoint partition), and — when
+    a registry is attached — deltas of the sampler's refresh counters
+    (churn, refreshed rows, scored candidates, per-shard task timings).
+    The survivor fraction is derived per the cache semantics:
+    ``1 - churn / (refreshed_rows * N1)``.
+    """
+
+    def __init__(
+        self, writer: RunLogWriter, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.writer = writer
+        self.registry = registry
+        self._counters: dict[Any, float] = {}
+        self._phases: dict[str, float] = {}
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        config = json.loads(json.dumps(asdict(trainer.config), default=str))
+        self.writer.write(
+            self.writer.stamp(
+                {
+                    "type": "run_meta",
+                    "model": type(trainer.model).__name__,
+                    "dataset": str(getattr(trainer.dataset, "name", "unknown")),
+                    "sampler": str(
+                        getattr(trainer.sampler, "name", None)
+                        or type(trainer.sampler).__name__
+                    ),
+                    "config": config,
+                    "n_train": len(trainer.dataset.train),
+                }
+            )
+        )
+        self._counters = (
+            self.registry.snapshot() if self.registry is not None else {}
+        )
+        self._phases = trainer.phase_seconds()
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: dict) -> None:
+        phases = trainer.phase_seconds()
+        phase_delta = {
+            name: round(max(0.0, seconds - self._phases.get(name, 0.0)), 6)
+            for name, seconds in phases.items()
+        }
+        self._phases = phases
+        epoch_seconds = float(stats.get("epoch_seconds", 0.0))
+        n_train = len(trainer.dataset.train)
+        record: dict[str, Any] = {
+            "type": "epoch",
+            "epoch": int(epoch),
+            "loss": float(stats.get("loss", 0.0)),
+            "nzl": float(stats.get("nzl", 0.0)),
+            "grad_norm": float(stats.get("grad_norm", 0.0)),
+            "epoch_seconds": epoch_seconds,
+            "samples_per_sec": (
+                n_train / epoch_seconds if epoch_seconds > 0.0 else 0.0
+            ),
+            "phase_seconds": {k: v for k, v in phase_delta.items() if v > 0.0},
+        }
+        if "repeat_ratio" in stats:
+            record["extra"] = {"repeat_ratio": float(stats["repeat_ratio"])}
+        cache, shards = self._cache_delta(trainer)
+        if cache is not None:
+            record["cache"] = cache
+        if shards:
+            record["refresh_shards"] = shards
+        self.writer.write(self.writer.stamp(record))
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        self.writer.write(
+            self.writer.stamp(
+                {
+                    "type": "run_end",
+                    "epochs": int(trainer.epochs_run),
+                    "train_seconds": float(trainer.train_seconds),
+                    "phase_seconds": {
+                        k: round(v, 6) for k, v in trainer.phase_seconds().items()
+                    },
+                }
+            )
+        )
+        self.writer.close()
+
+    # -- registry deltas -------------------------------------------------------
+    def _cache_delta(
+        self, trainer: "Trainer"
+    ) -> tuple[dict[str, Any] | None, dict[str, Any]]:
+        """Cache-health block + per-shard timings since the last epoch.
+
+        ``(None, {})`` when no refresh counters exist in the registry —
+        cache-less samplers and uninstrumented runs log no cache block.
+        A zero-delta block is still logged (a lazily skipped epoch is a
+        data point, not a gap).
+        """
+        if self.registry is None:
+            return None, {}
+        snapshot = self.registry.snapshot()
+        previous, self._counters = self._counters, snapshot
+        sums: dict[str, float] = {}
+        shards: dict[str, dict[str, Any]] = {}
+        for (name, labels), value in snapshot.items():
+            delta = value - previous.get((name, labels), 0.0)
+            if name in _SHARD_SERIES:
+                pairs = dict(labels)
+                key = f"{pairs.get('mode', '?')}:{pairs.get('shard', '?')}"
+                field = _SHARD_SERIES[name]
+                entry = shards.setdefault(key, {})
+                entry[field] = (
+                    int(delta) if field == "tasks" else round(delta, 6)
+                )
+            else:
+                sums[name] = sums.get(name, 0.0) + delta
+        if not any(
+            name == "cache_refresh_batches_total" for name, _labels in snapshot
+        ):
+            return None, shards
+        refreshed = sums.get("cache_refresh_rows_total", 0.0)
+        churn = sums.get("cache_changed_elements_total", 0.0)
+        cache: dict[str, Any] = {
+            "churn": churn,
+            "refreshed_rows": refreshed,
+            "candidates": sums.get("cache_refresh_candidates_total", 0.0),
+            "refresh_batches": sums.get("cache_refresh_batches_total", 0.0),
+        }
+        n1 = int(getattr(trainer.sampler, "cache_size", 0) or 0)
+        if refreshed > 0.0 and n1 > 0:
+            cache["survivor_fraction"] = round(
+                1.0 - churn / (refreshed * n1), 6
+            )
+        report = trainer.cache_report()
+        for side in ("head", "tail"):
+            for suffix in ("live_fraction", "load_factor"):
+                value = report.get(f"{side}_{suffix}")
+                if isinstance(value, (int, float)):
+                    cache[f"{side}_{suffix}"] = round(float(value), 6)
+        return cache, shards
 
 
 class CacheSnapshotCallback(Callback):

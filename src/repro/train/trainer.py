@@ -17,6 +17,17 @@ union: it runs *inside* the sampler's ``update()`` (the trainer attaches a
 stopwatch to samplers that expose a ``score_timer`` slot), and the report
 subtracts it from ``cache_update`` so the phases partition the hot loop
 and sum to its wall time.
+
+Observability: pass ``metrics`` (a
+:class:`~repro.obs.registry.MetricsRegistry`) and/or ``metrics_out`` (a
+JSONL run-log path) to instrument the run.  Either one turns the phase
+stopwatches into obs spans (the same timers ``--profile`` uses), attaches
+the registry to samplers that accept one (per-refresh cache-health
+counters), mirrors per-epoch loss/NZL/grad-norm/throughput and cumulative
+phase seconds into the registry, and — with ``metrics_out`` — streams one
+:mod:`repro.obs.runlog` record per epoch for ``repro metrics`` to
+summarise.  With neither, every instrumentation site is a ``None`` check:
+training is bit-identical to the uninstrumented loop under a fixed seed.
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ from repro.models.base import KGEModel
 from repro.models.losses import LogisticLoss, Loss, MarginRankingLoss
 from repro.models.params import GradientBag
 from repro.models.regularizers import L2Regularizer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import RunLogWriter
 from repro.optim import make_optimizer
 from repro.sampling.base import NegativeSampler
 from repro.train.config import TrainConfig
@@ -88,6 +101,8 @@ class Trainer:
         callbacks: Sequence[object] = (),
         *,
         profile: bool = False,
+        metrics: MetricsRegistry | None = None,
+        metrics_out: str | None = None,
     ) -> None:
         self.model = model
         self.dataset = dataset
@@ -95,29 +110,46 @@ class Trainer:
         self.config = config or TrainConfig()
         self.callbacks = list(callbacks)
         self.profile = bool(profile)
+        if metrics is None and metrics_out is not None:
+            metrics = MetricsRegistry()  # the run log needs instruments
+        self.metrics = metrics
+        # Phase stopwatches double as obs spans: they run under --profile
+        # *or* whenever a registry is attached.  With neither, _phase()
+        # hands back a no-op context — the seed hot loop, bit for bit.
+        self._timed = self.profile or metrics is not None
         self.phase_timers: dict[str, Timer] = {
             name: Timer() for name in self.PROFILE_PHASES
         }
+        self._run_log: RunLogWriter | None = None
+        if metrics_out is not None:
+            from repro.train.callbacks import RunLogCallback
+
+            self._run_log = RunLogWriter(metrics_out)
+            self.callbacks.append(RunLogCallback(self._run_log, metrics))
 
         rng_batches, rng_sampler = spawn_rngs(self.config.seed, 2)
         self._rng = rng_batches
         self.sampler.bind(model, dataset, rng_sampler)
 
         # Samplers that score a candidate union inside update() expose a
-        # ``score_timer`` slot; under --profile the trainer plugs its own
+        # ``score_timer`` slot; when timing, the trainer plugs its own
         # phase stopwatch in so that cost is reported as its own phase.
         # Assigned unconditionally so a sampler handed to a new trainer
         # stops feeding a previous trainer's timer.
         if hasattr(self.sampler, "score_timer"):
             self.sampler.score_timer = (
-                self.phase_timers["score_candidates"] if self.profile else None
+                self.phase_timers["score_candidates"] if self._timed else None
             )
         # Same deal for the pooled-refresh stopwatch: the dispatch+wait of
         # a parallel cache refresh is reported as its own phase.
         if hasattr(self.sampler, "parallel_timer"):
             self.sampler.parallel_timer = (
-                self.phase_timers["parallel_refresh"] if self.profile else None
+                self.phase_timers["parallel_refresh"] if self._timed else None
             )
+        # Samplers with a ``metrics`` slot report cache health (refresh
+        # rows, churn, per-shard task timings) into the shared registry.
+        if hasattr(self.sampler, "metrics"):
+            self.sampler.metrics = metrics
 
         # Row-indexed samplers resolve the whole split's cache rows once;
         # batches then carry integer slices instead of re-deriving keys.
@@ -172,21 +204,20 @@ class Trainer:
         """Ask the training loop to stop after the current epoch."""
         self._stop = True
 
-    # -- profiling ------------------------------------------------------------
+    # -- profiling / observability ---------------------------------------------
     def _phase(self, name: str) -> ContextManager[object]:
-        """The phase's timer when profiling, else a free no-op."""
-        return self.phase_timers[name] if self.profile else nullcontext()
+        """The phase's timer when profiling or instrumented, else a no-op."""
+        return self.phase_timers[name] if self._timed else nullcontext()
 
-    def profile_report(self) -> dict[str, float]:
-        """Accumulated seconds per hot-loop phase (empty unless profiling).
+    def phase_seconds(self) -> dict[str, float]:
+        """Accumulated seconds per hot-loop phase, made disjoint.
 
-        Phases are disjoint: ``score_candidates`` runs nested inside the
-        sampler's ``update()``, so its time is carved out of
-        ``cache_update`` here and the report sums to the hot-loop wall
-        time.
+        ``score_candidates`` and ``parallel_refresh`` run nested inside
+        the sampler's ``update()``, so their time is carved out of
+        ``cache_update`` here — the phases partition the hot loop and sum
+        to its wall time.  All zeros when neither ``--profile`` nor a
+        metrics registry enabled the stopwatches.
         """
-        if not self.profile:
-            return {}
         report = {name: timer.elapsed for name, timer in self.phase_timers.items()}
         report["cache_update"] = max(
             0.0,
@@ -195,6 +226,47 @@ class Trainer:
             - report["parallel_refresh"],
         )
         return report
+
+    def profile_report(self) -> dict[str, float]:
+        """The disjoint phase breakdown (empty unless ``profile=True``)."""
+        if not self.profile:
+            return {}
+        return self.phase_seconds()
+
+    def _sync_metrics(self, stats: dict[str, float]) -> None:
+        """Mirror one epoch's aggregates into the attached registry.
+
+        Runs once per epoch (never per batch), before the callbacks fire,
+        so exporters observe a consistent post-epoch view.  Cumulative
+        phase seconds are mirrored with ``set_total`` — the stopwatches
+        stay the single source of truth.
+        """
+        registry = self.metrics
+        assert registry is not None
+        registry.counter("train_epochs_total", "training epochs completed").inc()
+        registry.counter(
+            "train_samples_total", "positive triples consumed"
+        ).inc(len(self.dataset.train))
+        registry.gauge("train_loss", "mean loss of the last epoch").set(
+            stats["loss"]
+        )
+        registry.gauge("train_nzl", "non-zero-loss ratio (paper NZL)").set(
+            stats["nzl"]
+        )
+        registry.gauge("train_grad_norm", "mean gradient l2 norm").set(
+            stats["grad_norm"]
+        )
+        epoch_seconds = stats.get("epoch_seconds", 0.0)
+        if epoch_seconds > 0.0:
+            registry.gauge(
+                "train_samples_per_sec", "training throughput of the last epoch"
+            ).set(len(self.dataset.train) / epoch_seconds)
+        for phase, seconds in self.phase_seconds().items():
+            registry.counter(
+                "train_phase_seconds_total",
+                "cumulative hot-loop seconds per phase (disjoint)",
+                labels={"phase": phase},
+            ).set_total(seconds)
 
     def cache_report(self) -> dict[str, object]:
         """The sampler's cache introspection (empty for cache-less samplers).
@@ -212,8 +284,11 @@ class Trainer:
 
         Safe to call repeatedly and on samplers without resources; training
         can not continue on this trainer afterwards unless the sampler is
-        re-bound.
+        re-bound.  Also closes the run-log writer, so an aborted run's
+        JSONL ends cleanly at the last complete record (no ``run_end``).
         """
+        if self._run_log is not None:
+            self._run_log.close()
         release = getattr(self.sampler, "close", None)
         if callable(release):
             release()
@@ -229,6 +304,8 @@ class Trainer:
         for epoch in range(self.epochs_run, self.epochs_run + n_epochs):
             stats = self.train_epoch(epoch)
             self.history.record(epoch, stats)
+            if self.metrics is not None:
+                self._sync_metrics(stats)
             for callback in self.callbacks:
                 callback.on_epoch_end(self, epoch, stats)
             if self._stop:

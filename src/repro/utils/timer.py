@@ -10,6 +10,19 @@ __all__ = ["Timer"]
 class Timer:
     """A resumable wall-clock stopwatch.
 
+    Two properties make this safe for *sampling-based* readers — code
+    that reads a shared stopwatch mid-run (the trainer's run-log
+    exporter, the obs phase spans):
+
+    * :attr:`elapsed` always includes the in-flight interval while the
+      stopwatch is running, so a mid-run read is never stale;
+    * reading never perturbs the accumulated state — ``stop()`` later
+      returns exactly what it would have without the read.
+
+    :attr:`intervals` counts completed start/stop cycles, which turns any
+    span timer into a (total seconds, calls) pair — mean seconds per
+    timed region for free.
+
     Example
     -------
     >>> timer = Timer()
@@ -17,11 +30,15 @@ class Timer:
     ...     pass  # timed region
     >>> timer.elapsed >= 0.0
     True
+    >>> timer.intervals
+    1
     """
 
     def __init__(self) -> None:
         self._elapsed = 0.0
         self._started_at: float | None = None
+        #: Completed start/stop cycles since construction or reset().
+        self.intervals = 0
 
     def start(self) -> "Timer":
         """Start (or resume) the stopwatch."""
@@ -36,12 +53,14 @@ class Timer:
             raise RuntimeError("Timer is not running")
         self._elapsed += time.perf_counter() - self._started_at
         self._started_at = None
+        self.intervals += 1
         return self._elapsed
 
     def reset(self) -> None:
-        """Zero the accumulated time; the timer ends up stopped."""
+        """Zero the accumulated time and interval count; ends up stopped."""
         self._elapsed = 0.0
         self._started_at = None
+        self.intervals = 0
 
     @property
     def running(self) -> bool:

@@ -1,0 +1,207 @@
+"""Tests for the metrics registry: instruments, exposition, snapshots."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_set_total_mirrors_external_counter(self):
+        counter = Counter("c")
+        counter.set_total(42)
+        assert counter.value == 42.0
+
+    def test_samples_one_point(self):
+        (sample,) = Counter("c", labels=(("mode", "head"),)).samples()
+        assert sample.name == "c"
+        assert sample.kind == "counter"
+        assert sample.labels == (("mode", "head"),)
+
+
+class TestGauge:
+    def test_set_and_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.dec(3.0)
+        gauge.inc()
+        assert gauge.value == 8.0
+
+
+class TestHistogram:
+    def test_observe_fills_correct_bucket(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(99.0)  # +Inf bucket
+        assert list(hist.counts) == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(101.0)
+
+    def test_observe_many_matches_scalar_observes(self):
+        values = np.array([0.1, 0.4, 1.1, 2.5, 100.0])
+        one = Histogram("a", bounds=(0.5, 1.0, 5.0))
+        many = Histogram("b", bounds=(0.5, 1.0, 5.0))
+        for v in values:
+            one.observe(float(v))
+        many.observe_many(values)
+        assert list(one.counts) == list(many.counts)
+        assert one.sum == pytest.approx(many.sum)
+        assert one.count == many.count
+
+    def test_samples_are_cumulative_with_inf(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            hist.observe(v)
+        samples = {f"{s.name}{dict(s.labels).get('le', '')}": s.value
+                   for s in hist.samples()}
+        assert samples["h_bucket1"] == 1.0
+        assert samples["h_bucket2"] == 2.0  # cumulative
+        assert samples["h_bucket+Inf"] == 3.0
+        assert samples["h_count"] == 3.0
+        assert samples["h_sum"] == pytest.approx(5.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_default_bounds_are_latency_shaped(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] < 0.001
+        assert DEFAULT_SECONDS_BUCKETS[-1] >= 10.0
+
+    def test_concurrent_observes_are_not_lost(self):
+        hist = Histogram("h", bounds=(1.0,))
+        n, threads = 500, []
+        for _ in range(4):
+            threads.append(
+                threading.Thread(
+                    target=lambda: [hist.observe(0.5) for _ in range(n)]
+                )
+            )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 4 * n
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", "help")
+        b = registry.counter("c")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        head = registry.counter("c", labels={"mode": "head"})
+        tail = registry.counter("c", labels={"mode": "tail"})
+        assert head is not tail
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"a": 1, "b": 2})
+        b = registry.counter("c", labels={"b": 2, "a": 1})
+        assert a is b
+
+    def test_name_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_counter_confusion_rejected_even_with_new_labels(self):
+        # Gauge subclasses Counter; a lax isinstance check would hand a
+        # gauge back to a caller that asked for a counter.
+        registry = MetricsRegistry()
+        registry.gauge("x", labels={"a": 1})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x", labels={"b": 2})
+
+    def test_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.value("missing") == 0.0
+        assert len(registry) == 0
+        registry.inc("c", 5)
+        assert registry.value("c") == 5.0
+
+    def test_snapshot_delta_is_one_dict_subtraction(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labels={"mode": "head"})
+        counter.inc(3)
+        before = registry.snapshot()
+        counter.inc(4)
+        after = registry.snapshot()
+        key = ("c", (("mode", "head"),))
+        assert after[key] - before[key] == 4.0
+
+    def test_snapshot_has_histogram_sum_count_but_no_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.5)
+        names = {name for name, _labels in registry.snapshot()}
+        assert names == {"h_sum", "h_count"}
+
+
+class TestExposition:
+    def test_as_json_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(2)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        payload = registry.as_json()
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["c"]["value"] == 2.0
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["buckets"]["+Inf"] == 0
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "requests served",
+                         labels={"route": "/predict"}).inc(7)
+        registry.gauge("load", "current load").set(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP requests_total requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{route="/predict"} 7' in text
+        assert "# TYPE load gauge" in text
+        assert "load 0.5" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "timings", bounds=(1.0, 2.0)).observe(1.5)
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1.5" in text
+        assert "h_count 1" in text
+
+    def test_help_and_type_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "shared help", labels={"mode": "head"}).inc()
+        registry.counter("c", labels={"mode": "tail"}).inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE c counter") == 1
+        assert text.count("# HELP c shared help") == 1
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"path": 'a"b\\c\nd'}).inc()
+        text = registry.to_prometheus()
+        assert r'path="a\"b\\c\nd"' in text

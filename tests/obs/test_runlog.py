@@ -1,0 +1,185 @@
+"""Tests for the JSONL run log: writer, validation, summarisation."""
+
+import json
+
+import pytest
+
+from repro.obs.runlog import (
+    RUN_LOG_VERSION,
+    RunLogError,
+    RunLogWriter,
+    epoch_records,
+    read_run_log,
+    validate_record,
+)
+from repro.obs.summary import EPOCH_COLUMNS, epoch_rows, phase_totals, run_overview
+
+
+def _meta():
+    return {
+        "type": "run_meta", "version": RUN_LOG_VERSION,
+        "model": "TransE", "dataset": "tiny", "sampler": "NSCaching",
+        "config": {"epochs": 2},
+    }
+
+
+def _epoch(i, **extra):
+    record = {
+        "type": "epoch", "version": RUN_LOG_VERSION, "epoch": i,
+        "loss": 1.0 - 0.1 * i, "nzl": 0.9, "grad_norm": 3.0,
+        "epoch_seconds": 0.5, "samples_per_sec": 1000.0,
+    }
+    record.update(extra)
+    return record
+
+
+def _end():
+    return {
+        "type": "run_end", "version": RUN_LOG_VERSION,
+        "epochs": 2, "train_seconds": 1.0,
+    }
+
+
+class TestValidate:
+    def test_valid_records_pass(self):
+        for record in (_meta(), _epoch(0), _end()):
+            assert validate_record(record) is record
+
+    @pytest.mark.parametrize(
+        "record, match",
+        [
+            ([], "must be an object"),
+            ({"type": "nope", "version": RUN_LOG_VERSION}, "record type"),
+            ({"type": "epoch", "version": 99}, "version"),
+            ({**_meta(), "model": 3}, "run_meta.model"),
+            ({**_meta(), "config": "x"}, "run_meta.config"),
+            (_epoch(-1), "non-negative"),
+            (_epoch(True), "non-negative"),
+            ({k: v for k, v in _epoch(0).items() if k != "loss"}, "epoch.loss"),
+            (_epoch(0, loss="high"), "epoch.loss"),
+            (_epoch(0, phase_seconds=[1, 2]), "phase_seconds"),
+            (_epoch(0, cache={"churn": 1}), "cache.refreshed_rows"),
+            ({**_end(), "train_seconds": None}, "train_seconds"),
+        ],
+    )
+    def test_invalid_records_rejected(self, record, match):
+        with pytest.raises(RunLogError, match=match):
+            validate_record(record)
+
+    def test_cache_block_with_both_fields_passes(self):
+        validate_record(_epoch(0, cache={"churn": 5, "refreshed_rows": 10}))
+
+
+class TestWriter:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as writer:
+            writer.write(_meta())
+            writer.write(_epoch(0))
+            writer.write(_end())
+        records = read_run_log(path)
+        assert [r["type"] for r in records] == ["run_meta", "epoch", "run_end"]
+        assert writer.records_written == 3
+
+    def test_flushes_per_record_for_live_tailing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = RunLogWriter(path)
+        writer.write(_meta())
+        # Readable before close — the writer flushes every record.
+        assert len(read_run_log(path)) == 1
+        writer.close()
+
+    def test_invalid_record_rejected_before_write(self, tmp_path):
+        writer = RunLogWriter(tmp_path / "run.jsonl")
+        with pytest.raises(RunLogError):
+            writer.write({"type": "epoch"})
+        assert writer.records_written == 0
+
+    def test_closed_writer_silently_drops(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = RunLogWriter(path)
+        writer.write(_meta())
+        writer.close()
+        writer.close()  # idempotent
+        writer.write(_epoch(0))  # dropped, no error
+        assert len(read_run_log(path)) == 1
+
+    def test_stamp_adds_version_and_time(self):
+        record = RunLogWriter("unused.jsonl").stamp({"type": "run_end"})
+        assert record["version"] == RUN_LOG_VERSION
+        assert record["unix_time"] > 0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "run.jsonl"
+        with RunLogWriter(path) as writer:
+            writer.write(_meta())
+        assert path.exists()
+
+
+class TestReader:
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(_meta()) + "\n\n" + json.dumps(_end()) + "\n")
+        assert len(read_run_log(path)) == 2
+
+    def test_bad_json_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(_meta()) + "\n{broken\n")
+        with pytest.raises(RunLogError, match=":2:"):
+            read_run_log(path)
+
+    def test_invalid_record_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(_meta()) + "\n" + json.dumps({"type": "x"}) + "\n")
+        with pytest.raises(RunLogError, match=":2:"):
+            read_run_log(path)
+
+    def test_epoch_records_filter(self):
+        records = [_meta(), _epoch(0), _epoch(1), _end()]
+        assert [r["epoch"] for r in epoch_records(records)] == [0, 1]
+
+
+class TestSummary:
+    def _records(self, complete=True):
+        records = [
+            _meta(),
+            _epoch(0, cache={"churn": 100, "refreshed_rows": 10,
+                             "survivor_fraction": 0.8},
+                   phase_seconds={"sample": 0.1, "score": 0.2}),
+            _epoch(1, cache={"churn": 50, "refreshed_rows": 10},
+                   phase_seconds={"sample": 0.3}),
+        ]
+        if complete:
+            records.append(_end())
+        return records
+
+    def test_overview_complete_run(self):
+        overview = run_overview(self._records())
+        assert overview["model"] == "TransE"
+        assert overview["epochs_logged"] == 2
+        assert overview["total_churn"] == 150
+        assert overview["complete"] is True
+        assert overview["train_seconds"] == 1.0
+
+    def test_overview_partial_run(self):
+        overview = run_overview(self._records(complete=False))
+        assert overview["complete"] is False
+        assert "train_seconds" not in overview
+
+    def test_epoch_rows_match_columns(self):
+        rows = epoch_rows(self._records())
+        assert len(rows) == 2
+        assert all(len(row) == len(EPOCH_COLUMNS) for row in rows)
+        assert rows[0][EPOCH_COLUMNS.index("churn")] == 100
+        # Second epoch logged no survivor fraction: placeholder, not crash.
+        assert rows[1][EPOCH_COLUMNS.index("survivors")] == "--"
+
+    def test_epoch_rows_tail(self):
+        rows = epoch_rows(self._records(), tail=1)
+        assert len(rows) == 1
+        assert rows[0][0] == 1
+
+    def test_phase_totals_sum_across_epochs(self):
+        totals = phase_totals(self._records())
+        assert totals["sample"] == pytest.approx(0.4)
+        assert totals["score"] == pytest.approx(0.2)

@@ -246,6 +246,51 @@ class TestPoolMechanics:
             for store in caches.values():
                 store.close()
 
+    def test_results_carry_task_telemetry(self):
+        import os
+        import time
+
+        pool, caches = _make_pool(2, use_processes=False)
+        try:
+            tasks = _tasks(caches)
+            results = pool.refresh(tasks)
+            by_key = {(t.mode, t.shard): t for t in tasks}
+            for result in results:
+                task = by_key[(result.mode, result.shard)]
+                assert result.n_rows == len(task.rows)
+                assert result.seconds > 0
+                assert result.worker_pid == os.getpid()  # inline mode
+                # The helper builds tasks without an enqueue stamp, so the
+                # queue wait defaults to "no wait" rather than garbage.
+                assert result.queue_wait == 0.0
+            stamped = [
+                ShardTask(
+                    t.mode, t.shard, t.epoch, 1, t.anchors, t.relations,
+                    t.rows, enqueued_at=time.monotonic(),
+                )
+                for t in tasks
+            ]
+            for result in pool.refresh(stamped):
+                assert result.queue_wait >= 0.0
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_process_results_name_worker_pids(self):
+        pool, caches = _make_pool(2, use_processes=True)
+        try:
+            pool.start()
+            worker_pids = {p.pid for p in pool._processes}
+            results = pool.refresh(_tasks(caches))
+            assert {r.worker_pid for r in results} <= worker_pids
+            assert all(r.worker_pid != 0 for r in results)
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
     def test_rejects_bad_construction(self):
         model = make_model("TransE", N_ENTITIES, N_RELATIONS, 4, rng=0)
         with pytest.raises(ValueError, match="n_workers"):

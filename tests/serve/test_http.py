@@ -73,6 +73,132 @@ class TestRoutes:
         assert err.value.code == 404
 
 
+class TestObservabilityRoutes:
+    def _get_raw(self, server, path):
+        with urllib.request.urlopen(_url(server, path), timeout=5) as response:
+            return (
+                response.status,
+                response.headers["Content-Type"],
+                response.read().decode("utf-8"),
+            )
+
+    def test_healthz_reports_liveness_fields(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["uptime_seconds"] >= 0
+        assert body["queries_served"] == 0
+        assert body["cache_evictions"] == 0
+        assert body["cache_entries"] == 0
+
+    def test_stats_cache_block_is_always_a_dict(self, tiny_kg, small_transe):
+        engine = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe),
+            tiny_kg,
+            cache_capacity=0,  # cache disabled
+        )
+        cache = engine.stats()["cache"]
+        assert cache == {
+            "capacity": 0, "entries": 0, "hits": 0,
+            "misses": 0, "evictions": 0, "hit_rate": 0.0,
+        }
+
+    def test_stats_and_healthz_agree_on_evictions(self, server, tiny_kg):
+        for h, r in zip(tiny_kg.test[:4, HEAD], tiny_kg.test[:4, REL]):
+            _post(server, "/predict", {"head": int(h), "relation": int(r)})
+        _, stats = _get(server, "/stats")
+        _, health = _get(server, "/healthz")
+        assert health["cache_evictions"] == stats["cache"]["evictions"]
+        assert health["cache_entries"] == stats["cache"]["entries"]
+        assert health["queries_served"] == stats["queries_served"]
+
+    def test_metrics_prometheus_text(self, server, tiny_kg):
+        query = {"head": int(tiny_kg.test[0, HEAD]),
+                 "relation": int(tiny_kg.test[0, REL])}
+        _post(server, "/predict", query)
+        status, content_type, text = self._get_raw(server, "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_queries_total 1" in text
+        assert "serve_predict_seconds_count 1" in text
+        assert "serve_uptime_seconds" in text
+
+    def test_metrics_json_format(self, server, tiny_kg):
+        query = {"head": int(tiny_kg.test[0, HEAD]),
+                 "relation": int(tiny_kg.test[0, REL])}
+        _post(server, "/predict", query)
+        _post(server, "/predict", query)  # cache hit
+        status, body = _get(server, "/metrics?format=json")
+        assert status == 200
+        by_name = {m["name"]: m for m in body["metrics"]}
+        assert by_name["serve_queries_total"]["value"] == 2.0
+        assert by_name["serve_cache_hits_total"]["value"] == 1.0
+        assert by_name["serve_predict_seconds"]["count"] == 2
+
+
+class TestDirectHandler:
+    """Drive do_GET on a handler instance with no socket underneath."""
+
+    @staticmethod
+    def _direct_get(engine, path):
+        import io
+        from email.message import Message
+
+        from repro.serve.http import make_handler
+
+        cls = make_handler(engine)
+        handler = cls.__new__(cls)
+        handler.command = "GET"
+        handler.path = path
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = f"GET {path} HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 0)
+        handler.headers = Message()
+        handler.rfile = io.BytesIO()
+        handler.wfile = io.BytesIO()
+        handler.close_connection = False
+        handler.do_GET()
+        raw = handler.wfile.getvalue()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        headers = dict(line.split(": ", 1) for line in header_lines)
+        return int(status_line.split()[1]), headers, body.decode("utf-8")
+
+    @pytest.fixture
+    def engine(self, tiny_kg, small_transe):
+        return PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5
+        )
+
+    def test_healthz_direct(self, engine):
+        status, headers, body = self._direct_get(engine, "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["snapshot"]["model"] == "TransE"
+
+    def test_stats_direct(self, engine):
+        status, headers, body = self._direct_get(engine, "/stats")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["queries_served"] == 0
+        assert isinstance(payload["cache"], dict)
+
+    def test_metrics_direct(self, engine):
+        status, headers, body = self._direct_get(engine, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE serve_queries_total counter" in body
+
+    def test_unknown_path_404_direct(self, engine):
+        status, headers, body = self._direct_get(engine, "/not-a-route")
+        assert status == 404
+        assert "unknown path" in json.loads(body)["error"]
+        assert headers["Content-Length"] == str(len(body.encode("utf-8")))
+
+
 class TestPredict:
     def test_single_query_object(self, server, tiny_kg):
         h, r = int(tiny_kg.test[0, HEAD]), int(tiny_kg.test[0, REL])

@@ -363,3 +363,84 @@ class TestParallelRefreshCLI:
             )
         assert excinfo.value.code == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    def _train_with_metrics(self, path):
+        return main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--sampler", "NSCaching",
+                "--epochs", "2",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--metrics-out", str(path),
+            ]
+        )
+
+    def test_parser_accepts_metrics_out_and_tail(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--metrics-out", "run.jsonl"]
+        )
+        assert args.metrics_out == "run.jsonl"
+        args = build_parser().parse_args(["metrics", "run.jsonl", "--tail", "5"])
+        assert args.run_log == "run.jsonl"
+        assert args.tail == 5
+
+    def test_non_positive_tail_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["metrics", "run.jsonl", "--tail", "0"])
+        assert excinfo.value.code == 2
+
+    def test_train_writes_run_log_and_metrics_summarises(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.runlog import read_run_log
+
+        path = tmp_path / "run.jsonl"
+        assert self._train_with_metrics(path) == 0
+        out = capsys.readouterr().out
+        assert "run log written to" in out
+
+        records = read_run_log(path)
+        assert records[0]["type"] == "run_meta"
+        assert records[-1]["type"] == "run_end"
+        assert sum(r["type"] == "epoch" for r in records) == 2
+
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run overview" in out
+        assert "per-epoch telemetry" in out
+        assert "per-phase seconds" in out
+        assert "churn" in out
+
+    def test_metrics_tail_limits_epoch_rows(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert self._train_with_metrics(path) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(path), "--tail", "1"]) == 0
+        out = capsys.readouterr().out
+        # Exactly one epoch row: epoch 1 present, epoch 0 elided.
+        assert "(last 1 of 2 epochs)" in out
+
+    def test_metrics_missing_file_fails_cleanly(self, capsys):
+        code = main(["metrics", "/nonexistent/run.jsonl"])
+        assert code == 2
+        assert "run.jsonl" in capsys.readouterr().err
+
+    def test_metrics_invalid_log_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        assert main(["metrics", str(path)]) == 2
+        assert "record type" in capsys.readouterr().err
+
+    def test_metrics_empty_log_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["metrics", str(path)]) == 2
+        assert "empty" in capsys.readouterr().err.lower()

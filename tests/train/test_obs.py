@@ -1,0 +1,231 @@
+"""Trainer observability: registry wiring, run log, phase partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.nscaching import NSCachingSampler
+from repro.models import make_model
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import epoch_records, read_run_log
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+
+def _model(tiny_kg):
+    return make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+
+
+def _trainer(tiny_kg, *, sampler=None, epochs=2, **kwargs):
+    return Trainer(
+        _model(tiny_kg),
+        tiny_kg,
+        sampler or NSCachingSampler(cache_size=4, candidate_size=4),
+        TrainConfig(epochs=epochs, batch_size=64, seed=0),
+        **kwargs,
+    )
+
+
+class TestRegistryWiring:
+    def test_trainer_mirrors_epoch_aggregates(self, tiny_kg):
+        registry = MetricsRegistry()
+        trainer = _trainer(tiny_kg, metrics=registry)
+        trainer.run()
+        assert registry.value("train_epochs_total") == 2.0
+        assert registry.value("train_samples_total") == 2 * len(tiny_kg.train)
+        assert registry.value("train_loss") == pytest.approx(
+            trainer.history.last("loss")
+        )
+        assert registry.value("train_samples_per_sec") > 0
+
+    def test_phase_seconds_mirrored_as_cumulative_counters(self, tiny_kg):
+        registry = MetricsRegistry()
+        trainer = _trainer(tiny_kg, metrics=registry)
+        trainer.run()
+        partition = trainer.phase_seconds()
+        for phase, seconds in partition.items():
+            assert registry.value(
+                "train_phase_seconds_total", labels={"phase": phase}
+            ) == pytest.approx(seconds)
+
+    def test_sampler_reports_refresh_counters(self, tiny_kg):
+        registry = MetricsRegistry()
+        trainer = _trainer(tiny_kg, metrics=registry)
+        trainer.run()
+        for mode in ("head", "tail"):
+            labels = {"mode": mode}
+            batches = registry.value("cache_refresh_batches_total", labels=labels)
+            rows = registry.value("cache_refresh_rows_total", labels=labels)
+            candidates = registry.value(
+                "cache_refresh_candidates_total", labels=labels
+            )
+            assert batches > 0
+            assert rows == 2 * len(tiny_kg.train)  # every triple, every epoch
+            assert candidates == rows * (4 + 4)  # N1 + N2
+
+    def test_churn_counter_agrees_with_history(self, tiny_kg):
+        registry = MetricsRegistry()
+        trainer = _trainer(tiny_kg, metrics=registry)
+        trainer.run()
+        total_churn = sum(
+            registry.value("cache_changed_elements_total", labels={"mode": mode})
+            for mode in ("head", "tail")
+        )
+        history_churn = sum(trainer.history["cache_changes"].values)
+        assert total_churn == history_churn
+
+    def test_profile_report_stays_empty_without_profile_flag(self, tiny_kg):
+        trainer = _trainer(tiny_kg, metrics=MetricsRegistry())
+        trainer.run()
+        assert trainer.profile_report() == {}
+        # ... but the partition is live (spans ran for the registry).
+        assert sum(trainer.phase_seconds().values()) > 0
+
+    def test_metrics_setter_clears_handles(self, tiny_kg):
+        sampler = NSCachingSampler(cache_size=4, candidate_size=4)
+        trainer = _trainer(tiny_kg, sampler=sampler, metrics=MetricsRegistry())
+        assert sampler.metrics is trainer.metrics
+        sampler.metrics = None
+        assert sampler.metrics is None
+        assert sampler._mh is None
+
+
+class TestBitIdentical:
+    def test_instrumented_run_matches_uninstrumented(self, tiny_kg):
+        """Attaching a registry must not perturb the training trajectory."""
+        plain = _trainer(tiny_kg)
+        plain.run()
+        instrumented = _trainer(tiny_kg, metrics=MetricsRegistry())
+        instrumented.run()
+        for name, param in plain.model.params.items():
+            np.testing.assert_array_equal(
+                param, instrumented.model.params[name], err_msg=name
+            )
+        assert plain.history["loss"].values == instrumented.history["loss"].values
+
+
+class TestRunLog:
+    def test_metrics_out_writes_valid_records(self, tiny_kg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        trainer = _trainer(tiny_kg, metrics_out=str(path))
+        trainer.run()
+        trainer.close()
+        records = read_run_log(path)  # validates every record
+        assert [r["type"] for r in records] == [
+            "run_meta", "epoch", "epoch", "run_end",
+        ]
+        meta = records[0]
+        assert meta["model"] == "TransE"
+        assert meta["sampler"] == "NSCaching"
+        assert meta["config"]["epochs"] == 2
+
+    def test_epoch_records_carry_cache_health(self, tiny_kg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        trainer = _trainer(tiny_kg, metrics_out=str(path))
+        trainer.run()
+        trainer.close()
+        epochs = epoch_records(read_run_log(path))
+        for record, churn in zip(
+            epochs, trainer.history["cache_changes"].values
+        ):
+            cache = record["cache"]
+            assert cache["churn"] == churn
+            # Both cache sides refresh every triple's row each epoch.
+            assert cache["refreshed_rows"] == 2 * len(tiny_kg.train)
+            assert 0.0 <= cache["survivor_fraction"] <= 1.0
+            assert sum(record["phase_seconds"].values()) <= record[
+                "epoch_seconds"
+            ] * 1.05 + 1e-6
+
+    def test_run_log_without_cache_sampler_has_no_cache_block(
+        self, tiny_kg, tmp_path
+    ):
+        from repro.sampling import BernoulliSampler
+
+        path = tmp_path / "run.jsonl"
+        trainer = _trainer(tiny_kg, sampler=BernoulliSampler(), metrics_out=str(path))
+        trainer.run()
+        trainer.close()
+        epochs = epoch_records(read_run_log(path))
+        assert epochs and all("cache" not in r for r in epochs)
+
+    def test_close_without_run_leaves_partial_but_valid_log(
+        self, tiny_kg, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        trainer = _trainer(tiny_kg, metrics_out=str(path))
+        trainer.run(1)
+        trainer.close()  # run() already ended: run_end is present
+        records = read_run_log(path)
+        assert records[-1]["type"] == "run_end"
+        assert records[-1]["epochs"] == 1
+
+
+class TestParallelRefreshObservability:
+    def _parallel_trainer(self, tiny_kg, path=None, **kwargs):
+        sampler = NSCachingSampler(
+            cache_size=4,
+            candidate_size=4,
+            cache_backend="sharded-array",
+            cache_options={"n_shards": 2},
+            refresh_workers=2,
+            refresh_processes=False,  # inline: deterministic, fork-free
+        )
+        return _trainer(
+            tiny_kg,
+            sampler=sampler,
+            metrics_out=str(path) if path is not None else None,
+            **kwargs,
+        )
+
+    def test_partition_invariant_with_parallel_refresh(self, tiny_kg):
+        """Phases stay disjoint and sum to the hot-loop wall time when the
+        pooled refresh adds its dispatch+wait phase."""
+        trainer = self._parallel_trainer(tiny_kg, profile=True, epochs=3)
+        try:
+            trainer.run()
+            report = trainer.profile_report()
+            assert report["parallel_refresh"] > 0
+            # Inline pool execution: the nested scoring happens inside the
+            # pool's own timer, so cache_update is carved down by it.
+            raw = trainer.phase_timers["cache_update"].elapsed
+            assert report["cache_update"] == pytest.approx(
+                max(
+                    0.0,
+                    raw
+                    - report["score_candidates"]
+                    - report["parallel_refresh"],
+                )
+            )
+            total, wall = sum(report.values()), trainer.train_seconds
+            assert total <= wall
+            assert total >= 0.5 * wall, (report, wall)
+        finally:
+            trainer.close()
+
+    def test_run_log_carries_per_shard_timings(self, tiny_kg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        trainer = self._parallel_trainer(tiny_kg, path=path)
+        try:
+            trainer.run()
+        finally:
+            trainer.close()
+        epochs = epoch_records(read_run_log(path))
+        shards = epochs[0]["refresh_shards"]
+        assert set(shards) == {"head:0", "head:1", "tail:0", "tail:1"}
+        for entry in shards.values():
+            assert entry["tasks"] > 0
+            assert entry["seconds"] > 0
+            assert entry["queue_wait_seconds"] >= 0
+
+    def test_registry_tracks_pooled_refresh(self, tiny_kg):
+        registry = MetricsRegistry()
+        trainer = self._parallel_trainer(tiny_kg, metrics=registry)
+        try:
+            trainer.run()
+        finally:
+            trainer.close()
+        assert registry.value(
+            "refresh_tasks_total", labels={"mode": "head", "shard": 0}
+        ) > 0
+        hist = registry.histogram("refresh_task_seconds")
+        assert hist.count > 0

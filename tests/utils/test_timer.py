@@ -58,3 +58,50 @@ class TestTimer:
 
     def test_repr_mentions_state(self):
         assert "stopped" in repr(Timer())
+
+
+class TestSamplingReaders:
+    """The obs layer reads shared timers mid-run; reads must be safe."""
+
+    def test_mid_run_reads_are_monotonic(self):
+        timer = Timer().start()
+        reads = []
+        for _ in range(5):
+            time.sleep(0.001)
+            reads.append(timer.elapsed)
+        timer.stop()
+        reads.append(timer.elapsed)
+        assert reads == sorted(reads)
+
+    def test_reads_do_not_perturb_accumulation(self):
+        timer = Timer().start()
+        for _ in range(100):
+            timer.elapsed  # sampling reader
+        time.sleep(0.002)
+        total = timer.stop()
+        assert total == timer.elapsed
+        # A fresh run after heavy reading still only adds its own time.
+        with timer:
+            time.sleep(0.002)
+        assert timer.elapsed - total < 1.0
+
+    def test_intervals_counts_completed_cycles(self):
+        timer = Timer()
+        assert timer.intervals == 0
+        for expected in (1, 2, 3):
+            with timer:
+                pass
+            assert timer.intervals == expected
+
+    def test_running_interval_not_counted_until_stop(self):
+        timer = Timer().start()
+        assert timer.intervals == 0
+        timer.stop()
+        assert timer.intervals == 1
+
+    def test_reset_zeroes_intervals(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.intervals == 0
