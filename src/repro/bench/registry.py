@@ -180,6 +180,15 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.obs.registry", "repro.core.nscaching", "repro.utils.timer"),
             "benchmarks/bench_obs_overhead.py",
         ),
+        Experiment(
+            "X9",
+            "Extension: dirty-row parameter sync + overlapped refresh pipeline",
+            "full-copy vs dirty-row publish bytes/time at growing entity "
+            "counts, overlap-hidden refresh wall time, refresh_period grid",
+            ("repro.parallel.dirty", "repro.parallel.pool",
+             "repro.train.trainer"),
+            "benchmarks/bench_async_refresh.py",
+        ),
     )
 }
 

@@ -94,6 +94,26 @@ def build_parser() -> argparse.ArgumentParser:
              "refresh, bit-identical to the array backend",
     )
     train.add_argument(
+        "--refresh-period", type=_positive_int, default=1, metavar="K",
+        help="refresh caches only every K-th batch of an epoch (default 1 "
+             "= every batch); the lazy within-epoch schedule — divides "
+             "refresh and parameter-sync cost by K while caches go at "
+             "most K-1 batches stale",
+    )
+    train.add_argument(
+        "--refresh-overlap", action="store_true",
+        help="overlap the pooled cache refresh with the gradient/optimizer "
+             "step (dispatch against a double-buffered pre-step parameter "
+             "snapshot, collect at the next batch); requires "
+             "--refresh-workers >= 2, results stay bit-identical",
+    )
+    train.add_argument(
+        "--no-dirty-sync", action="store_true",
+        help="ship full parameter copies to refresh workers every batch "
+             "instead of only optimizer-touched rows (bit-identical, "
+             "slower; for A/B timing)",
+    )
+    train.add_argument(
         "--no-fused-refresh", action="store_true",
         help="use the unfused reference cache-refresh path (bit-identical, "
              "slower; for debugging and A/B timing)",
@@ -181,6 +201,9 @@ def _sampler_kwargs(args: argparse.Namespace) -> dict[str, object]:
             "cache_backend": args.cache_backend,
             "fused": not args.no_fused_refresh,
             "refresh_workers": args.refresh_workers,
+            "refresh_period": args.refresh_period,
+            "refresh_overlap": args.refresh_overlap,
+            "dirty_sync": not args.no_dirty_sync,
         }
         options: dict[str, object] = {}
         if args.n_buckets is not None:
@@ -226,13 +249,17 @@ def _print_breakdown(model, dataset, split: str) -> None:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     if args.sampler != "NSCaching" and (
-        args.refresh_workers != 1 or args.n_shards is not None
+        args.refresh_workers != 1
+        or args.n_shards is not None
+        or args.refresh_period != 1
+        or args.refresh_overlap
     ):
         # Args-only check: fail loudly (and before any data/model work)
         # rather than silently training single-process.
         print(
-            "error: --refresh-workers/--n-shards only apply to the "
-            f"NSCaching sampler, got --sampler {args.sampler}",
+            "error: --refresh-workers/--n-shards/--refresh-period/"
+            "--refresh-overlap only apply to the NSCaching sampler, got "
+            f"--sampler {args.sampler}",
             file=sys.stderr,
         )
         return 2

@@ -129,6 +129,26 @@ class _RefreshMetrics:
             "refresh_last_queue_wait_seconds",
             "max dispatch-to-start latency of the most recent pooled refresh",
         )
+        self.sync_bytes = registry.counter(
+            "param_sync_bytes_total",
+            "parameter bytes published into the refresh pool's shared blocks",
+        )
+        self.sync_rows = registry.counter(
+            "param_sync_rows_total",
+            "parameter rows published into the refresh pool's shared blocks",
+        )
+        self.sync_full_tables = registry.counter(
+            "param_sync_full_tables_total",
+            "parameter tables that took the full-copy sync path",
+        )
+        self.sync_dirty_fraction = registry.gauge(
+            "param_sync_dirty_fraction",
+            "fraction of full parameter bytes the most recent sync shipped",
+        )
+        self.overlap_wait_seconds = registry.counter(
+            "refresh_overlap_wait_seconds_total",
+            "time spent waiting on overlapped refreshes at collect",
+        )
         self._shards: dict[tuple[str, int], tuple[object, object, object]] = {}
 
     def shard(self, mode: str, shard: int) -> tuple[object, object, object]:
@@ -189,6 +209,9 @@ class NSCachingSampler(NegativeSampler):
         fused: bool = True,
         refresh_workers: int = 1,
         refresh_processes: bool = True,
+        refresh_period: int = 1,
+        refresh_overlap: bool = False,
+        dirty_sync: bool = True,
     ) -> None:
         """
         Parameters
@@ -242,6 +265,30 @@ class NSCachingSampler(NegativeSampler):
             inline in this process (the deterministic fallback) instead
             of forking workers — bit-identical to process execution; used
             by the parity tests and on platforms without ``fork``.
+        refresh_period:
+            ``k`` — refresh the caches only every ``k``-th batch of an
+            epoch (default 1 = every batch).  The lazy *within-epoch*
+            schedule of the journal follow-up (arXiv 2010.14227),
+            orthogonal to ``lazy_epochs`` (which skips whole epochs):
+            divides the refresh *and* parameter-sync cost by ``k`` while
+            caches go at most ``k - 1`` batches stale.  The per-epoch
+            batch counter still advances on skipped batches, so the
+            parallel task streams stay aligned across periods.
+        refresh_overlap:
+            Overlap the parallel refresh with the training step: the
+            batch's shard tasks are *dispatched* against a pre-step
+            parameter snapshot (double-buffered in the pool) and the
+            results collected at the start of the next batch — Alg. 3
+            only needs pre-step parameters, so the refresh runs for free
+            behind the gradients/optimizer phases.  Results stay
+            bit-identical to the synchronous parallel path.  Requires
+            ``refresh_workers >= 2``.
+        dirty_sync:
+            Allow delta-based parameter publishes to the pool: the
+            trainer reports optimizer-touched rows and each sync ships
+            only those slices (bit-identical to the full copy, which
+            remains the first-sync / fallback path).  ``False`` pins the
+            full copy for A/B benchmarking.
         """
         super().__init__(bernoulli=bernoulli)
         if cache_size <= 0 or candidate_size <= 0:
@@ -267,6 +314,15 @@ class NSCachingSampler(NegativeSampler):
                 "its workers; fused=False (--no-fused-refresh) only applies "
                 "to the sequential path"
             )
+        if refresh_period < 1:
+            raise ValueError(
+                f"refresh_period must be >= 1, got {refresh_period}"
+            )
+        if refresh_overlap and refresh_workers < 2:
+            raise ValueError(
+                "refresh_overlap requires refresh_workers >= 2 (the overlap "
+                "dispatch/collect pipeline only exists on the pooled path)"
+            )
         if cache_factory is None:
             if cache_backend not in cache_backend_names():
                 raise ValueError(
@@ -290,6 +346,9 @@ class NSCachingSampler(NegativeSampler):
         self.fused = bool(fused)
         self.refresh_workers = int(refresh_workers)
         self.refresh_processes = bool(refresh_processes)
+        self.refresh_period = int(refresh_period)
+        self.refresh_overlap = bool(refresh_overlap)
+        self.dirty_sync = bool(dirty_sync)
         self.key_index: TripleKeyIndex | None = None
         self.head_cache: CacheStore | None = None
         self.tail_cache: CacheStore | None = None
@@ -305,6 +364,8 @@ class NSCachingSampler(NegativeSampler):
         self._pool = None  # RefreshPool, created lazily on first parallel update
         self._pool_seed: int | None = None
         self._epoch_batch = 0  # per-epoch update counter for task streams
+        #: Modes of the in-flight overlapped dispatch (None = nothing pending).
+        self._pending_modes: tuple[str, ...] | None = None
 
     # -- lifecycle ------------------------------------------------------------
     def _make_cache(self, n_entities: int, store_scores: bool) -> CacheStore:
@@ -353,8 +414,15 @@ class NSCachingSampler(NegativeSampler):
         """Stop the refresh pool and release shared-memory cache storage.
 
         Idempotent; the sampler can be re-bound afterwards.  The trainer
-        and CLI call this when training finishes.
+        and CLI call this when training finishes.  An overlapped refresh
+        still in flight is collected (so its counter deltas are not
+        lost) before the pool shuts down; a failed/dead pool is closed
+        regardless.
         """
+        try:
+            self.collect_refreshes()
+        except RuntimeError:
+            pass  # dead workers: shutdown proceeds regardless
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -419,6 +487,7 @@ class NSCachingSampler(NegativeSampler):
         """
         self._require_bound()
         assert self.head_cache is not None and self.tail_cache is not None
+        self.collect_refreshes()  # caches must be settled before gathering
         batch = np.asarray(batch, dtype=np.int64)
         rows = self._resolve_rows(batch, rows)
 
@@ -459,6 +528,12 @@ class NSCachingSampler(NegativeSampler):
         tail-corruption cache keyed by ``(h, r)``; default both).  An
         unknown mode raises ``ValueError`` up front — even on lazily
         skipped epochs — instead of silently refreshing the tail cache.
+
+        Two lazy schedules gate the refresh: ``lazy_epochs`` skips whole
+        epochs (paper Table I) and ``refresh_period`` skips within an
+        epoch (every ``k``-th batch refreshes).  Skipped calls still
+        advance the per-epoch batch counter, keeping the parallel task
+        streams aligned regardless of the schedule.
         """
         for mode in modes:
             if mode not in CANDIDATE_MODES:
@@ -470,6 +545,8 @@ class NSCachingSampler(NegativeSampler):
         self._epoch_batch += 1
         if self.epoch % (self.lazy_epochs + 1) != 0:
             return  # lazy update: skip this epoch entirely
+        if batch_index % self.refresh_period != 0:
+            return  # lazy within-epoch schedule: not this batch's turn
         self._require_bound()
         batch = np.asarray(batch, dtype=np.int64)
         rows = self._resolve_rows(batch, rows)
@@ -589,8 +666,76 @@ class NSCachingSampler(NegativeSampler):
                 seed=self._pool_seed,
                 n_workers=self.refresh_workers,
                 use_processes=self.refresh_processes,
+                double_buffer=self.refresh_overlap,
+                dirty_sync=self.dirty_sync,
             ).start()
         return self._pool
+
+    def mark_dirty_params(self, name: str, rows: np.ndarray) -> None:
+        """Report that ``model.params[name][rows]`` changed (dirty sync).
+
+        The trainer wires this to the optimizer's ``dirty_mark`` hook (and
+        reports the post-step normalisation's rows), so the pool's next
+        parameter publish ships only the touched slices.  A no-op until
+        the pool exists — the first sync is a full copy regardless.
+        """
+        if self._pool is not None:
+            self._pool.mark_dirty(name, rows)
+
+    def collect_refreshes(self) -> None:
+        """Fold in an overlapped refresh dispatched by a previous update().
+
+        The collect half of the overlap pipeline: blocks until the
+        in-flight batch's workers finish (usually they already have — the
+        gradient/optimizer step ran in between) and folds their counter
+        deltas into the stores.  A no-op when nothing is pending, so the
+        trainer and the sampler's own cache-reading paths can call it
+        unconditionally.
+        """
+        pool = self._pool
+        if pool is None or not pool.inflight:
+            return
+        started = time.perf_counter()
+        try:
+            results = pool.collect()
+        finally:
+            modes, self._pending_modes = self._pending_modes, None
+        self._fold_results(results, modes or CANDIDATE_MODES)
+        if self._mh is not None:
+            self._mh.overlap_wait_seconds.inc(time.perf_counter() - started)
+
+    def _build_tasks(
+        self,
+        batch: np.ndarray,
+        rows: BatchRows,
+        modes: tuple[str, ...],
+        batch_index: int,
+    ) -> list:
+        """One ShardTask per (mode, touched shard) of this batch."""
+        from repro.parallel.pool import ShardTask
+
+        tasks: list[ShardTask] = []
+        for mode in modes:
+            cache = self.head_cache if mode == "head" else self.tail_cache
+            assert cache is not None
+            side_rows = rows.head if mode == "head" else rows.tail
+            storage_rows = cache.storage_rows(side_rows)
+            anchors = batch[:, TAIL] if mode == "head" else batch[:, HEAD]
+            relations = batch[:, REL]
+            for shard, positions in cache.plan.split(storage_rows):
+                tasks.append(
+                    ShardTask(
+                        mode=mode,
+                        shard=shard,
+                        epoch=self.epoch,
+                        batch=batch_index,
+                        anchors=anchors[positions],
+                        relations=relations[positions],
+                        rows=storage_rows[positions],
+                        enqueued_at=time.monotonic(),
+                    )
+                )
+        return tasks
 
     def _parallel_refresh(
         self,
@@ -603,36 +748,39 @@ class NSCachingSampler(NegativeSampler):
 
         Workers run the same fused kernel against the shared storage and
         report CE / initialisation deltas, which are folded back into the
-        stores' counters here so ``changed_elements()`` and Figure 8 stay
-        backend-agnostic.
+        stores' counters so ``changed_elements()`` and Figure 8 stay
+        backend-agnostic.  With :attr:`refresh_overlap` only the dispatch
+        half runs here — the tasks execute against the pre-step parameter
+        snapshot while the trainer computes the step, and
+        :meth:`collect_refreshes` folds the results in later.
         """
-        from repro.parallel.pool import ShardTask
-
         pool = self._ensure_pool()
+        self.collect_refreshes()  # at most one batch in flight
         timer = self.parallel_timer
         with timer if timer is not None else _NULL_CONTEXT:
-            tasks: list[ShardTask] = []
-            for mode in modes:
-                cache = self.head_cache if mode == "head" else self.tail_cache
-                assert cache is not None
-                side_rows = rows.head if mode == "head" else rows.tail
-                storage_rows = cache.storage_rows(side_rows)
-                anchors = batch[:, TAIL] if mode == "head" else batch[:, HEAD]
-                relations = batch[:, REL]
-                for shard, positions in cache.plan.split(storage_rows):
-                    tasks.append(
-                        ShardTask(
-                            mode=mode,
-                            shard=shard,
-                            epoch=self.epoch,
-                            batch=batch_index,
-                            anchors=anchors[positions],
-                            relations=relations[positions],
-                            rows=storage_rows[positions],
-                            enqueued_at=time.monotonic(),
-                        )
-                    )
-            results = pool.refresh(tasks)
+            tasks = self._build_tasks(batch, rows, modes, batch_index)
+            if self.refresh_overlap:
+                if pool.dispatch(tasks):
+                    self._pending_modes = modes
+                results = None
+            else:
+                results = pool.refresh(tasks)
+        if tasks and self._mh is not None and pool.last_sync is not None:
+            self._observe_sync(pool.last_sync)
+        if results is not None:
+            self._fold_results(results, modes)
+
+    def _observe_sync(self, report) -> None:
+        """Fold one parameter publish's SyncReport into the registry."""
+        h = self._mh
+        assert h is not None
+        h.sync_bytes.inc(report.bytes_copied)
+        h.sync_rows.inc(report.rows_copied)
+        h.sync_full_tables.inc(report.full_tables)
+        h.sync_dirty_fraction.set(report.dirty_fraction)
+
+    def _fold_results(self, results, modes: tuple[str, ...]) -> None:
+        """Fold completed shard results into store counters and metrics."""
         h = self._mh
         max_wait = 0.0
         for result in results:
@@ -705,17 +853,27 @@ class NSCachingSampler(NegativeSampler):
                 stats[f"{side}_shard_keys"] = "/".join(
                     str(int(n)) for n in cache.shard_key_ownership()
                 )
+        if self.refresh_period != 1:
+            stats["refresh_period"] = self.refresh_period
         if self.refresh_workers > 1:
             stats["refresh_workers"] = self.refresh_workers
+            stats["refresh_overlap"] = self.refresh_overlap
+            stats["dirty_sync"] = self.dirty_sync
             if self._pool is not None:
                 stats["refresh_mode"] = (
                     "processes" if self._pool.using_processes else "inline"
                 )
+                if self._pool.last_sync is not None:
+                    stats["last_sync_bytes"] = self._pool.last_sync.bytes_copied
+                    stats["last_sync_dirty_fraction"] = round(
+                        self._pool.last_sync.dirty_fraction, 6
+                    )
         return stats
 
     def changed_elements(self, reset: bool = False) -> int:
         """CE metric: cache elements replaced since the last reset (Fig. 8)."""
         assert self.head_cache is not None and self.tail_cache is not None
+        self.collect_refreshes()  # fold any in-flight deltas first
         total = self.head_cache.changed_elements + self.tail_cache.changed_elements
         if reset:
             self.head_cache.reset_counters()
@@ -725,12 +883,19 @@ class NSCachingSampler(NegativeSampler):
     def __repr__(self) -> str:
         workers = (
             f", refresh_workers={self.refresh_workers}"
+            f"{', overlap' if self.refresh_overlap else ''}"
+            f"{'' if self.dirty_sync else ', full-sync'}"
             if self.refresh_workers > 1
+            else ""
+        )
+        period = (
+            f", refresh_period={self.refresh_period}"
+            if self.refresh_period != 1
             else ""
         )
         return (
             f"NSCachingSampler(N1={self.cache_size}, N2={self.candidate_size}, "
             f"sample={self.sample_strategy.value}, update={self.update_strategy.value}, "
             f"lazy={self.lazy_epochs}, backend={self.cache_backend}, "
-            f"fused={self.fused}{workers})"
+            f"fused={self.fused}{workers}{period})"
         )

@@ -9,12 +9,19 @@ is seen, so optimisers work with any model without registration.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 import numpy as np
 
 from repro.models.params import GradientBag
 
-__all__ = ["Optimizer"]
+__all__ = ["DirtyMark", "Optimizer"]
+
+#: Callback reporting the rows a step mutated: ``mark(name, unique_rows)``.
+#: The dirty-row parameter sync (:mod:`repro.parallel.dirty`) hangs off
+#: this hook — the optimiser is the one place that already holds each
+#: parameter's touched rows compacted, so reporting them costs nothing.
+DirtyMark = Callable[[str, np.ndarray], None]
 
 
 class Optimizer(ABC):
@@ -26,13 +33,26 @@ class Optimizer(ABC):
         self.learning_rate = float(learning_rate)
         self.steps = 0
 
-    def step(self, params: dict[str, np.ndarray], gradients: GradientBag) -> None:
-        """Apply one descent step for every row recorded in ``gradients``."""
+    def step(
+        self,
+        params: dict[str, np.ndarray],
+        gradients: GradientBag,
+        dirty_mark: DirtyMark | None = None,
+    ) -> None:
+        """Apply one descent step for every row recorded in ``gradients``.
+
+        ``dirty_mark`` (optional) is called as ``dirty_mark(name, rows)``
+        with each parameter's unique updated rows — the hook the trainer
+        uses to feed the dirty-row parameter sync without re-compacting
+        the gradient bag.
+        """
         self.steps += 1
         for name, rows, grads in gradients.compacted():
             if name not in params:
                 raise KeyError(f"gradient for unknown parameter {name!r}")
             self._update_rows(name, params[name], rows, grads)
+            if dirty_mark is not None:
+                dirty_mark(name, rows)
 
     @abstractmethod
     def _update_rows(

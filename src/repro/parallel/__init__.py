@@ -22,8 +22,9 @@ provides the three pieces:
 wires them together; the CLI exposes ``--n-shards``/``--refresh-workers``.
 """
 
+from repro.parallel.dirty import DirtyRowTracker
 from repro.parallel.plan import ShardPlan
-from repro.parallel.pool import RefreshPool, ShardResult, ShardTask
+from repro.parallel.pool import RefreshPool, ShardResult, ShardTask, SyncReport
 from repro.parallel.sharded import (
     ShardedArrayCache,
     ShardedBucketedArrayCache,
@@ -33,6 +34,7 @@ from repro.parallel.sharded import (
 )
 
 __all__ = [
+    "DirtyRowTracker",
     "RefreshPool",
     "ShardPlan",
     "ShardResult",
@@ -41,5 +43,6 @@ __all__ = [
     "ShardedBucketedArrayCache",
     "ShardedCacheStore",
     "SharedArrayBlock",
+    "SyncReport",
     "make_sharded_cache",
 ]

@@ -8,16 +8,34 @@ anchor/relation ids plus storage rows, a few KiB — to a persistent worker
 process and lets it run the *same* fused score-and-select kernel the
 sequential path uses, scattering survivors straight back into shared
 memory.  Worker processes are forked once and live for the whole
-training run; the only per-batch cost beyond the task messages is one
-``memcpy`` of the model parameters into a shared read-only block
-(:meth:`RefreshPool.sync_params`), which keeps workers scoring with the
-*current* embeddings exactly as Algorithm 3 requires.
+training run.
+
+Keeping workers on current embeddings costs one parameter publish per
+refresh (:meth:`RefreshPool.sync_params`).  Two mechanisms keep that
+publish off the critical path:
+
+* **Dirty-row sync** — a :class:`~repro.parallel.dirty.DirtyRowTracker`
+  per shared buffer accumulates the rows the optimiser actually touched
+  (callers report them via :meth:`RefreshPool.mark_dirty`); the sync
+  then ships only ``param[rows]`` slices.  The first sync per buffer,
+  any un-marked run, and heavily-dirty tables fall back to the full
+  contiguous copy — bit-identical either way, the tracker only changes
+  *how many bytes* move.
+* **Double buffering + dispatch/collect** — with ``double_buffer=True``
+  two shared parameter blocks alternate: :meth:`dispatch` publishes the
+  pre-step snapshot into the inactive buffer, flips the buffer index the
+  workers read per task, and returns immediately; the trainer runs its
+  gradient/optimizer phases while the workers refresh, and
+  :meth:`collect` picks up the results at the top of the next batch.
+  Algorithm 3 only needs *pre-step* parameters, so overlapping the
+  refresh with the step changes nothing about the results.
 
 Determinism: every task draws from its own generator seeded by
 ``(seed, mode, shard_id, epoch, batch)``.  Streams belong to *shards*,
 not workers, so results are bit-identical across worker counts,
-scheduling orders, and the in-process fallback (``use_processes=False``
-or platforms without ``fork``) — two seeded runs always produce the same
+scheduling orders, the in-process fallback (``use_processes=False``
+or platforms without ``fork``), dirty vs full sync, and overlapped vs
+synchronous execution — two seeded runs always produce the same
 caches and training trajectory.  Note this stream layout differs from
 the sequential single-stream path: parallel refresh (>= 2 workers) is a
 *deterministic sibling* of sequential training, not a bit-identical twin;
@@ -32,6 +50,7 @@ import os
 import queue as queue_module
 import time
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -42,9 +61,10 @@ from repro.core.strategies import (
     selection_changed_elements,
 )
 from repro.models.base import CANDIDATE_MODES, KGEModel
+from repro.parallel.dirty import DirtyRowTracker
 from repro.parallel.sharded import ShardedCacheStore, SharedArrayBlock
 
-__all__ = ["RefreshPool", "ShardTask", "ShardResult"]
+__all__ = ["RefreshPool", "ShardTask", "ShardResult", "SyncReport"]
 
 #: Stable ordinal per corruption mode, mixed into the per-task seed so the
 #: head- and tail-cache refreshes of one shard draw independent streams.
@@ -95,6 +115,29 @@ class ShardResult:
     worker_pid: int = 0
 
 
+class SyncReport(NamedTuple):
+    """What one :meth:`RefreshPool.sync_params` publish actually moved.
+
+    ``bytes_copied / total_bytes`` is the dirty fraction the obs layer
+    tracks; ``full_tables`` counts parameter tables that took the
+    contiguous full-copy path (first sync, un-marked run, or past the
+    tracker's dirty threshold).
+    """
+
+    bytes_copied: int
+    rows_copied: int
+    total_bytes: int
+    full_tables: int
+    n_tables: int
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of the full parameter bytes this sync shipped."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.bytes_copied / self.total_bytes
+
+
 @dataclass(frozen=True)
 class _TaskFailure:
     """A worker-side exception, shipped back as text."""
@@ -116,18 +159,26 @@ class _WorkerState:
     ``run`` is also the single-process fallback: the pool calls it inline
     when processes are disabled or unavailable, so both execution modes
     share one code path (and are therefore bit-identical).
+
+    ``models`` holds one read-only parameter view per shared buffer;
+    ``buffer_flag`` is a shared 1-element index naming the buffer the
+    current batch was published into.  The flag only ever flips between
+    a :meth:`RefreshPool.collect` and the next :meth:`dispatch` (the
+    pool enforces one batch in flight), so a per-task read is race-free.
     """
 
     def __init__(
         self,
-        model: KGEModel,
+        models: tuple[KGEModel, ...],
+        buffer_flag: np.ndarray,
         sides: dict[str, _SideState],
         n_entities: int,
         candidate_size: int,
         update_strategy: UpdateStrategy,
         seed: int,
     ) -> None:
-        self.model = model
+        self.models = models
+        self.buffer_flag = buffer_flag
         self.sides = sides
         self.n_entities = n_entities
         self.candidate_size = candidate_size
@@ -153,6 +204,7 @@ class _WorkerState:
             else 0.0
         )
         started = time.perf_counter()
+        model = self.models[int(self.buffer_flag[0])]
         side = self.sides[task.mode]
         cache = side.view
         cache.rng = self.task_rng(task)
@@ -165,7 +217,7 @@ class _WorkerState:
         union[:, n1:] = cache.rng.integers(
             0, self.n_entities, size=(len(task.rows), n2), dtype=np.int64
         )
-        scores = self.model.score_candidates(
+        scores = model.score_candidates(
             task.anchors, task.relations, union, task.mode
         )
         selection = select_cache_survivors(
@@ -213,8 +265,8 @@ class RefreshPool:
     Parameters
     ----------
     model:
-        The training model; its parameters are mirrored into a shared
-        read-only block before every refresh (:meth:`sync_params`).
+        The training model; its parameters are mirrored into shared
+        read-only blocks before every refresh (:meth:`sync_params`).
     caches:
         One :class:`~repro.parallel.sharded.ShardedCacheStore` per
         corruption mode (``"head"``/``"tail"``) — storage must already be
@@ -229,6 +281,18 @@ class RefreshPool:
     seed:
         Base entropy for the per-``(mode, shard, epoch, batch)`` task
         streams.
+    double_buffer:
+        Allocate **two** shared parameter blocks instead of one, so a
+        batch's snapshot can be published (and its tasks dispatched)
+        while the previous batch's results are still outstanding — the
+        overlap mode of :meth:`dispatch`/:meth:`collect`.  Costs one
+        extra parameter mirror of memory.
+    dirty_sync:
+        Allow delta-based parameter publishes: once a caller starts
+        reporting touched rows via :meth:`mark_dirty`, each sync ships
+        only the dirty slices.  ``False`` pins the full-copy path (for
+        A/B benchmarking).  Either way the first sync per buffer and
+        un-marked runs take the full copy, so results are identical.
     """
 
     def __init__(
@@ -242,6 +306,8 @@ class RefreshPool:
         seed: int,
         n_workers: int = 1,
         use_processes: bool = True,
+        double_buffer: bool = False,
+        dirty_sync: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -255,8 +321,19 @@ class RefreshPool:
         self.update_strategy = UpdateStrategy(update_strategy)
         self.seed = int(seed)
         self.n_workers = int(n_workers)
+        self.n_buffers = 2 if double_buffer else 1
+        self.dirty_sync = bool(dirty_sync)
         self._want_processes = bool(use_processes) and self.n_workers >= 2
-        self._param_blocks: dict[str, SharedArrayBlock] = {}
+        #: Per-buffer ``{name: block}`` parameter mirrors (filled by start).
+        self._param_blocks: list[dict[str, SharedArrayBlock]] = []
+        self._flag_block: SharedArrayBlock | None = None
+        self._trackers: list[DirtyRowTracker] = []
+        self._armed = False  # becomes True on the first mark_dirty()
+        self._publish = 0  # buffer index the next dispatch publishes into
+        self._inflight = 0  # dispatched-but-uncollected task count
+        self._inline_pending: list[ShardResult | _TaskFailure] = []
+        #: The most recent :class:`SyncReport` (telemetry; None pre-sync).
+        self.last_sync: SyncReport | None = None
         self._state: _WorkerState | None = None
         self._processes: list[mp.process.BaseProcess] = []
         self._tasks: object | None = None
@@ -269,24 +346,43 @@ class RefreshPool:
         """Whether tasks actually run in worker processes (after start)."""
         return bool(self._processes)
 
+    @property
+    def inflight(self) -> int:
+        """Dispatched tasks not yet collected (0 = nothing outstanding)."""
+        return self._inflight
+
     def start(self) -> "RefreshPool":
-        """Allocate the shared parameter block and fork the workers."""
+        """Allocate the shared parameter blocks and fork the workers."""
         if self._started:
             return self
         self._started = True
 
         # Mirror the model into shared memory: workers score through
-        # read-only views of these blocks, so one parent-side memcpy per
-        # refresh is all it takes to keep them on the current embeddings.
-        worker_model = self.model.copy()
-        for name, param in self.model.params.items():
-            block = SharedArrayBlock(param.shape, param.dtype)
-            assert block.array is not None
-            np.copyto(block.array, param)
-            self._param_blocks[name] = block
-            view = block.array.view()
-            view.setflags(write=False)
-            worker_model.params[name] = view
+        # read-only views of these blocks, so a parent-side publish per
+        # refresh is all it takes to keep them on the right embeddings.
+        # With double buffering each buffer gets its own full mirror and
+        # its own dirty tracker (a buffer is only as stale as *its* last
+        # publish, which is two batches back when buffers alternate).
+        self._flag_block = SharedArrayBlock((1,), np.int64)
+        assert self._flag_block.array is not None
+        row_counts = {
+            name: int(param.shape[0])
+            for name, param in self.model.params.items()
+        }
+        worker_models = []
+        for _ in range(self.n_buffers):
+            blocks: dict[str, SharedArrayBlock] = {}
+            worker_model = self.model.copy()
+            for name, param in self.model.params.items():
+                block = SharedArrayBlock(param.shape, param.dtype)
+                assert block.array is not None
+                blocks[name] = block
+                view = block.array.view()
+                view.setflags(write=False)
+                worker_model.params[name] = view
+            self._param_blocks.append(blocks)
+            self._trackers.append(DirtyRowTracker(row_counts))
+            worker_models.append(worker_model)
 
         sides: dict[str, _SideState] = {}
         for mode, store in self.caches.items():
@@ -305,7 +401,8 @@ class RefreshPool:
             )
             sides[mode] = _SideState(view=view, n1=int(layout["size"]))  # type: ignore[arg-type]
         self._state = _WorkerState(
-            worker_model,
+            tuple(worker_models),
+            self._flag_block.array,
             sides,
             self.n_entities,
             self.candidate_size,
@@ -332,7 +429,19 @@ class RefreshPool:
         return self
 
     def close(self) -> None:
-        """Stop the workers and release the shared parameter block."""
+        """Stop the workers and release the shared parameter blocks.
+
+        An uncollected in-flight refresh is drained best-effort first —
+        its results (and any failures) are discarded, but the queue ends
+        empty so the worker shutdown below cannot interleave sentinels
+        with unread answers.  A dead worker aborts the drain rather than
+        hanging the close.
+        """
+        if self._inflight:
+            try:
+                self.collect()
+            except RuntimeError:
+                pass  # failed/dead workers: shutdown proceeds regardless
         for _ in self._processes:
             assert self._tasks is not None
             self._tasks.put(None)  # type: ignore[attr-defined]
@@ -349,50 +458,196 @@ class RefreshPool:
             self._results.close()  # type: ignore[attr-defined]
             self._results = None
         self._state = None
-        blocks, self._param_blocks = self._param_blocks, {}
-        for block in blocks.values():
-            block.release()
+        self._trackers = []
+        self._armed = False
+        self._publish = 0
+        self._inline_pending = []
+        block_sets, self._param_blocks = self._param_blocks, []
+        for blocks in block_sets:
+            for block in blocks.values():
+                block.release()
+        if self._flag_block is not None:
+            self._flag_block.release()
+            self._flag_block = None
         self._started = False
 
+    # -- dirty-row tracking ----------------------------------------------------
+    def mark_dirty(self, name: str, rows: np.ndarray) -> None:
+        """Report that ``model.params[name][rows]`` changed since last sync.
+
+        The contract behind delta syncs: once a caller starts marking, it
+        must mark *every* parameter mutation (the trainer reports the
+        optimiser's touched rows and the post-step normalisation).  Marks
+        before :meth:`start` are safely dropped — every buffer's first
+        sync is a full copy regardless.
+        """
+        self._armed = True
+        if not self._started:
+            return
+        for tracker in self._trackers:
+            tracker.mark(name, rows)
+
+    def mark_all_dirty(self) -> None:
+        """Force the next sync of every buffer back to a full copy.
+
+        The escape hatch for bulk parameter mutations that bypass row
+        tracking (checkpoint restore, manual edits).
+        """
+        for tracker in self._trackers:
+            tracker.mark_all()
+
+    def dirty_fraction(self) -> float:
+        """Pending dirty fraction of the buffer the next sync publishes."""
+        if not self._trackers:
+            return 1.0
+        return self._trackers[self._publish].pending_fraction()
+
     # -- per-refresh operations -------------------------------------------------
-    def sync_params(self) -> None:
-        """Copy the model's current parameters into the shared block."""
-        for name, block in self._param_blocks.items():
-            assert block.array is not None
-            np.copyto(block.array, self.model.params[name])
+    def sync_params(self) -> SyncReport:
+        """Publish current parameters into the next dispatch's buffer.
 
-    def refresh(self, tasks: list[ShardTask]) -> list[ShardResult]:
-        """Run a batch's shard tasks (both modes together) and collect results.
-
-        Blocks until every task completed; raises ``RuntimeError`` if a
-        worker reported an exception or died.
+        Delta path: with :attr:`dirty_sync` enabled and at least one
+        :meth:`mark_dirty` call ever made, only each table's dirty rows
+        move (``block[rows] = param[rows]``).  Full path — first sync per
+        buffer, tracking disabled, never-marked runs, or tables past the
+        tracker's threshold — is one contiguous ``np.copyto`` per table.
+        Both paths leave identical bytes in the buffer; the returned
+        :class:`SyncReport` says how many actually moved.
         """
         if not self._started:
             self.start()
-        assert self._state is not None
-        self.sync_params()
-        if not tasks:
-            return []
-        if not self._processes:
-            return [self._state.run(task) for task in tasks]
+        blocks = self._param_blocks[self._publish]
+        tracker = self._trackers[self._publish]
+        use_deltas = self.dirty_sync and self._armed
+        bytes_copied = rows_copied = full_tables = 0
+        total_bytes = 0
+        for name, block in blocks.items():
+            param = self.model.params[name]
+            total_bytes += param.nbytes
+            assert block.array is not None
+            rows = tracker.drain(name) if use_deltas else None
+            if rows is None:
+                np.copyto(block.array, param)
+                bytes_copied += param.nbytes
+                rows_copied += param.shape[0]
+                full_tables += 1
+            elif len(rows):
+                block.array[rows] = param[rows]
+                row_bytes = param.nbytes // max(1, param.shape[0])
+                bytes_copied += len(rows) * row_bytes
+                rows_copied += len(rows)
+        if not use_deltas:
+            # The full copy covered everything: any rows marked between
+            # the previous sync and now are no longer dirty.
+            tracker.mark_all()
+            for name in blocks:
+                tracker.drain(name)
+        report = SyncReport(
+            bytes_copied=bytes_copied,
+            rows_copied=rows_copied,
+            total_bytes=total_bytes,
+            full_tables=full_tables,
+            n_tables=len(blocks),
+        )
+        self.last_sync = report
+        return report
 
-        assert self._tasks is not None and self._results is not None
+    def dispatch(self, tasks: list[ShardTask]) -> int:
+        """Publish a pre-step snapshot and enqueue a batch's shard tasks.
+
+        Returns the number of tasks dispatched (0 for an empty batch —
+        in which case no parameter publish happens either).  The tasks
+        run against the snapshot taken *here*, so the caller is free to
+        mutate the model afterwards; :meth:`collect` picks the results
+        up later.  Only one batch may be in flight: dispatching over an
+        uncollected batch raises ``RuntimeError``.
+
+        Under the inline fallback (no worker processes) the tasks run
+        synchronously right here — same snapshot, same streams, so
+        results are bit-identical to process execution; ``collect``
+        then just hands the stored results back.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                f"{self._inflight} task(s) of a previous dispatch not yet "
+                "collected; call collect() first"
+            )
+        if not tasks:
+            return 0  # nothing to refresh: skip the parameter publish too
+        if not self._started:
+            self.start()
+        assert self._state is not None and self._flag_block is not None
+        self.sync_params()
+        assert self._flag_block.array is not None
+        self._flag_block.array[0] = self._publish
+        self._publish = (self._publish + 1) % self.n_buffers
+        self._inflight = len(tasks)
+        if not self._processes:
+            # Inline fallback: run now, hand back at collect().
+            for task in tasks:
+                try:
+                    self._inline_pending.append(self._state.run(task))
+                except Exception as exc:
+                    import traceback
+
+                    self._inline_pending.append(
+                        _TaskFailure(
+                            f"{type(exc).__name__}: {exc}\n"
+                            f"{traceback.format_exc()}"
+                        )
+                    )
+            return len(tasks)
+        assert self._tasks is not None
         for task in tasks:
             self._tasks.put(task)  # type: ignore[attr-defined]
+        return len(tasks)
+
+    def collect(self) -> list[ShardResult]:
+        """Results of the in-flight dispatch (empty if none outstanding).
+
+        Blocks until every dispatched task completed; raises
+        ``RuntimeError`` if a worker reported an exception or died.  As
+        with the one-shot :meth:`refresh`, one result per dispatched
+        task is always drained even after a failure — a partially read
+        queue would desync every later refresh.
+        """
+        if not self._inflight:
+            return []
+        pending, self._inflight = self._inflight, 0
         results: list[ShardResult] = []
         failure: _TaskFailure | None = None
-        # Always drain one result per dispatched task, even after a
-        # failure — a partially read queue would desync every later
-        # refresh (stale results folded into the wrong batch's counters).
-        for _ in tasks:
-            result = self._next_result()
-            if isinstance(result, _TaskFailure):
-                failure = failure or result
-            else:
-                results.append(result)
+        if not self._processes:
+            drained, self._inline_pending = self._inline_pending, []
+            for result in drained:
+                if isinstance(result, _TaskFailure):
+                    failure = failure or result
+                else:
+                    results.append(result)
+        else:
+            for _ in range(pending):
+                result = self._next_result()
+                if isinstance(result, _TaskFailure):
+                    failure = failure or result
+                else:
+                    results.append(result)
         if failure is not None:
             raise RuntimeError(f"refresh worker failed:\n{failure.message}")
         return results
+
+    def refresh(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Run a batch's shard tasks (both modes together) synchronously.
+
+        The one-shot publish → dispatch → collect sequence; blocks until
+        every task completed.  Raises ``RuntimeError`` if a worker
+        reported an exception or died.  An empty batch is a true no-op:
+        no parameter publish, no task traffic.
+        """
+        if not tasks:
+            if not self._started:
+                self.start()
+            return []
+        self.dispatch(tasks)
+        return self.collect()
 
     def _next_result(self) -> "ShardResult | _TaskFailure":
         """One queued result; waits as long as every worker stays alive.
@@ -427,5 +682,6 @@ class RefreshPool:
         mode = "processes" if self.using_processes else "inline"
         return (
             f"RefreshPool(n_workers={self.n_workers}, mode={mode}, "
+            f"n_buffers={self.n_buffers}, dirty_sync={self.dirty_sync}, "
             f"sides={sorted(self.caches)})"
         )

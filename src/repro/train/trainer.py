@@ -86,10 +86,13 @@ class Trainer:
     #: ``score_candidates`` and ``parallel_refresh`` nest inside
     #: ``cache_update`` (candidate scoring of the sequential refresh, and
     #: dispatch+wait of the pooled refresh); the report makes them
-    #: disjoint.
+    #: disjoint.  ``refresh_overlap`` is the wait for an overlapped
+    #: refresh at the top of the next batch — time the refresh pipeline
+    #: failed to hide behind the gradients/optimizer phases (0 when the
+    #: workers finished first, or when overlap is off).
     PROFILE_PHASES = (
-        "sample", "score", "cache_update", "score_candidates",
-        "parallel_refresh", "gradients", "optimizer",
+        "refresh_overlap", "sample", "score", "cache_update",
+        "score_candidates", "parallel_refresh", "gradients", "optimizer",
     )
 
     def __init__(
@@ -150,6 +153,17 @@ class Trainer:
         # rows, churn, per-shard task timings) into the shared registry.
         if hasattr(self.sampler, "metrics"):
             self.sampler.metrics = metrics
+
+        # Overlapped-refresh samplers hand back a collect hook: the
+        # trainer drains the in-flight dispatch at the top of every batch
+        # (and at epoch end), timing the un-hidden wait as the
+        # ``refresh_overlap`` phase.  Dirty-sync samplers take the rows
+        # every optimizer step / normalisation touches, so parameter
+        # publishes ship only the changed slices.
+        collect = getattr(self.sampler, "collect_refreshes", None)
+        self._collect_refreshes = collect if callable(collect) else None
+        mark = getattr(self.sampler, "mark_dirty_params", None)
+        self._dirty_mark = mark if callable(mark) else None
 
         # Row-indexed samplers resolve the whole split's cache rows once;
         # batches then carry integer slices instead of re-deriving keys.
@@ -342,6 +356,12 @@ class Trainer:
                 losses.append(batch_stats["loss"])
                 nzl_values.append(batch_stats["nzl"])
                 grad_norms.append(batch_stats["grad_norm"])
+            # The last batch's overlapped refresh is still in flight:
+            # wait for it inside the epoch clock so epoch_seconds stays
+            # honest about the full refresh cost.
+            if self._collect_refreshes is not None:
+                with self._phase("refresh_overlap"):
+                    self._collect_refreshes()
 
         stats: dict[str, float] = {
             "loss": float(np.mean(losses)) if losses else 0.0,
@@ -363,6 +383,13 @@ class Trainer:
         ``rows`` carries precomputed cache-row indices for row-indexed
         samplers (sliced from the split-wide precomputation).
         """
+        # Collect the previous batch's overlapped refresh before touching
+        # the caches; whatever wait is left is overlap the step failed to
+        # hide.  (sample() would collect defensively anyway — collecting
+        # here attributes the wait to its own phase, not ``sample``.)
+        if self._collect_refreshes is not None:
+            with self._phase("refresh_overlap"):
+                self._collect_refreshes()
         with self._phase("sample"):
             negatives = (
                 self.sampler.sample(batch, rows)
@@ -395,7 +422,7 @@ class Trainer:
             grad_norm = bag.global_norm()
 
         with self._phase("optimizer"):
-            self.optimizer.step(self.model.params, bag)
+            self.optimizer.step(self.model.params, bag, dirty_mark=self._dirty_mark)
 
             if self.config.normalize:
                 touched = np.concatenate(
@@ -403,6 +430,14 @@ class Trainer:
                      negatives[:, HEAD], negatives[:, TAIL]]
                 )
                 self.model.normalize(touched)
+                if self._dirty_mark is not None:
+                    # Normalisation rewrites the touched entity rows too;
+                    # report them so delta syncs stay complete.  (A subset
+                    # of the optimizer's rows in practice — marked
+                    # explicitly so the sync contract never depends on
+                    # that coincidence.)
+                    for name in self.model.entity_params:
+                        self._dirty_mark(name, touched)
 
         return {
             "loss": float(np.mean(loss_values)),

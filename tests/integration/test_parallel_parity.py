@@ -13,7 +13,11 @@ Three contracts, end to end through the Trainer:
 
 The CI ``parallel-parity`` job runs this module with
 ``REPRO_REFRESH_WORKERS=2`` (the default here) so the multiprocess path
-is exercised with real forked workers.
+is exercised with real forked workers; a second matrix entry adds
+``REPRO_REFRESH_OVERLAP=1``, which re-runs every parallel arm through
+the overlapped dispatch/collect pipeline with dirty-row parameter sync
+— by the overlap contract (pre-step snapshots + per-shard streams) all
+determinism assertions must hold unchanged.
 """
 
 import multiprocessing as mp
@@ -30,6 +34,11 @@ from repro.train.trainer import Trainer
 #: Worker count for the multiprocess arms (CI pins this to 2).
 WORKERS = int(os.environ.get("REPRO_REFRESH_WORKERS", "2"))
 
+#: With REPRO_REFRESH_OVERLAP=1 every parallel arm (workers >= 2) runs
+#: the overlapped dispatch/collect pipeline — same assertions, because
+#: overlap is bit-identical to the synchronous pooled path.
+OVERLAP = os.environ.get("REPRO_REFRESH_OVERLAP", "0") == "1"
+
 FORK_AVAILABLE = "fork" in mp.get_all_start_methods()
 needs_fork = pytest.mark.skipif(
     not FORK_AVAILABLE, reason="fork start method unavailable"
@@ -37,7 +46,10 @@ needs_fork = pytest.mark.skipif(
 
 
 def _train(tiny_kg, backend, *, options=None, workers=1, processes=True,
-           epochs=3, profile=False):
+           epochs=3, profile=False, overlap=None, dirty_sync=True,
+           period=1):
+    if overlap is None:
+        overlap = OVERLAP and workers >= 2
     model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 16, rng=0)
     sampler = NSCachingSampler(
         cache_size=8,
@@ -46,6 +58,9 @@ def _train(tiny_kg, backend, *, options=None, workers=1, processes=True,
         cache_options=options,
         refresh_workers=workers,
         refresh_processes=processes,
+        refresh_overlap=overlap,
+        dirty_sync=dirty_sync,
+        refresh_period=period,
     )
     trainer = Trainer(
         model,
@@ -246,3 +261,162 @@ class TestParallelSurface:
         _assert_same_outcome(*runs)
         # Odd epochs are lazily skipped: their CE must be zero.
         assert runs[0][1][1] == 0 and runs[0][1][3] == 0
+
+
+class TestOverlapParity:
+    """Overlap + dirty sync: bit-identical to the synchronous pooled path.
+
+    Algorithm 3 only needs pre-step parameters, so dispatching a batch's
+    refresh before the gradient/optimizer phases (against the pool's
+    double-buffered snapshot) and collecting at the next batch must land
+    on exactly the parameters/losses/CE of PR 5's synchronous path —
+    whatever the worker count, sync mode, or execution backend.
+    """
+
+    def test_overlap_matches_synchronous_inline(self, tiny_kg):
+        model_s, history_s, trainer_s = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=2, processes=False, overlap=False,
+        )
+        model_o, history_o, trainer_o = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=2, processes=False, overlap=True,
+        )
+        try:
+            _assert_same_outcome(
+                _outcome(model_s, history_s), _outcome(model_o, history_o)
+            )
+        finally:
+            trainer_s.close()
+            trainer_o.close()
+
+    @needs_fork
+    def test_overlap_matches_synchronous_processes(self, tiny_kg):
+        model_s, history_s, trainer_s = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=WORKERS, overlap=False,
+        )
+        model_o, history_o, trainer_o = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=WORKERS, overlap=True,
+        )
+        try:
+            _assert_same_outcome(
+                _outcome(model_s, history_s), _outcome(model_o, history_o)
+            )
+        finally:
+            trainer_s.close()
+            trainer_o.close()
+
+    @needs_fork
+    def test_overlap_independent_of_worker_count(self, tiny_kg):
+        outcomes = []
+        for workers in (WORKERS, WORKERS + 1):
+            model, history, trainer = _train(
+                tiny_kg, "sharded-array", options={"n_shards": 4},
+                workers=workers, overlap=True,
+            )
+            outcomes.append(_outcome(model, history))
+            trainer.close()
+        _assert_same_outcome(*outcomes)
+
+    def test_dirty_sync_matches_full_sync(self, tiny_kg):
+        outcomes = []
+        for dirty_sync in (True, False):
+            model, history, trainer = _train(
+                tiny_kg, "sharded-array", options={"n_shards": 4},
+                workers=2, processes=False, overlap=True,
+                dirty_sync=dirty_sync,
+            )
+            outcomes.append(_outcome(model, history))
+            trainer.close()
+        _assert_same_outcome(*outcomes)
+
+    def test_overlap_profile_reports_its_phase(self, tiny_kg):
+        model, history, trainer = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=2, processes=False, overlap=True, profile=True,
+        )
+        try:
+            report = trainer.profile_report()
+            assert "refresh_overlap" in report
+            assert report["parallel_refresh"] > 0
+            stats = trainer.cache_report()
+            assert stats["refresh_overlap"] is True
+            assert stats["dirty_sync"] is True
+            assert stats["last_sync_bytes"] > 0
+            # On this tiny KG one batch touches most of the entity table,
+            # so the tracker rightly collapses to a full copy — the stat
+            # just has to be a sane fraction (bench X9 shows the delta
+            # win at scale, where batches touch a sliver of the table).
+            assert 0.0 < stats["last_sync_dirty_fraction"] <= 1.0
+        finally:
+            trainer.close()
+
+
+class TestRefreshPeriod:
+    """refresh_period=k: the within-epoch lazy schedule (arXiv 2010.14227)."""
+
+    def test_period_runs_are_reproducible(self, tiny_kg):
+        runs = []
+        for _ in range(2):
+            model, history, trainer = _train(
+                tiny_kg, "sharded-array", options={"n_shards": 4},
+                workers=2, processes=False, period=3,
+            )
+            runs.append(_outcome(model, history))
+            trainer.close()
+        _assert_same_outcome(*runs)
+
+    def test_period_skips_refreshes(self, tiny_kg):
+        """k=3 refreshes a third of the batches: CE must drop, and the
+        trajectory must differ from the every-batch schedule."""
+        _, history_every, trainer_every = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=2, processes=False,
+        )
+        _, history_lazy, trainer_lazy = _train(
+            tiny_kg, "sharded-array", options={"n_shards": 4},
+            workers=2, processes=False, period=3,
+        )
+        try:
+            every = np.asarray(history_every["cache_changes"].values)
+            lazy = np.asarray(history_lazy["cache_changes"].values)
+            assert lazy.sum() < every.sum()
+            assert (lazy > 0).all()  # still refreshing, just less often
+        finally:
+            trainer_every.close()
+            trainer_lazy.close()
+
+    def test_period_composes_with_overlap(self, tiny_kg):
+        runs = []
+        for _ in range(2):
+            model, history, trainer = _train(
+                tiny_kg, "sharded-array", options={"n_shards": 4},
+                workers=2, processes=False, period=2, overlap=True,
+            )
+            runs.append(_outcome(model, history))
+            trainer.close()
+        _assert_same_outcome(*runs)
+
+    def test_sequential_period_reproducible_and_lazier(self, tiny_kg):
+        """The knob is not pool-only: the sequential refresh honours it."""
+        runs = []
+        for _ in range(2):
+            model, history, trainer = _train(tiny_kg, "array", period=2)
+            runs.append(_outcome(model, history))
+            trainer.close()
+        _assert_same_outcome(*runs)
+        _, history_every, trainer_every = _train(tiny_kg, "array")
+        try:
+            assert np.asarray(runs[0][2]).sum() < np.asarray(
+                history_every["cache_changes"].values
+            ).sum()
+        finally:
+            trainer_every.close()
+
+    def test_rejects_bad_period_and_overlap_without_workers(self):
+        with pytest.raises(ValueError, match="refresh_period"):
+            NSCachingSampler(refresh_period=0)
+        with pytest.raises(ValueError, match="refresh_workers >= 2"):
+            NSCachingSampler(refresh_overlap=True)

@@ -33,6 +33,23 @@ class TestSGD:
         with pytest.raises(ValueError, match="learning_rate"):
             SGD(0.0)
 
+    def test_dirty_mark_reports_compacted_rows(self):
+        """The dirty-sync hook sees every touched (name, unique rows)
+        pair, after gradient compaction — exactly what was mutated."""
+        params = {"w": np.zeros((4, 1)), "v": np.zeros((2, 1))}
+        bag = GradientBag()
+        bag.add("w", np.array([2, 0, 2]), np.ones((3, 1)))
+        bag.add("v", np.array([1]), np.ones((1, 1)))
+        seen = {}
+        SGD(0.1).step(params, bag, dirty_mark=lambda n, r: seen.update({n: r.copy()}))
+        np.testing.assert_array_equal(np.sort(seen["w"]), [0, 2])
+        np.testing.assert_array_equal(seen["v"], [1])
+
+    def test_dirty_mark_defaults_to_none(self):
+        params = {"w": np.zeros((2, 1))}
+        SGD(0.1).step(params, _bag([0], [[1.0]]), dirty_mark=None)
+        np.testing.assert_allclose(params["w"][0], [-0.1])
+
 
 class TestAdaGrad:
     def test_accumulator_shrinks_steps(self):

@@ -1,0 +1,146 @@
+"""DirtyRowTracker: marking, draining, and the collapse-to-full heuristic.
+
+The tracker's contract is what makes delta parameter syncs safe: a drain
+must report *every* row marked since the previous drain (or the ``None``
+fully-dirty sentinel), because an under-report means workers silently
+score against stale embeddings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.dirty import DirtyRowTracker
+
+
+def _tracker(**kwargs):
+    return DirtyRowTracker({"entity": 100, "relation": 10}, **kwargs)
+
+
+class TestLifecycle:
+    def test_starts_fully_dirty(self):
+        tracker = _tracker()
+        assert tracker.is_full("entity")
+        assert tracker.is_full("relation")
+        assert tracker.pending_fraction() == 1.0
+
+    def test_first_drain_is_full_then_clean(self):
+        tracker = _tracker()
+        assert tracker.drain("entity") is None  # fully dirty sentinel
+        assert not tracker.is_full("entity")
+        rows = tracker.drain("entity")
+        assert rows is not None and len(rows) == 0
+
+    def test_drain_returns_sorted_unique_rows(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        tracker.mark("entity", np.array([7, 3, 7]))
+        tracker.mark("entity", np.array([3, 1]))
+        np.testing.assert_array_equal(
+            tracker.drain("entity"), np.array([1, 3, 7])
+        )
+        # Drain resets: the next one reports nothing.
+        assert len(tracker.drain("entity")) == 0
+
+    def test_tables_are_independent(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        tracker.drain("relation")
+        tracker.mark("entity", np.array([5]))
+        np.testing.assert_array_equal(tracker.drain("entity"), [5])
+        assert len(tracker.drain("relation")) == 0
+
+    def test_mark_all_restores_full_sentinel(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        tracker.mark("entity", np.array([1, 2]))
+        tracker.mark_all("entity")
+        assert tracker.drain("entity") is None
+
+    def test_mark_all_without_name_covers_every_table(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        tracker.drain("relation")
+        tracker.mark_all()
+        assert tracker.drain("entity") is None
+        assert tracker.drain("relation") is None
+
+
+class TestCollapseToFull:
+    def test_collapses_past_threshold(self):
+        tracker = _tracker(full_threshold=0.5)
+        tracker.drain("entity")
+        tracker.mark("entity", np.arange(60))  # 60% of 100 rows
+        assert tracker.is_full("entity")
+        assert tracker.drain("entity") is None
+
+    def test_duplicate_marks_do_not_collapse(self):
+        """Raw volume triggers a compaction, but only *unique* coverage
+        past the threshold collapses to full."""
+        tracker = _tracker(full_threshold=0.5)
+        tracker.drain("entity")
+        for _ in range(30):
+            tracker.mark("entity", np.array([1, 2, 3]))  # 90 raw, 3 unique
+        assert not tracker.is_full("entity")
+        np.testing.assert_array_equal(tracker.drain("entity"), [1, 2, 3])
+
+    def test_threshold_one_never_collapses_below_full(self):
+        tracker = _tracker(full_threshold=1.0)
+        tracker.drain("entity")
+        tracker.mark("entity", np.arange(99))
+        rows = tracker.drain("entity")
+        assert rows is not None and len(rows) == 99
+
+
+class TestIntrospection:
+    def test_pending_rows_is_a_raw_upper_bound(self):
+        tracker = _tracker()
+        assert tracker.pending_rows("entity") == 100  # fully dirty
+        tracker.drain("entity")
+        tracker.mark("entity", np.array([1, 1, 2]))
+        assert tracker.pending_rows("entity") == 3  # pre-dedup
+
+    def test_pending_fraction_tracks_marks(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        tracker.drain("relation")
+        assert tracker.pending_fraction() == 0.0
+        tracker.mark("entity", np.arange(11))
+        assert tracker.pending_fraction() == pytest.approx(11 / 110)
+
+    def test_repr_names_pending_and_full(self):
+        text = repr(_tracker())
+        assert "entity" in text and "full" in text
+
+
+class TestValidation:
+    def test_rejects_unknown_names(self):
+        tracker = _tracker()
+        with pytest.raises(KeyError, match="unknown parameter"):
+            tracker.mark("typo", np.array([0]))
+        with pytest.raises(KeyError, match="unknown parameter"):
+            tracker.drain("typo")
+        with pytest.raises(KeyError, match="unknown parameter"):
+            tracker.mark_all("typo")
+
+    def test_rejects_out_of_range_rows(self):
+        tracker = _tracker()
+        tracker.drain("entity")
+        with pytest.raises(ValueError, match="must lie in"):
+            tracker.mark("entity", np.array([100]))
+        with pytest.raises(ValueError, match="must lie in"):
+            tracker.mark("entity", np.array([-1]))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="full_threshold"):
+            DirtyRowTracker({"entity": 10}, full_threshold=0.0)
+        with pytest.raises(ValueError, match="full_threshold"):
+            DirtyRowTracker({"entity": 10}, full_threshold=1.5)
+        with pytest.raises(ValueError, match="row count"):
+            DirtyRowTracker({"entity": 0})
+
+    def test_empty_marks_and_marks_while_full_are_noops(self):
+        tracker = _tracker()
+        tracker.mark("entity", np.empty(0, dtype=np.int64))  # full: no-op
+        tracker.drain("entity")
+        tracker.mark("entity", np.empty(0, dtype=np.int64))
+        assert tracker.pending_rows("entity") == 0

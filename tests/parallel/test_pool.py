@@ -36,7 +36,7 @@ def _head_index() -> KeyIndex:
     )
 
 
-def _make_pool(n_workers, use_processes, n_shards=3, seed=7):
+def _make_pool(n_workers, use_processes, n_shards=3, seed=7, **pool_kwargs):
     model = make_model("DistMult", N_ENTITIES, N_RELATIONS, 6, rng=0)
     caches = {}
     for mode in ("head", "tail"):
@@ -54,6 +54,7 @@ def _make_pool(n_workers, use_processes, n_shards=3, seed=7):
         seed=seed,
         n_workers=n_workers,
         use_processes=use_processes,
+        **pool_kwargs,
     )
     return pool, caches
 
@@ -238,7 +239,7 @@ class TestPoolMechanics:
             pool.start()
             pool.model.params["entity"][:] = 123.0
             pool.sync_params()
-            worker_view = pool._state.model.params["entity"]
+            worker_view = pool._state.models[0].params["entity"]
             assert float(worker_view[0, 0]) == 123.0
             assert not worker_view.flags.writeable  # read-only snapshot
         finally:
@@ -291,6 +292,35 @@ class TestPoolMechanics:
             for store in caches.values():
                 store.close()
 
+    def test_close_drains_uncollected_inflight_refresh(self):
+        """close() over an uncollected dispatch must not wedge the queues:
+        the in-flight results are drained (and discarded) first."""
+        pool, caches = _make_pool(
+            2, use_processes=False, double_buffer=True
+        )
+        try:
+            pool.start()
+            assert pool.dispatch(_tasks(caches)) > 0
+            assert pool.inflight > 0
+            pool.close()
+            assert pool.inflight == 0
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_close_drains_uncollected_inflight_refresh_with_processes(self):
+        pool, caches = _make_pool(2, use_processes=True, double_buffer=True)
+        try:
+            pool.start()
+            assert pool.dispatch(_tasks(caches)) > 0
+            pool.close()  # must neither hang nor raise
+            assert pool.inflight == 0
+        finally:
+            for store in caches.values():
+                store.close()
+
     def test_rejects_bad_construction(self):
         model = make_model("TransE", N_ENTITIES, N_RELATIONS, 4, rng=0)
         with pytest.raises(ValueError, match="n_workers"):
@@ -305,3 +335,273 @@ class TestPoolMechanics:
                 n_entities=N_ENTITIES, candidate_size=2,
                 update_strategy="importance", seed=0,
             )
+
+
+class TestDirtySync:
+    def test_unmarked_sync_takes_the_full_copy_path(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            report = pool.sync_params()
+            assert report.full_tables == report.n_tables
+            assert report.bytes_copied == report.total_bytes
+            assert report.dirty_fraction == 1.0
+            # Still full: nobody ever marked, so deltas never engage.
+            assert pool.sync_params().full_tables == report.n_tables
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_marked_sync_ships_only_dirty_rows(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            pool.sync_params()  # first sync: full copy, tracker drained
+            rows = np.array([0, 3, 9])
+            pool.model.params["entity"][rows] = 42.0
+            pool.mark_dirty("entity", rows)
+            report = pool.sync_params()
+            assert report.full_tables == 0
+            assert report.rows_copied == len(rows)
+            assert report.bytes_copied < report.total_bytes
+            assert 0.0 < report.dirty_fraction < 1.0
+            view = pool._state.models[0].params["entity"]
+            np.testing.assert_array_equal(view[rows], 42.0)
+            assert pool.last_sync is report
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_delta_and_full_sync_agree_bit_for_bit(self):
+        """The tentpole's agreement contract: after identical mutation +
+        mark sequences, the delta-synced buffer equals the full-copy one."""
+        pools = {}
+        stores = []
+        try:
+            for dirty_sync in (True, False):
+                pool, caches = _make_pool(1, use_processes=False,
+                                          dirty_sync=dirty_sync)
+                stores.extend(caches.values())
+                pool.start()
+                pool.sync_params()
+                rng = np.random.default_rng(11)
+                for _ in range(5):
+                    rows = rng.integers(0, N_ENTITIES, size=6)
+                    pool.model.params["entity"][rows] += 0.5
+                    pool.mark_dirty("entity", rows)
+                    rel = rng.integers(0, N_RELATIONS, size=2)
+                    pool.model.params["relation"][rel] -= 0.25
+                    pool.mark_dirty("relation", rel)
+                    pool.sync_params()
+                pools[dirty_sync] = pool
+            for name in ("entity", "relation"):
+                np.testing.assert_array_equal(
+                    pools[True]._state.models[0].params[name],
+                    pools[False]._state.models[0].params[name],
+                )
+            assert pools[True].last_sync.bytes_copied < (
+                pools[False].last_sync.bytes_copied
+            )
+        finally:
+            for pool in pools.values():
+                pool.close()
+            for store in stores:
+                store.close()
+
+    def test_mark_all_dirty_forces_full_copy(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            pool.sync_params()
+            pool.mark_dirty("entity", np.array([1]))  # arm delta syncs
+            pool.sync_params()
+            pool.model.params["entity"][:] = 7.0  # untracked bulk edit
+            pool.mark_all_dirty()  # the escape hatch
+            report = pool.sync_params()
+            assert report.full_tables == report.n_tables
+            view = pool._state.models[0].params["entity"]
+            np.testing.assert_array_equal(view, 7.0)
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_empty_refresh_skips_the_parameter_publish(self):
+        """The satellite bugfix: refresh([]) must not pay the memcpy."""
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            pool.sync_params()
+            pool.model.params["entity"][:] = 123.0
+            assert pool.refresh([]) == []
+            view = pool._state.models[0].params["entity"]
+            assert float(view[0, 0]) != 123.0  # snapshot untouched
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_dirty_fraction_reflects_pending_marks(self):
+        pool, caches = _make_pool(1, use_processes=False)
+        try:
+            pool.start()
+            assert pool.dirty_fraction() == 1.0  # first sync pending
+            pool.sync_params()
+            assert pool.dirty_fraction() == 0.0
+            pool.mark_dirty("entity", np.array([0, 1]))
+            assert 0.0 < pool.dirty_fraction() < 1.0
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+
+def _overlap_rounds(use_processes, overlap, rounds=3, mutate=True):
+    """Cache states after `rounds` refreshes, overlapped or one-shot.
+
+    ``mutate`` perturbs the model *after* each dispatch — under overlap
+    the tasks must still see the pre-step snapshot, so results have to
+    match the synchronous pool that syncs before refreshing.
+    """
+    pool, caches = _make_pool(
+        2, use_processes=use_processes, double_buffer=overlap
+    )
+    try:
+        with pool:
+            for batch in range(rounds):
+                tasks = _tasks(caches, epoch=0, batch=batch)
+                if overlap:
+                    pool.dispatch(tasks)
+                    if mutate:
+                        pool.model.params["entity"][:] += 0.125
+                    results = pool.collect()
+                else:
+                    results = pool.refresh(tasks)
+                    if mutate:
+                        pool.model.params["entity"][:] += 0.125
+                assert len(results) == len(tasks)
+        return {
+            mode: store.gather(np.arange(N_KEYS, dtype=np.int64))
+            for mode, store in caches.items()
+        }
+    finally:
+        for store in caches.values():
+            store.close()
+
+
+class TestOverlap:
+    def test_overlap_matches_one_shot_refresh(self):
+        sync = _overlap_rounds(False, overlap=False)
+        overlapped = _overlap_rounds(False, overlap=True)
+        for mode in sync:
+            np.testing.assert_array_equal(sync[mode], overlapped[mode])
+
+    @needs_fork
+    def test_overlap_matches_one_shot_refresh_with_processes(self):
+        sync = _overlap_rounds(False, overlap=False)
+        overlapped = _overlap_rounds(True, overlap=True)
+        for mode in sync:
+            np.testing.assert_array_equal(sync[mode], overlapped[mode])
+
+    def test_dispatch_rejects_second_batch_in_flight(self):
+        pool, caches = _make_pool(2, use_processes=False, double_buffer=True)
+        try:
+            pool.start()
+            pool.dispatch(_tasks(caches, batch=0))
+            with pytest.raises(RuntimeError, match="not yet collected"):
+                pool.dispatch(_tasks(caches, batch=1))
+            assert pool.collect()  # the first batch is still intact
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_collect_without_dispatch_returns_nothing(self):
+        pool, caches = _make_pool(2, use_processes=False, double_buffer=True)
+        try:
+            pool.start()
+            assert pool.collect() == []
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_empty_dispatch_is_a_noop(self):
+        pool, caches = _make_pool(2, use_processes=False, double_buffer=True)
+        try:
+            pool.start()
+            assert pool.dispatch([]) == 0
+            assert pool.inflight == 0
+            assert pool.last_sync is None  # no publish happened
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    def test_double_buffers_alternate(self):
+        pool, caches = _make_pool(2, use_processes=False, double_buffer=True)
+        try:
+            pool.start()
+            flags = []
+            for batch in range(3):
+                pool.dispatch(_tasks(caches, batch=batch))
+                flags.append(int(pool._flag_block.array[0]))
+                pool.collect()
+            assert flags == [0, 1, 0]
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_worker_death_mid_overlap_fails_collect(self, monkeypatch):
+        """A dispatched batch whose workers die must fail the collect with
+        a clear error instead of hanging training."""
+        from repro.parallel import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "_RESULT_POLL_SECONDS", 0.2)
+        pool, caches = _make_pool(2, use_processes=True, double_buffer=True)
+        try:
+            pool.start()
+            # Kill the workers first so the dispatched tasks can never be
+            # answered — the deterministic version of mid-overlap death.
+            for process in pool._processes:
+                process.terminate()
+            for process in pool._processes:
+                process.join(timeout=5.0)
+            pool.dispatch(_tasks(caches))
+            with pytest.raises(RuntimeError, match="died without answering"):
+                pool.collect()
+            assert pool.inflight == 0
+            pool.close()  # shutdown after the failure must not hang
+        finally:
+            for store in caches.values():
+                store.close()
+
+    @needs_fork
+    def test_overlap_failure_drains_queue_for_next_dispatch(self):
+        """A _TaskFailure inside an overlapped batch must leave the result
+        queue empty: the next dispatch/collect gets exactly its own
+        answers."""
+        pool, caches = _make_pool(2, use_processes=True, double_buffer=True)
+        try:
+            pool.start()
+            bad = ShardTask(
+                "head", 0, 0, 0,
+                np.array([0]), np.array([0]), np.array([N_KEYS + 100]),
+            )
+            pool.dispatch(_tasks(caches) + [bad])
+            with pytest.raises(RuntimeError, match="refresh worker failed"):
+                pool.collect()
+            follow_up = _tasks(caches, batch=1)
+            pool.dispatch(follow_up)
+            results = pool.collect()
+            assert sorted((r.mode, r.shard) for r in results) == sorted(
+                (t.mode, t.shard) for t in follow_up
+            )
+        finally:
+            pool.close()
+            for store in caches.values():
+                store.close()

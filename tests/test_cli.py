@@ -354,7 +354,9 @@ class TestParallelRefreshCLI:
         assert code == 2
         assert "only apply to the NSCaching sampler" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("flag", ("--n-shards", "--refresh-workers"))
+    @pytest.mark.parametrize(
+        "flag", ("--n-shards", "--refresh-workers", "--refresh-period")
+    )
     def test_non_positive_counts_rejected_at_parse(self, capsys, flag):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(
@@ -363,6 +365,90 @@ class TestParallelRefreshCLI:
             )
         assert excinfo.value.code == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestOverlapRefreshCLI:
+    def test_overlap_flags_reach_sampler_kwargs(self):
+        from repro.cli import _sampler_kwargs
+
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--cache-backend", "sharded-array", "--refresh-workers", "2",
+             "--refresh-overlap", "--refresh-period", "4", "--no-dirty-sync"]
+        )
+        kwargs = _sampler_kwargs(args)
+        assert kwargs["refresh_overlap"] is True
+        assert kwargs["refresh_period"] == 4
+        assert kwargs["dirty_sync"] is False
+
+    def test_defaults_keep_synchronous_full_sync_semantics(self):
+        from repro.cli import _sampler_kwargs
+
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE"]
+        )
+        kwargs = _sampler_kwargs(args)
+        assert kwargs["refresh_overlap"] is False
+        assert kwargs["refresh_period"] == 1
+        assert kwargs["dirty_sync"] is True
+
+    def test_overlap_without_workers_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--cache-backend", "sharded-array",
+                "--refresh-overlap",
+            ]
+        )
+        assert code == 2
+        assert "refresh_workers >= 2" in capsys.readouterr().err
+
+    def test_overlap_flags_with_other_sampler_fail_cleanly(self, capsys):
+        for flags in (["--refresh-overlap"], ["--refresh-period", "2"]):
+            code = main(
+                [
+                    "train",
+                    "--dataset", "WN18RR",
+                    "--model", "TransE",
+                    "--epochs", "1",
+                    "--scale", "0.05",
+                    "--sampler", "Bernoulli",
+                    *flags,
+                ]
+            )
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "only apply to the NSCaching sampler" in err
+
+    def test_end_to_end_overlap_training(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "1",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--cache-backend", "sharded-array",
+                "--n-shards", "2",
+                "--refresh-workers", "2",
+                "--refresh-overlap",
+                "--refresh-period", "2",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mrr" in out
+        assert "refresh_overlap" in out
+        assert "refresh_period" in out
+        assert "dirty_sync" in out
 
 
 class TestObservabilityCLI:
