@@ -17,8 +17,8 @@ The package is organised around the paper's stack (see DESIGN.md):
   multiprocess :class:`~repro.parallel.pool.RefreshPool`;
 * :mod:`repro.train` — the mini-batch trainer, callbacks, pretraining and
   grid search;
-* :mod:`repro.eval` — filtered link prediction, triplet classification and
-  negative-score CCDF analysis;
+* :mod:`repro.eval` — filtered link prediction (full and sampled
+  protocols), triplet classification and negative-score CCDF analysis;
 * :mod:`repro.bench` — the experiment registry and reporting harness that
   regenerates every table and figure;
 * :mod:`repro.obs` — observability: a near-zero-overhead metrics registry
@@ -70,6 +70,7 @@ from repro.eval import (
     evaluate,
     link_prediction,
     per_category_link_prediction,
+    sampled_link_prediction,
     triplet_classification,
 )
 from repro.models import (
@@ -171,6 +172,7 @@ __all__ = [
     "per_category_link_prediction",
     "pretrain",
     "read_run_log",
+    "sampled_link_prediction",
     "save_model",
     "triplet_classification",
     "warm_start",

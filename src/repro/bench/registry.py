@@ -189,6 +189,15 @@ EXPERIMENTS: dict[str, Experiment] = {
              "repro.train.trainer"),
             "benchmarks/bench_async_refresh.py",
         ),
+        Experiment(
+            "X10",
+            "Extension: sampled ranking evaluation on million-entity graphs",
+            "sampled vs full filtered ranking: agreement at growing K on a "
+            "small graph, eval queries/sec and speedup vs the extrapolated "
+            "full-ranking cost at E=1M, K=500",
+            ("repro.eval.sampled", "repro.eval.filters", "repro.models.base"),
+            "benchmarks/bench_sampled_eval.py",
+        ),
     )
 }
 

@@ -10,6 +10,8 @@
   category and prediction side (the TransE/TransH breakdown);
 * :mod:`repro.eval.filters` — filtered-candidate mask construction shared
   with the serving layer;
+* :mod:`repro.eval.sampled` — sampled/restricted ranking against K
+  filtered random negatives (million-entity graphs);
 * :mod:`repro.eval.protocol` — the one-call bundle used by callbacks and
   benchmarks.
 """
@@ -24,6 +26,7 @@ from repro.eval.classification import (
 from repro.eval.per_relation import CategoryBreakdown, per_category_link_prediction
 from repro.eval.protocol import evaluate
 from repro.eval.ranking import RankingResult, link_prediction
+from repro.eval.sampled import sampled_link_prediction
 
 __all__ = [
     "CategoryBreakdown",
@@ -37,5 +40,6 @@ __all__ = [
     "tail_filter_masks",
     "negative_distances",
     "per_category_link_prediction",
+    "sampled_link_prediction",
     "triplet_classification",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.dataset import KGDataset
 from repro.data.relations import RelationCategory, categorize_relations
 from repro.data.triples import HEAD, REL, TAIL
+from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.ranking import rank_scores
 from repro.models.base import KGEModel
 
@@ -78,19 +79,11 @@ def per_category_link_prediction(
         h, r, t = batch[:, HEAD], batch[:, REL], batch[:, TAIL]
 
         tail_scores = model.score_all_tails(h, r)
-        tail_mask = (
-            [dataset.true_tails(int(hi), int(ri)) for hi, ri in zip(h, r)]
-            if filtered
-            else None
-        )
+        tail_mask = tail_filter_masks(dataset, h, r) if filtered else None
         tail_ranks = rank_scores(tail_scores, t, tail_mask)
 
         head_scores = model.score_all_heads(r, t)
-        head_mask = (
-            [dataset.true_heads(int(ri), int(ti)) for ri, ti in zip(r, t)]
-            if filtered
-            else None
-        )
+        head_mask = head_filter_masks(dataset, r, t) if filtered else None
         head_ranks = rank_scores(head_scores, h, head_mask)
 
         for i, rel in enumerate(r):

@@ -12,9 +12,14 @@ import numpy as np
 from repro.data.dataset import KGDataset
 from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.ranking import link_prediction
+from repro.eval.sampled import sampled_link_prediction
 from repro.models.base import KGEModel
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["evaluate", "head_filter_masks", "tail_filter_masks"]
+
+#: Valid ``mode`` arguments to :func:`evaluate`.
+EVAL_MODES = ("full", "sampled")
 
 
 def evaluate(
@@ -22,21 +27,63 @@ def evaluate(
     dataset: KGDataset,
     split: str = "test",
     *,
+    mode: str = "full",
     filtered: bool = True,
     hits_at: tuple[int, ...] = (1, 3, 10),
     batch_size: int = 128,
+    num_negatives: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, float]:
     """Filtered link-prediction metrics as a flat dict.
 
     Returns keys ``mrr``, ``mr`` and ``hits@k`` for each requested ``k`` —
     the Table IV columns.
+
+    Parameters
+    ----------
+    mode:
+        ``"full"`` ranks every query against all entities (the exact
+        protocol); ``"sampled"`` ranks against ``num_negatives`` filtered
+        random negatives plus the true entity — O(K) per query, the only
+        practical option on million-entity graphs.
+    num_negatives:
+        Required (and only valid) with ``mode="sampled"``.
+    seed:
+        Negative-draw seed for the sampled mode; ignored by the full mode.
+    metrics:
+        Optional registry receiving the eval phase counters
+        (``eval_queries_total`` etc., labelled by protocol).
     """
-    result = link_prediction(
-        model,
-        dataset,
-        split,
-        filtered=filtered,
-        batch_size=batch_size,
-        hits_at=hits_at,
-    )
+    if mode not in EVAL_MODES:
+        raise ValueError(f"mode must be one of {EVAL_MODES}, got {mode!r}")
+    if mode == "sampled":
+        if num_negatives is None:
+            raise ValueError("mode='sampled' requires num_negatives")
+        result = sampled_link_prediction(
+            model,
+            dataset,
+            split,
+            num_negatives=num_negatives,
+            filtered=filtered,
+            seed=seed,
+            batch_size=batch_size,
+            hits_at=hits_at,
+            metrics=metrics,
+        )
+    else:
+        if num_negatives is not None:
+            raise ValueError(
+                "num_negatives is only valid with mode='sampled' "
+                f"(got mode={mode!r})"
+            )
+        result = link_prediction(
+            model,
+            dataset,
+            split,
+            filtered=filtered,
+            batch_size=batch_size,
+            hits_at=hits_at,
+            metrics=metrics,
+        )
     return dict(result.metrics)

@@ -13,6 +13,7 @@ pessimistic), which prevents constant-score models from appearing perfect.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,8 +22,14 @@ from repro.data.dataset import KGDataset
 from repro.data.triples import HEAD, REL, TAIL
 from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.models.base import KGEModel
+from repro.obs.registry import MetricsRegistry
 
-__all__ = ["RankingResult", "link_prediction", "rank_scores"]
+__all__ = [
+    "RankingResult",
+    "link_prediction",
+    "rank_scores",
+    "record_eval_counters",
+]
 
 
 @dataclass
@@ -36,8 +43,12 @@ class RankingResult:
     def __post_init__(self) -> None:
         ranks = np.asarray(self.ranks, dtype=np.float64)
         if len(ranks) == 0:
-            self.metrics = {"mrr": 0.0, "mr": 0.0}
-            self.metrics.update({f"hits@{k}": 0.0 for k in self.hits_at})
+            # NaN, not 0.0: an MR of 0.0 beats the theoretical optimum of
+            # 1.0, so a minimize-style early stopper on an empty split
+            # would lock onto the bogus value forever.  NaN compares
+            # False against everything, which "no data" should.
+            self.metrics = {"mrr": float("nan"), "mr": float("nan")}
+            self.metrics.update({f"hits@{k}": float("nan") for k in self.hits_at})
             return
         self.metrics = {
             "mrr": float(np.mean(1.0 / ranks)),
@@ -89,6 +100,38 @@ def rank_scores(
     return 1.0 + greater + 0.5 * ties
 
 
+def record_eval_counters(
+    metrics: MetricsRegistry,
+    *,
+    protocol: str,
+    queries: int,
+    candidates: int,
+    batches: int,
+    seconds: float,
+) -> None:
+    """Fold one evaluation pass into the shared eval phase counters.
+
+    Both the full and sampled evaluators report here, so dashboards can
+    compare the two protocols' query volume and cost under one metric
+    family, split by the ``protocol`` label.
+    """
+    labels = {"protocol": protocol}
+    metrics.counter(
+        "eval_queries_total", "ranked link-prediction queries", labels=labels
+    ).inc(queries)
+    metrics.counter(
+        "eval_candidates_scored_total",
+        "candidate entities scored during evaluation",
+        labels=labels,
+    ).inc(candidates)
+    metrics.counter(
+        "eval_batches_total", "evaluation batches processed", labels=labels
+    ).inc(batches)
+    metrics.counter(
+        "eval_seconds_total", "evaluation wall seconds", labels=labels
+    ).inc(seconds)
+
+
 def link_prediction(
     model: KGEModel,
     dataset: KGDataset,
@@ -97,6 +140,7 @@ def link_prediction(
     filtered: bool = True,
     batch_size: int = 128,
     hits_at: tuple[int, ...] = (1, 3, 10),
+    metrics: MetricsRegistry | None = None,
 ) -> RankingResult:
     """Evaluate link prediction over both head and tail queries.
 
@@ -107,8 +151,13 @@ def link_prediction(
     filtered:
         Apply the filtered protocol (all corrupted triples existing in any
         split are removed, §IV-A3).
+    metrics:
+        Optional registry; when given, the evaluator counts queries,
+        scored candidates, batches and wall seconds under
+        ``protocol="full"`` labels.
     """
     triples = getattr(dataset, split)
+    started = time.perf_counter()
     all_ranks: list[np.ndarray] = []
     for start in range(0, len(triples), batch_size):
         batch = triples[start : start + batch_size]
@@ -122,4 +171,13 @@ def link_prediction(
         head_mask = head_filter_masks(dataset, r, t) if filtered else None
         all_ranks.append(rank_scores(head_scores, h, head_mask))
     ranks = np.concatenate(all_ranks) if all_ranks else np.empty(0)
+    if metrics is not None:
+        record_eval_counters(
+            metrics,
+            protocol="full",
+            queries=2 * len(triples),
+            candidates=2 * len(triples) * dataset.n_entities,
+            batches=-(-len(triples) // batch_size) if len(triples) else 0,
+            seconds=time.perf_counter() - started,
+        )
     return RankingResult(ranks=ranks, hits_at=hits_at)

@@ -58,6 +58,12 @@ class EvalCallback(Callback):
     Produces the series behind Figures 2-5: ``metric`` and ``hits@k``
     against both epoch number and accumulated *training* seconds (the
     trainer's clock is paused while this callback evaluates).
+
+    With ``num_negatives`` set, evaluation uses the sampled protocol
+    (:func:`repro.eval.sampled.sampled_link_prediction`) — O(K) per query
+    instead of O(E), the only practical per-epoch validation signal on
+    million-entity graphs.  The draw seed is fixed per callback, so the
+    series is comparable across epochs and across runs.
     """
 
     def __init__(
@@ -68,6 +74,8 @@ class EvalCallback(Callback):
         filtered: bool = True,
         hits_at: tuple[int, ...] = (10,),
         batch_size: int = 128,
+        num_negatives: int | None = None,
+        seed: int = 0,
     ) -> None:
         if every <= 0:
             raise ValueError(f"every must be > 0, got {every}")
@@ -76,6 +84,8 @@ class EvalCallback(Callback):
         self.filtered = filtered
         self.hits_at = hits_at
         self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self.seed = seed
         self.series: dict[str, EpochSeries] = {}
         self.times: list[float] = []
         self.epochs: list[int] = []
@@ -85,9 +95,13 @@ class EvalCallback(Callback):
             trainer.model,
             trainer.dataset,
             self.split,
+            mode="sampled" if self.num_negatives is not None else "full",
             filtered=self.filtered,
             hits_at=self.hits_at,
             batch_size=self.batch_size,
+            num_negatives=self.num_negatives,
+            seed=self.seed,
+            metrics=trainer.metrics,
         )
         self.epochs.append(epoch)
         self.times.append(trainer.train_seconds)
@@ -105,6 +119,19 @@ class EvalCallback(Callback):
             with trainer.paused_clock():
                 metrics = self._record(trainer, epoch)
             stats.update({f"{self.split}_{k}": v for k, v in metrics.items()})
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        # An early-stopped run exits before the configured final epoch,
+        # so the `epoch + 1 == config.epochs` trigger above never fires
+        # and latest() would report a stale mid-run value.  Record the
+        # final model state once, unless the last epoch already did.
+        if trainer.epochs_run == 0:
+            return
+        last = trainer.epochs_run - 1
+        if self.epochs and self.epochs[-1] == last:
+            return
+        with trainer.paused_clock():
+            self._record(trainer, last)
 
     def latest(self, key: str = "mrr") -> float:
         """Most recent value of a metric (NaN if never evaluated)."""

@@ -52,3 +52,60 @@ class TestPerCategoryBreakdown:
         for category, count, head, tail in rows:
             assert isinstance(category, str)
             assert count > 0
+
+    def test_shared_filter_masks_match_per_row_lookups(self, tiny_kg):
+        """Regression: the breakdown used to build its masks with per-row
+        ``dataset.true_tails``/``true_heads`` Python loops instead of the
+        shared ``eval/filters.py`` builders — the exact drift that module
+        exists to prevent.  The vectorised masks must be equivalent."""
+        from repro.eval.filters import head_filter_masks, tail_filter_masks
+
+        triples = tiny_kg.test
+        h, r, t = triples[:, 0], triples[:, 1], triples[:, 2]
+        shared_tails = tail_filter_masks(tiny_kg, h, r)
+        shared_heads = head_filter_masks(tiny_kg, r, t)
+        for i, (hi, ri, ti) in enumerate(zip(h, r, t)):
+            np.testing.assert_array_equal(
+                np.sort(shared_tails[i]),
+                np.sort(tiny_kg.true_tails(int(hi), int(ri))),
+            )
+            np.testing.assert_array_equal(
+                np.sort(shared_heads[i]),
+                np.sort(tiny_kg.true_heads(int(ri), int(ti))),
+            )
+
+    def test_breakdown_unchanged_by_mask_builder_swap(self, tiny_kg):
+        """End to end: the filtered breakdown computed through the shared
+        mask builders matches a reference computed with the old per-row
+        lookups (same ranks, same table)."""
+        from repro.data.relations import categorize_relations
+        from repro.eval.ranking import rank_scores
+
+        model = make_model("TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        breakdown = per_category_link_prediction(model, tiny_kg, "test", k=10)
+
+        categories = categorize_relations(tiny_kg.train, tiny_kg.n_relations)
+        triples = tiny_kg.test
+        reference: dict[str, dict[str, list[float]]] = {}
+        for start in range(0, len(triples), 128):
+            batch = triples[start : start + 128]
+            h, r, t = batch[:, 0], batch[:, 1], batch[:, 2]
+            tail_ranks = rank_scores(
+                model.score_all_tails(h, r), t,
+                [tiny_kg.true_tails(int(hi), int(ri)) for hi, ri in zip(h, r)],
+            )
+            head_ranks = rank_scores(
+                model.score_all_heads(r, t), h,
+                [tiny_kg.true_heads(int(ri), int(ti)) for ri, ti in zip(r, t)],
+            )
+            for i, rel in enumerate(r):
+                cell = reference.setdefault(
+                    categories[int(rel)].value, {"head": [], "tail": []}
+                )
+                cell["head"].append(float(head_ranks[i] <= 10))
+                cell["tail"].append(float(tail_ranks[i] <= 10))
+
+        assert set(breakdown.table) == set(reference)
+        for key, cell in reference.items():
+            assert breakdown.table[key]["head"] == pytest.approx(np.mean(cell["head"]))
+            assert breakdown.table[key]["tail"] == pytest.approx(np.mean(cell["tail"]))

@@ -50,9 +50,22 @@ class TestRankingResult:
         assert result.hits(1) == pytest.approx(1 / 3)
         assert result.hits(10) == pytest.approx(1.0)
 
-    def test_empty_ranks(self):
+    def test_empty_ranks_report_nan(self):
+        # Regression: these used to report 0.0, and an MR of 0.0 is
+        # *better* than the theoretical optimum of 1.0 — a minimize-style
+        # early stopper on an empty split would lock onto it forever.
         result = RankingResult(ranks=np.empty(0))
-        assert result.mrr == 0.0
+        assert np.isnan(result.mrr)
+        assert np.isnan(result.mr)
+        for k in result.hits_at:
+            assert np.isnan(result.hits(k))
+
+    def test_empty_ranks_never_beat_a_real_result(self):
+        empty = RankingResult(ranks=np.empty(0))
+        real = RankingResult(ranks=np.array([5.0]))
+        # NaN compares False in both directions, as "no data" should.
+        assert not (empty.mr < real.mr)
+        assert not (empty.mrr > real.mrr)
 
 
 class TestLinkPrediction:

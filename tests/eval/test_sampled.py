@@ -1,0 +1,241 @@
+"""Tests for the sampled/restricted link-prediction evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import KGDataset
+from repro.data.triples import Vocabulary
+from repro.eval.filters import tail_filter_masks
+from repro.eval.protocol import evaluate
+from repro.eval.ranking import link_prediction
+from repro.eval.sampled import sample_filtered_candidates, sampled_link_prediction
+from repro.models import MODEL_REGISTRY, make_model
+from repro.obs.registry import MetricsRegistry
+from repro.utils.rng import ensure_rng
+
+
+class TestCandidateSampling:
+    """Invariants of the vectorised filtered candidate sampler."""
+
+    def _masks_and_truth(self, tiny_kg):
+        triples = tiny_kg.test[:32]
+        h, r, t = triples[:, 0], triples[:, 1], triples[:, 2]
+        return tail_filter_masks(tiny_kg, h, r), t
+
+    def test_true_entity_is_column_zero(self, tiny_kg):
+        masks, t = self._masks_and_truth(tiny_kg)
+        candidates, valid = sample_filtered_candidates(
+            masks, t, tiny_kg.n_entities, 10, ensure_rng(0)
+        )
+        assert np.array_equal(candidates[:, 0], t)
+        assert valid[:, 0].all()
+
+    def test_no_filtered_entity_is_sampled(self, tiny_kg):
+        masks, t = self._masks_and_truth(tiny_kg)
+        candidates, valid = sample_filtered_candidates(
+            masks, t, tiny_kg.n_entities, 25, ensure_rng(3)
+        )
+        for i, mask in enumerate(masks):
+            negatives = candidates[i, 1:][valid[i, 1:]]
+            assert not np.isin(negatives, mask).any()
+            assert (negatives >= 0).all() and (negatives < tiny_kg.n_entities).all()
+
+    def test_negatives_are_distinct_within_a_row(self, tiny_kg):
+        masks, t = self._masks_and_truth(tiny_kg)
+        candidates, valid = sample_filtered_candidates(
+            masks, t, tiny_kg.n_entities, 25, ensure_rng(4)
+        )
+        for i in range(len(masks)):
+            negatives = candidates[i, 1:][valid[i, 1:]]
+            assert len(np.unique(negatives)) == len(negatives)
+
+    def test_small_pool_enumerates_every_allowed_entity(self):
+        # E=6, filter {0, 2, 4} leaves a pool of 3 < K=5: the whole
+        # allowed set must appear, trailing slots marked invalid.
+        masks = [np.array([0, 2, 4], dtype=np.int64)]
+        candidates, valid = sample_filtered_candidates(
+            masks, np.array([0]), 6, 5, ensure_rng(0)
+        )
+        negatives = np.sort(candidates[0, 1:][valid[0, 1:]])
+        assert np.array_equal(negatives, np.array([1, 3, 5]))
+        assert valid[0].sum() == 4  # true + the 3 allowed entities
+
+    def test_empty_batch(self):
+        candidates, valid = sample_filtered_candidates(
+            [], np.empty(0, dtype=np.int64), 10, 5, ensure_rng(0)
+        )
+        assert candidates.shape == (0, 6)
+        assert valid.shape == (0, 6)
+
+
+class TestAgreementWithFullRanking:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_exact_at_full_pool(self, tiny_kg, name):
+        """K >= E-1 must reproduce full filtered ranking bit-identically."""
+        model = make_model(name, tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0)
+        full = link_prediction(model, tiny_kg, "test")
+        sampled = sampled_link_prediction(
+            model, tiny_kg, "test", num_negatives=tiny_kg.n_entities - 1, seed=0
+        )
+        np.testing.assert_array_equal(sampled.ranks, full.ranks)
+        assert sampled.metrics == full.metrics
+
+    def test_exact_at_full_pool_raw(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        full = link_prediction(model, tiny_kg, "test", filtered=False)
+        sampled = sampled_link_prediction(
+            model,
+            tiny_kg,
+            "test",
+            num_negatives=tiny_kg.n_entities - 1,
+            filtered=False,
+            seed=0,
+        )
+        np.testing.assert_array_equal(sampled.ranks, full.ranks)
+
+    def test_sampled_ranks_never_exceed_full_ranks(self, tiny_kg):
+        """Per query: the sampled pool is a subset of the full pool, so
+        the true entity's sampled rank is bounded by its full rank."""
+        model = make_model(
+            "DistMult", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        full = link_prediction(model, tiny_kg, "test")
+        sampled = sampled_link_prediction(
+            model, tiny_kg, "test", num_negatives=15, seed=1
+        )
+        # Both evaluators emit ranks in the same query order.
+        assert len(sampled.ranks) == len(full.ranks)
+        assert (sampled.ranks <= full.ranks + 1e-9).all()
+        assert sampled.ranks.max() <= 16.0
+
+    def test_statistical_gap_is_bounded(self, tiny_kg):
+        """At moderate K the sampled MRR sits above full-ranking MRR but
+        within the gap implied by the pool-size ratio."""
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        full = link_prediction(model, tiny_kg, "test")
+        gaps = []
+        for seed in range(5):
+            sampled = sampled_link_prediction(
+                model, tiny_kg, "test", num_negatives=40, seed=seed
+            )
+            assert sampled.mrr >= full.mrr - 1e-9
+            assert sampled.hits(10) >= full.hits(10) - 1e-9
+            gaps.append(sampled.mrr - full.mrr)
+        # K=40 of E=80 keeps the estimate in the same regime as the full
+        # metric; a generous band still catches a broken sampler (which
+        # drifts toward the K->1 limit of MRR ~ 1).
+        assert np.mean(gaps) < 0.35
+
+
+class TestSampledProtocol:
+    def test_deterministic_under_seed(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        a = sampled_link_prediction(model, tiny_kg, "test",
+                                    num_negatives=20, seed=7)
+        b = sampled_link_prediction(model, tiny_kg, "test",
+                                    num_negatives=20, seed=7)
+        c = sampled_link_prediction(model, tiny_kg, "test",
+                                    num_negatives=20, seed=8)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+        assert not np.array_equal(a.ranks, c.ranks)
+
+    def test_generator_seed_accepted(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        result = sampled_link_prediction(
+            model, tiny_kg, "test", num_negatives=5,
+            seed=np.random.default_rng(0),
+        )
+        assert len(result.ranks) == 2 * len(tiny_kg.test)
+
+    def test_rank_count_is_twice_split_size(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        result = sampled_link_prediction(model, tiny_kg, "test", num_negatives=10)
+        assert len(result.ranks) == 2 * len(tiny_kg.test)
+
+    def test_empty_split_reports_nan(self):
+        vocab = Vocabulary.anonymous(5, 1)
+        train = np.array([(0, 0, 1), (1, 0, 2)])
+        empty = np.empty((0, 3), dtype=np.int64)
+        ds = KGDataset("empty-test", vocab, train, empty, empty)
+        model = make_model("TransE", 5, 1, 4, rng=0)
+        result = sampled_link_prediction(model, ds, "test", num_negatives=3)
+        assert len(result.ranks) == 0
+        assert np.isnan(result.mrr)
+
+    def test_invalid_num_negatives_rejected(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        with pytest.raises(ValueError, match="num_negatives"):
+            sampled_link_prediction(model, tiny_kg, "test", num_negatives=0)
+
+    def test_records_eval_counters(self, tiny_kg):
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        registry = MetricsRegistry()
+        sampled_link_prediction(
+            model, tiny_kg, "test", num_negatives=10, metrics=registry
+        )
+        labels = {"protocol": "sampled"}
+        n_queries = 2 * len(tiny_kg.test)
+        assert registry.value("eval_queries_total", labels) == n_queries
+        assert registry.value("eval_candidates_scored_total", labels) == (
+            n_queries * 11
+        )
+        assert registry.value("eval_seconds_total", labels) > 0.0
+
+
+class TestEvaluateModes:
+    def _model(self, tiny_kg):
+        return make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+
+    def test_full_mode_is_the_default(self, tiny_kg):
+        model = self._model(tiny_kg)
+        assert evaluate(model, tiny_kg, "test") == evaluate(
+            model, tiny_kg, "test", mode="full"
+        )
+
+    def test_sampled_mode_matches_direct_call(self, tiny_kg):
+        model = self._model(tiny_kg)
+        via_protocol = evaluate(
+            model, tiny_kg, "test", mode="sampled", num_negatives=20, seed=5
+        )
+        direct = sampled_link_prediction(
+            model, tiny_kg, "test", num_negatives=20, seed=5
+        )
+        assert via_protocol == direct.metrics
+
+    def test_sampled_mode_requires_num_negatives(self, tiny_kg):
+        with pytest.raises(ValueError, match="num_negatives"):
+            evaluate(self._model(tiny_kg), tiny_kg, "test", mode="sampled")
+
+    def test_full_mode_rejects_num_negatives(self, tiny_kg):
+        with pytest.raises(ValueError, match="num_negatives"):
+            evaluate(self._model(tiny_kg), tiny_kg, "test", num_negatives=5)
+
+    def test_unknown_mode_rejected(self, tiny_kg):
+        with pytest.raises(ValueError, match="mode"):
+            evaluate(self._model(tiny_kg), tiny_kg, "test", mode="approximate")
+
+    def test_full_mode_records_counters(self, tiny_kg):
+        registry = MetricsRegistry()
+        evaluate(self._model(tiny_kg), tiny_kg, "test", metrics=registry)
+        labels = {"protocol": "full"}
+        n_queries = 2 * len(tiny_kg.test)
+        assert registry.value("eval_queries_total", labels) == n_queries
+        assert registry.value("eval_candidates_scored_total", labels) == (
+            n_queries * tiny_kg.n_entities
+        )

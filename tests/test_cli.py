@@ -530,3 +530,49 @@ class TestObservabilityCLI:
         path.write_text("")
         assert main(["metrics", str(path)]) == 2
         assert "empty" in capsys.readouterr().err.lower()
+
+
+class TestSampledEvaluateCLI:
+    def test_sampled_flag_parses(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--checkpoint", "m.npz", "--dataset", "WN18RR",
+             "--sampled", "100", "--eval-seed", "7"]
+        )
+        assert args.sampled == 100
+        assert args.eval_seed == 7
+
+    def test_sampled_defaults_to_full_protocol(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--checkpoint", "m.npz", "--dataset", "WN18RR"]
+        )
+        assert args.sampled is None
+        assert args.eval_seed == 0
+
+    def test_sampled_rejects_nonpositive_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--checkpoint", "m.npz", "--dataset", "WN18RR",
+                 "--sampled", "0"]
+            )
+
+    def test_sampled_evaluate_runs(self, tmp_path, capsys):
+        from repro.data.benchmarks import load_benchmark
+        from repro.models import make_model
+        from repro.models.persistence import save_model
+
+        ds = load_benchmark("WN18RR", seed=0, scale=0.05)
+        checkpoint = save_model(
+            make_model("TransE", ds.n_entities, ds.n_relations, 8, rng=0),
+            tmp_path / "m",
+        )
+        argv = [
+            "evaluate", "--checkpoint", str(checkpoint),
+            "--dataset", "WN18RR", "--scale", "0.05",
+            "--sampled", "10", "--eval-seed", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "mrr" in first
+        # Same K and seed -> identical metrics on a second run.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

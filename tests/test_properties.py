@@ -51,6 +51,43 @@ class TestRankScoreProperties:
         filtered = rank_scores(arr, np.array([col]), [np.asarray(mask, dtype=np.int64)])[0]
         assert filtered <= raw
 
+    @given(
+        scores=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_true_column_survives_any_mask(self, scores, data):
+        """The documented re-admission contract (relied on by both the
+        evaluators and the serving layer): the true column is never
+        excluded, even when it appears in ``mask_cols`` — possibly
+        alongside every other column."""
+        arr = np.asarray([scores])
+        col = data.draw(st.integers(0, len(scores) - 1))
+        extra = data.draw(
+            st.lists(
+                st.integers(0, len(scores) - 1), unique=True, max_size=len(scores)
+            )
+        )
+        mask = np.asarray(sorted(set(extra) | {col}), dtype=np.int64)
+        rank = rank_scores(arr, np.array([col]), [mask])[0]
+        # The true column is ranked only against unmasked competitors:
+        # never worse than with no mask, and exactly 1.0 when the mask
+        # covers every column (the true score competes against itself).
+        assert rank <= rank_scores(arr, np.array([col]), None)[0]
+        survivors = [
+            s for i, s in enumerate(scores) if i == col or i not in set(extra) | {col}
+        ]
+        expected = (
+            1.0
+            + sum(s > scores[col] for s in survivors)
+            + 0.5 * (sum(s == scores[col] for s in survivors) - 1)
+        )
+        assert rank == pytest.approx(expected)
+
 
 class TestCCDFProperties:
     @given(

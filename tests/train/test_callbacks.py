@@ -110,3 +110,72 @@ class TestCacheSnapshotCallback:
         sampler = NSCachingSampler(cache_size=4, candidate_size=4)
         _trainer(tiny_kg, [callback], epochs=1, sampler=sampler).run()
         assert callback.snapshots == {}
+
+
+class TestEvalCallbackFinalEval:
+    class _ConstantLoss:
+        """Feeds a never-improving stat so EarlyStopping fires."""
+
+        def on_train_begin(self, trainer):
+            pass
+
+        def on_epoch_end(self, trainer, epoch, stats):
+            stats["loss"] = 1.0
+
+        def on_train_end(self, trainer):
+            pass
+
+    def test_early_stopped_run_records_final_eval(self, tiny_kg):
+        # Regression: `every`-gated evaluation plus an early stop used to
+        # leave latest() stale — the `epoch + 1 == config.epochs` trigger
+        # never fires when the run stops before the configured end.
+        callback = EvalCallback(split="valid", every=100)
+        stopper = EarlyStopping(metric="loss", patience=1, minimize=True)
+        trainer = _trainer(
+            tiny_kg, [self._ConstantLoss(), stopper, callback], epochs=50
+        )
+        trainer.run()
+        assert trainer.epochs_run < 50  # the stop actually happened
+        assert callback.epochs == [trainer.epochs_run - 1]
+        assert not np.isnan(callback.latest("mrr"))
+
+    def test_no_duplicate_final_eval(self, tiny_kg):
+        callback = EvalCallback(split="valid", every=1)
+        _trainer(tiny_kg, [callback], epochs=3).run()
+        assert callback.epochs == [0, 1, 2]
+
+    def test_scheduled_final_epoch_not_repeated(self, tiny_kg):
+        callback = EvalCallback(split="valid", every=100)
+        _trainer(tiny_kg, [callback], epochs=3).run()
+        assert callback.epochs == [2]
+
+
+class TestSampledEvalCallback:
+    def test_sampled_series_recorded(self, tiny_kg):
+        callback = EvalCallback(
+            split="valid", every=1, num_negatives=10, hits_at=(10,)
+        )
+        _trainer(tiny_kg, [callback], epochs=2).run()
+        assert callback.epochs == [0, 1]
+        assert len(callback.series["mrr"]) == 2
+        assert np.isfinite(callback.latest("mrr"))
+
+    def test_sampled_eval_reports_counters(self, tiny_kg):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        callback = EvalCallback(split="valid", every=1, num_negatives=10)
+        model = make_model(
+            "TransE", tiny_kg.n_entities, tiny_kg.n_relations, 8, rng=0
+        )
+        Trainer(
+            model,
+            tiny_kg,
+            BernoulliSampler(),
+            TrainConfig(epochs=1, batch_size=64),
+            callbacks=[callback],
+            metrics=registry,
+        ).run()
+        assert registry.value(
+            "eval_queries_total", {"protocol": "sampled"}
+        ) == 2 * len(tiny_kg.valid)
