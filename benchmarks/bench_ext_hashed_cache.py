@@ -7,7 +7,6 @@ keys cost some quality, while moderate budgets preserve most of
 NSCaching's advantage at a fraction of the memory.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -17,6 +16,8 @@ from repro.data.benchmarks import wn18_like
 from repro.eval.protocol import evaluate
 from repro.sampling import BernoulliSampler
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransE"
 EPOCHS = 25

@@ -7,7 +7,6 @@ cache gets hard negatives at similar quality while scoring far fewer
 candidates per batch once lazy updates are enabled.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -16,6 +15,8 @@ from repro.data.benchmarks import wn18rr_like
 from repro.eval.protocol import evaluate
 from repro.sampling import BernoulliSampler, SelfAdversarialSampler
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransE"
 EPOCHS = 25

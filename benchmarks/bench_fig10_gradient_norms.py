@@ -7,7 +7,6 @@ that drives its gains.
 """
 
 import pytest
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -15,6 +14,8 @@ from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18rr_like
 from repro.sampling import BernoulliSampler
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 EPOCHS = 25
 N1 = N2 = 30

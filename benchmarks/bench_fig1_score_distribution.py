@@ -13,7 +13,6 @@ of negatives still carrying gradient.
 """
 
 import numpy as np
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model
 from repro.bench.tables import format_table
@@ -22,6 +21,8 @@ from repro.eval.ccdf import ccdf, negative_distances, skewness
 from repro.sampling import BernoulliSampler
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 CHECKPOINTS = (0, 2, 5, 10, 20, 40)
 GRID = np.array([-3.0, -2.0, -1.0, -0.5, 0.0, 0.5])

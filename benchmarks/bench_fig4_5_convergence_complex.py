@@ -6,7 +6,6 @@ is the unstable one on semantic matching models (it may overfit/turn
 down), which is why no assertion constrains it here.
 """
 
-from conftest import BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -14,6 +13,8 @@ from repro.data.benchmarks import BENCHMARKS
 from repro.sampling import make_sampler
 from repro.train.callbacks import EvalCallback
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SEED, run_once
 
 MODEL = "ComplEx"
 EPOCHS = 50

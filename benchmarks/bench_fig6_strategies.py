@@ -8,7 +8,6 @@
 TransD on the WN18 analogue, test MRR per evaluation epoch.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -16,6 +15,8 @@ from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18_like
 from repro.train.callbacks import EvalCallback
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransD"
 EPOCHS = 30

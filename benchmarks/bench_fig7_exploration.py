@@ -6,7 +6,6 @@ strategies.  Paper shapes: RR ordering Bernoulli ~ 0 < uniform < IS < top;
 Bernoulli's NZL collapses while the cache strategies stay high.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -14,6 +13,8 @@ from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18_like
 from repro.sampling import BernoulliSampler
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransD"
 EPOCHS = 20

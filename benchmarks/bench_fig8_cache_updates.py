@@ -4,13 +4,14 @@ IS update keeps the cache fresh (large CE) while top update freezes onto
 the same high-score entities (small CE), which is why it underperforms.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
 from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18_like
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransD"
 EPOCHS = 20

@@ -5,7 +5,6 @@ Paper shapes: performance is stable except when either size is very small;
 N1 = N2 is a good balance.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config
 from repro.bench.tables import format_table
@@ -13,6 +12,8 @@ from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18_like
 from repro.eval.protocol import evaluate
 from repro.train.trainer import Trainer
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 MODEL = "TransD"
 EPOCHS = 25

@@ -19,13 +19,14 @@ import json
 import threading
 import time
 
-from conftest import BENCH_SEED, run_once
 
 from repro.bench.harness import build_model
 from repro.bench.tables import format_table
 from repro.data.benchmarks import wn18rr_like
 from repro.data.triples import HEAD, REL
 from repro.serve import EmbeddingSnapshot, PredictionEngine, make_server
+
+from conftest import BENCH_SEED, run_once
 
 #: Deliberately small tables: the point is the fixed per-request cost that
 #: batching amortises, which needs scoring math that does not drown it.

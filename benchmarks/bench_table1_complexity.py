@@ -12,7 +12,6 @@ extra memory.  Shapes to reproduce:
 """
 
 import numpy as np
-from conftest import BENCH_SEED, run_once
 
 from repro.bench.harness import build_model
 from repro.bench.tables import format_table
@@ -20,6 +19,8 @@ from repro.core.nscaching import NSCachingSampler
 from repro.data.benchmarks import wn18rr_like
 from repro.sampling import BernoulliSampler, IGANSampler, KBGANSampler
 from repro.utils.timer import Timer
+
+from conftest import BENCH_SEED, run_once
 
 N1 = N2 = 50
 BATCHES = 6

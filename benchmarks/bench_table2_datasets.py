@@ -1,9 +1,10 @@
 """Table II — statistics of the four benchmark dataset analogues."""
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.tables import format_table
 from repro.data.benchmarks import BENCHMARKS
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 
 def test_table2_dataset_statistics(benchmark, report):

@@ -12,14 +12,14 @@ table readable.
 """
 
 import pytest
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
-from repro.bench.harness import run_setting
+from repro.bench.harness import build_model, make_config, run_setting
 from repro.bench.tables import format_table
 from repro.data.benchmarks import BENCHMARKS
 from repro.models import PAPER_MODELS
 from repro.train.pretrain import pretrain
-from repro.bench.harness import build_model, make_config
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 EPOCHS = {"TransE": 25, "TransH": 25, "TransD": 25, "DistMult": 35, "ComplEx": 35}
 PRETRAIN_EPOCHS = 8

@@ -7,13 +7,14 @@ ComplEx (the paper's instability observation).
 """
 
 import pytest
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 from repro.bench.harness import build_model, make_config, run_setting
 from repro.bench.tables import format_table
 from repro.data.benchmarks import fb15k237_like, wn18rr_like
 from repro.eval.classification import triplet_classification
 from repro.train.pretrain import pretrain
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
 
 EPOCHS = {"TransD": 25, "ComplEx": 35}
 PRETRAIN_EPOCHS = 8

@@ -7,16 +7,16 @@ quantitative type-consistency series — the fraction of cached tail
 entities whose type matches the relation's range must rise.
 """
 
-import numpy as np
-from conftest import BENCH_SEED, run_once
 
 from repro.bench.tables import format_table
 from repro.core.nscaching import NSCachingSampler
 from repro.data.fb13 import fb13_like, type_consistency
+from repro.models import make_model
 from repro.train.callbacks import CacheSnapshotCallback
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
-from repro.models import make_model
+
+from conftest import BENCH_SEED, run_once
 
 EPOCHS = 60
 SNAPSHOT_EPOCHS = (0, 5, 15, 30, 59)

@@ -93,6 +93,8 @@ from repro.models.persistence import (
     load_snapshot,
     save_model,
 )
+from repro.obs import MetricsRegistry, RunLogWriter, read_run_log
+from repro.parallel import RefreshPool, ShardPlan, ShardedCacheStore
 from repro.sampling import (
     BernoulliSampler,
     IGANSampler,
@@ -102,8 +104,6 @@ from repro.sampling import (
     UniformSampler,
     make_sampler,
 )
-from repro.obs import MetricsRegistry, RunLogWriter, read_run_log
-from repro.parallel import RefreshPool, ShardPlan, ShardedCacheStore
 from repro.serve import (
     EmbeddingSnapshot,
     PredictionEngine,

@@ -1,6 +1,13 @@
 """``python -m repro`` — dispatch to the CLI."""
 
+import sys
+
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like grep does.
+        sys.stderr.close()
+        raise SystemExit(141)

@@ -20,10 +20,10 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.bench.harness import MODEL_DEFAULTS, build_model, make_config
-from repro.core.store import cache_backend_names
+from repro.bench.harness import build_model, make_config
 from repro.bench.registry import describe_experiments
 from repro.bench.tables import format_table
+from repro.core.store import cache_backend_names
 from repro.data.benchmarks import BENCHMARKS, load_benchmark
 from repro.eval.per_relation import per_category_link_prediction
 from repro.eval.protocol import evaluate
@@ -180,6 +180,32 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--tail", type=_positive_int, default=None, metavar="N",
         help="only print the last N epoch rows (works on in-flight logs)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's contract-aware static analysis (RPL rules)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    lint.add_argument(
+        "--format", dest="output_format", default="text",
+        choices=("text", "json"),
+        help="findings as human-readable text (default) or stable JSON",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (code, name, invariant) and exit",
     )
 
     sub.add_parser("experiments", help="print the paper-artefact index")
@@ -498,6 +524,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintConfig, format_findings, lint_paths, list_rules
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        config = LintConfig.from_selectors(
+            select=args.select,
+            ignore=args.ignore,
+            output_format=args.output_format,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(result, args.output_format))
+    return 0 if result.clean else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -511,6 +561,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "experiments":
         print(describe_experiments())
         return 0

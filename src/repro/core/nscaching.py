@@ -57,7 +57,10 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from typing import Callable, Mapping, NamedTuple
+from typing import TYPE_CHECKING, Callable, Mapping, NamedTuple
+
+if TYPE_CHECKING:  # runtime imports stay lazy to keep repro.parallel optional
+    from repro.parallel.pool import ShardResult, ShardTask, SyncReport
 
 import numpy as np
 
@@ -642,7 +645,7 @@ class NSCachingSampler(NegativeSampler):
         h.changed[mode].inc(changed)
 
     # -- parallel refresh (repro.parallel) -----------------------------------------
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> None:
         """Create (and lazily start) the refresh pool on first parallel use."""
         if self._pool is None:
             from repro.parallel.pool import RefreshPool
@@ -695,14 +698,14 @@ class NSCachingSampler(NegativeSampler):
         pool = self._pool
         if pool is None or not pool.inflight:
             return
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: ignore[RPL005] -- telemetry only (overlap wait)
         try:
             results = pool.collect()
         finally:
             modes, self._pending_modes = self._pending_modes, None
         self._fold_results(results, modes or CANDIDATE_MODES)
         if self._mh is not None:
-            self._mh.overlap_wait_seconds.inc(time.perf_counter() - started)
+            self._mh.overlap_wait_seconds.inc(time.perf_counter() - started)  # repro-lint: ignore[RPL005] -- telemetry only
 
     def _build_tasks(
         self,
@@ -710,7 +713,7 @@ class NSCachingSampler(NegativeSampler):
         rows: BatchRows,
         modes: tuple[str, ...],
         batch_index: int,
-    ) -> list:
+    ) -> list[ShardTask]:
         """One ShardTask per (mode, touched shard) of this batch."""
         from repro.parallel.pool import ShardTask
 
@@ -732,7 +735,7 @@ class NSCachingSampler(NegativeSampler):
                         anchors=anchors[positions],
                         relations=relations[positions],
                         rows=storage_rows[positions],
-                        enqueued_at=time.monotonic(),
+                        enqueued_at=time.monotonic(),  # repro-lint: ignore[RPL005] -- queue-wait telemetry stamp
                     )
                 )
         return tasks
@@ -770,7 +773,7 @@ class NSCachingSampler(NegativeSampler):
         if results is not None:
             self._fold_results(results, modes)
 
-    def _observe_sync(self, report) -> None:
+    def _observe_sync(self, report: SyncReport) -> None:
         """Fold one parameter publish's SyncReport into the registry."""
         h = self._mh
         assert h is not None
@@ -779,7 +782,9 @@ class NSCachingSampler(NegativeSampler):
         h.sync_full_tables.inc(report.full_tables)
         h.sync_dirty_fraction.set(report.dirty_fraction)
 
-    def _fold_results(self, results, modes: tuple[str, ...]) -> None:
+    def _fold_results(
+        self, results: list[ShardResult], modes: tuple[str, ...]
+    ) -> None:
         """Fold completed shard results into store counters and metrics."""
         h = self._mh
         max_wait = 0.0

@@ -17,12 +17,12 @@
 """
 
 from repro.eval.ccdf import ccdf, negative_distances
-from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.classification import (
     ClassificationResult,
     fit_relation_thresholds,
     triplet_classification,
 )
+from repro.eval.filters import head_filter_masks, tail_filter_masks
 from repro.eval.per_relation import CategoryBreakdown, per_category_link_prediction
 from repro.eval.protocol import evaluate
 from repro.eval.ranking import RankingResult, link_prediction

@@ -1,0 +1,46 @@
+"""repro.lint — contract-aware static analysis for this repository.
+
+The repo's reproducibility story rests on conventions that ordinary
+linters cannot see: seeded RNG threading, None-guarded metrics call
+sites, shared-memory lifecycle discipline, clock-free kernels and a
+fully annotated public API.  This package turns those conventions into
+machine-checked rules (``RPL001``–``RPL006``), exposed as
+``repro lint [PATHS]`` and as a plain Python API::
+
+    from repro.lint import LintConfig, lint_paths
+    result = lint_paths(["src"], LintConfig.from_selectors("RPL001,RPL002"))
+    assert result.clean, result.findings
+
+Intentional violations carry inline pragmas with a reason::
+
+    return np.random.default_rng()  # repro-lint: ignore[RPL002] -- API allows None
+
+See the README "Static analysis" section for the rule table.
+"""
+
+from repro.lint.engine import (
+    LintConfig,
+    LintResult,
+    collect_files,
+    format_findings,
+    lint_paths,
+    lint_source,
+    list_rules,
+)
+from repro.lint.findings import FileContext, Finding, Rule
+from repro.lint.rules import RULES, resolve_codes
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "collect_files",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "list_rules",
+    "resolve_codes",
+]

@@ -1,0 +1,261 @@
+"""The lint engine: file collection, pragmas, rule dispatch, formatting.
+
+The engine is deliberately filesystem-thin: :func:`lint_source` checks
+one in-memory file (what the fixture tests drive), :func:`lint_paths`
+maps it over a file tree.  Findings are suppressed by inline pragmas::
+
+    np.random.shuffle(rows)  # repro-lint: ignore[RPL001] -- vendored demo
+    risky_call()             # repro-lint: ignore -- blanket, all rules
+
+A pragma suppresses findings *on its own physical line* only, and the
+bracket form must name real rule codes — a typo'd code is itself
+reported (``RPL902 unknown code in pragma``) instead of silently
+suppressing nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.lint.findings import FileContext, Finding, Rule
+from repro.lint.rules import RULES, resolve_codes
+
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "PARSE_ERROR",
+    "UNKNOWN_PRAGMA_CODE",
+    "collect_files",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Synthetic finding codes the engine itself emits.
+PARSE_ERROR = "RPL901"
+UNKNOWN_PRAGMA_CODE = "RPL902"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[^\]]*)\])?"
+)
+#: Directories never descended into when collecting files.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist",
+})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to check and how to report it."""
+
+    select: frozenset[str] = frozenset(rule.code for rule in RULES)
+    ignore: frozenset[str] = frozenset()
+    output_format: str = "text"
+
+    @classmethod
+    def from_selectors(
+        cls,
+        select: str | None = None,
+        ignore: str | None = None,
+        output_format: str = "text",
+    ) -> "LintConfig":
+        """Build a config from CLI-style selector strings (validated)."""
+        selected = resolve_codes(select)
+        ignored = resolve_codes(ignore) if ignore else frozenset()
+        return cls(
+            select=selected, ignore=ignored, output_format=output_format
+        )
+
+    @property
+    def active_rules(self) -> tuple[Rule, ...]:
+        return tuple(
+            rule
+            for rule in RULES
+            if rule.code in self.select and rule.code not in self.ignore
+        )
+
+
+@dataclass
+class LintResult:
+    """Findings plus enough bookkeeping for stable, comparable output."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Findings per code, only non-zero entries, sorted by code."""
+        totals: dict[str, int] = {}
+        for finding in self.findings:
+            totals[finding.code] = totals.get(finding.code, 0) + 1
+        return dict(sorted(totals.items()))
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def finalize(self) -> "LintResult":
+        self.findings.sort()
+        return self
+
+
+def _pragma_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """line → suppressed codes (``None`` = all codes) from real comments.
+
+    Tokenizing (rather than regexing raw lines) keeps pragma-looking
+    strings inside string literals from suppressing anything.
+    """
+    pragmas: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                pragmas[token.start[0]] = None
+            else:
+                pragmas[token.start[0]] = frozenset(
+                    part.strip() for part in codes.split(",") if part.strip()
+                )
+    except tokenize.TokenError:  # unterminated something — parse reports it
+        pass
+    return pragmas
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one in-memory file; the fixture tests call this directly."""
+    config = config or LintConfig()
+    display = str(path)
+    try:
+        ctx = FileContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    pragmas = _pragma_lines(source)
+    known_codes = {rule.code for rule in RULES}
+    findings: list[Finding] = []
+    for line, codes in sorted(pragmas.items()):
+        for code in sorted(codes or ()):
+            if code not in known_codes:
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=line,
+                        col=0,
+                        code=UNKNOWN_PRAGMA_CODE,
+                        message=(
+                            f"pragma ignores unknown rule code {code!r}; "
+                            "it suppresses nothing"
+                        ),
+                    )
+                )
+    for rule in config.active_rules:
+        for finding in rule.run(ctx):
+            suppressed = pragmas.get(finding.line, frozenset())
+            if suppressed is None or (
+                suppressed and finding.code in suppressed
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    missing: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(
+                    part in _SKIP_DIRS for part in candidate.parts
+                ):
+                    seen.setdefault(candidate, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            missing.append(str(raw))
+    if missing:
+        raise FileNotFoundError(
+            f"no such file or directory: {', '.join(missing)}"
+        )
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``."""
+    config = config or LintConfig()
+    result = LintResult()
+    for path in collect_files(paths):
+        source = path.read_text(encoding="utf-8")
+        result.extend(lint_source(source, path, config))
+        result.files_checked += 1
+    return result.finalize()
+
+
+def format_findings(result: LintResult, output_format: str = "text") -> str:
+    """Render a result as ``text`` or machine-stable ``json``."""
+    if output_format == "json":
+        payload: Mapping[str, object] = {
+            "version": 1,
+            "files_checked": result.files_checked,
+            "counts": result.counts,
+            "findings": [finding.as_dict() for finding in result.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+    if output_format != "text":
+        raise ValueError(f"unknown output format {output_format!r}")
+    lines = [finding.render() for finding in result.findings]
+    if result.findings:
+        by_code = ", ".join(
+            f"{code} x{count}" for code, count in result.counts.items()
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s): {by_code}"
+        )
+    else:
+        lines.append(f"clean: {result.files_checked} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def _iter_rule_docs() -> Iterator[tuple[str, str, str]]:
+    for rule in RULES:
+        yield rule.code, rule.name, rule.summary
+
+
+def list_rules() -> str:
+    """Human-readable rule table for ``repro lint --list-rules``."""
+    rows = list(_iter_rule_docs())
+    width = max(len(name) for _, name, _ in rows)
+    return "\n".join(
+        f"{code}  {name.ljust(width)}  {summary}"
+        for code, name, summary in rows
+    )

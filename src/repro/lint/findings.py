@@ -1,0 +1,146 @@
+"""Finding and rule primitives shared by the lint engine and its rules.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`Rule` is a stateless checker that maps a parsed file
+(:class:`FileContext`) to findings.  Rules never read the filesystem —
+the engine hands them source, AST and path classification, which keeps
+every rule trivially testable against in-memory snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import PurePath
+from typing import Iterable, Iterator
+
+__all__ = ["FileContext", "Finding", "Rule"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, addressable as ``path:line:col: code message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (stable key order via dataclass fields)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+#: Path parts that mark a file as test code (RPL002 exempts tests).
+_TEST_PARTS = frozenset({"tests", "test"})
+#: Path parts that mark a kernel module (RPL005 applies there).
+_KERNEL_PARTS = frozenset({"models", "core"})
+#: Path parts naming the typed public-API packages (RPL006 applies there).
+_TYPED_API_PARTS = frozenset({"core", "eval", "parallel", "serve"})
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    ``display_path`` is what findings report (usually relative to the
+    invocation directory); ``parts`` drives the path classification so
+    rules behave identically for real repo files and for fixture trees
+    materialised under a tmp directory.
+    """
+
+    display_path: str
+    source: str
+    tree: ast.Module
+    parts: tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_source(cls, source: str, path: str | PurePath) -> "FileContext":
+        """Parse ``source``; raises ``SyntaxError`` for the engine to wrap."""
+        pure = PurePath(path)
+        return cls(
+            display_path=str(path),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            parts=pure.parts,
+        )
+
+    # -- path classification ---------------------------------------------------
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.display_path
+
+    @property
+    def is_test(self) -> bool:
+        """Test code: under a tests/ directory, or a test_*/conftest module."""
+        if any(part in _TEST_PARTS for part in self.parts[:-1]):
+            return True
+        name = self.filename
+        return name.startswith("test_") or name == "conftest.py"
+
+    @property
+    def is_kernel(self) -> bool:
+        """Kernel module: lives under a ``models/`` or ``core/`` package."""
+        return any(part in _KERNEL_PARTS for part in self.parts[:-1])
+
+    @property
+    def is_typed_api(self) -> bool:
+        """Inside one of the packages whose public API must be annotated."""
+        return any(part in _TYPED_API_PARTS for part in self.parts[:-1])
+
+    # -- AST conveniences ------------------------------------------------------
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent map over the whole tree (rules walk ancestors)."""
+        mapping: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                mapping[child] = parent
+        return mapping
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A finding anchored at ``node`` (1-indexed line, 0-indexed col)."""
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: one code, one invariant, one ``check`` implementation."""
+
+    #: Stable identifier, e.g. ``"RPL001"``; selected via --select/--ignore.
+    code: str = ""
+    #: Short kebab-case name shown by ``repro lint --list-rules``.
+    name: str = ""
+    #: One-line statement of the invariant the rule protects.
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        """``check`` with the output normalised to a sorted list."""
+        return sorted(self.check(ctx))

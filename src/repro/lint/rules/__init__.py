@@ -1,0 +1,55 @@
+"""Rule registry: every implemented rule, addressable by code.
+
+Adding a rule = implement :class:`repro.lint.findings.Rule` in a module
+here and append an instance to :data:`RULES`; the engine, CLI
+``--select/--ignore`` validation, ``--list-rules`` output and the README
+rule table all read from this one tuple.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Rule
+from repro.lint.rules.annotations import PublicAnnotationsRule
+from repro.lint.rules.determinism import GlobalNumpyRngRule, UnseededRngRule
+from repro.lint.rules.metrics_guard import MetricsGuardRule
+from repro.lint.rules.resources import SharedMemoryLifecycleRule
+from repro.lint.rules.wallclock import KernelWallClockRule
+
+__all__ = ["RULES", "resolve_codes", "rule_by_code"]
+
+#: Every implemented rule, in code order.
+RULES: tuple[Rule, ...] = (
+    GlobalNumpyRngRule(),
+    UnseededRngRule(),
+    MetricsGuardRule(),
+    SharedMemoryLifecycleRule(),
+    KernelWallClockRule(),
+    PublicAnnotationsRule(),
+)
+
+_BY_CODE = {rule.code: rule for rule in RULES}
+
+
+def rule_by_code(code: str) -> Rule:
+    """The registered rule for ``code``; raises ``KeyError`` if unknown."""
+    return _BY_CODE[code]
+
+
+def resolve_codes(selector: str | None) -> frozenset[str]:
+    """Expand a ``"RPL001,RPL003"`` selector into a validated code set.
+
+    ``None``/empty selects every rule.  Unknown codes raise ``ValueError``
+    naming the offender — the CLI turns that into a clean exit 2.
+    """
+    if not selector:
+        return frozenset(_BY_CODE)
+    codes = frozenset(
+        part.strip() for part in selector.split(",") if part.strip()
+    )
+    unknown = sorted(codes - set(_BY_CODE))
+    if unknown:
+        known = ", ".join(sorted(_BY_CODE))
+        raise ValueError(
+            f"unknown rule code(s) {', '.join(unknown)}; known codes: {known}"
+        )
+    return codes

@@ -1,0 +1,81 @@
+"""RPL006 — complete type annotations on the typed public API.
+
+``repro.core``, ``repro.eval``, ``repro.parallel`` and ``repro.serve``
+are the packages other layers (and the mypy gate) build on; every
+*public* function there — module-level defs and methods of module-level
+classes whose names don't start with ``_`` — must annotate every
+parameter (``self``/``cls`` excepted) and the return type.  Private
+helpers and nested closures stay unconstrained.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import FileContext, Finding, Rule
+
+__all__ = ["PublicAnnotationsRule"]
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    for node in tree.body:
+        if isinstance(node, _FunctionNode):
+            if not node.name.startswith("_"):
+                yield node, node.name
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, _FunctionNode) and not (
+                    member.name.startswith("_")
+                ):
+                    yield member, f"{node.name}.{member.name}"
+
+
+def _missing_annotations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> Iterator[str]:
+    args = fn.args
+    positional = [*args.posonlyargs, *args.args]
+    if is_method and positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in (*positional, *args.kwonlyargs):
+        if arg.annotation is None:
+            yield f"parameter `{arg.arg}`"
+    if args.vararg is not None and args.vararg.annotation is None:
+        yield f"parameter `*{args.vararg.arg}`"
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        yield f"parameter `**{args.kwarg.arg}`"
+    if fn.returns is None:
+        yield "return type"
+
+
+class PublicAnnotationsRule(Rule):
+    """RPL006 — public API functions missing type annotations."""
+
+    code = "RPL006"
+    name = "typed-public-api"
+    summary = (
+        "public functions in repro.{core,eval,parallel,serve} must carry "
+        "complete parameter and return annotations (the mypy gate "
+        "depends on them)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_typed_api or ctx.is_test:
+            return
+        for fn, qualname in _public_functions(ctx.tree):
+            is_method = "." in qualname
+            missing = list(_missing_annotations(fn, is_method))
+            if not missing:
+                continue
+            yield ctx.finding(
+                fn,
+                self.code,
+                f"public function `{qualname}` is missing "
+                f"{', '.join(missing)}; the typed-API packages require "
+                "complete annotations",
+            )

@@ -1,0 +1,198 @@
+"""Determinism rules: RPL001 (global NumPy RNG) and RPL002 (unseeded RNG).
+
+NSCaching's reproducibility claims rest on every random draw flowing
+from an explicitly seeded ``numpy.random.Generator`` (the repo threads
+one through ``repro.utils.rng.ensure_rng``).  Two AST rules defend that:
+
+* RPL001 bans the legacy module-level API (``np.random.shuffle`` etc.),
+  which mutates hidden global state and couples call sites through it;
+* RPL002 bans *unseeded* generator construction outside test code —
+  ``np.random.default_rng()`` with no seed pulls OS entropy and makes
+  two identical runs diverge silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import FileContext, Finding, Rule
+
+__all__ = ["GlobalNumpyRngRule", "UnseededRngRule", "NumpyNames"]
+
+#: Legacy module-level numpy.random API (global-state draws and state pokes).
+GLOBAL_RNG_MEMBERS = frozenset({
+    "RandomState", "beta", "binomial", "bytes", "chisquare", "choice",
+    "dirichlet", "exponential", "f", "gamma", "geometric", "get_state",
+    "gumbel", "hypergeometric", "laplace", "logistic", "lognormal",
+    "logseries", "multinomial", "multivariate_hypergeometric",
+    "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "normal", "pareto", "permutation", "poisson", "power",
+    "rand", "randint", "randn", "random", "random_integers",
+    "random_sample", "ranf", "rayleigh", "sample", "seed", "set_state",
+    "shuffle", "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+    "wald", "weibull", "zipf",
+})
+
+#: Constructors that default to OS entropy when called without a seed.
+UNSEEDED_CONSTRUCTORS = frozenset({
+    "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64", "SeedSequence",
+    "default_rng",
+})
+
+
+class NumpyNames:
+    """Per-file import-alias map for ``numpy`` / ``numpy.random`` symbols.
+
+    Resolves expressions like ``np.random.shuffle``, ``npr.shuffle`` (via
+    ``import numpy.random as npr``) or a bare ``shuffle`` (via
+    ``from numpy.random import shuffle``) back to the canonical member
+    name, so the rules see through whatever alias the file picked.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.numpy_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
+        #: local name → numpy.random member imported directly.
+        self.direct_members: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        self.numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random" and alias.asname:
+                        self.random_aliases.add(alias.asname)
+                    elif alias.name.startswith("numpy.") and not alias.asname:
+                        # ``import numpy.random`` binds the root ``numpy``
+                        self.numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.direct_members[alias.asname or alias.name] = (
+                            alias.name
+                        )
+
+    def random_member(self, node: ast.expr) -> str | None:
+        """The ``numpy.random`` member ``node`` refers to, if any."""
+        if isinstance(node, ast.Name):
+            return self.direct_members.get(node.id)
+        if not isinstance(node, ast.Attribute):
+            return None
+        value = node.value
+        # np.random.<member> / numpy.random.<member>
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_aliases
+        ):
+            return node.attr
+        # npr.<member> via ``import numpy.random as npr`` / ``from numpy
+        # import random [as npr]``
+        if isinstance(value, ast.Name) and value.id in self.random_aliases:
+            return node.attr
+        return None
+
+
+def _numpy_names(ctx: FileContext) -> NumpyNames:
+    # One alias scan per file, shared by both determinism rules.
+    cached = getattr(ctx, "_numpy_names", None)
+    if cached is None:
+        cached = NumpyNames(ctx.tree)
+        ctx._numpy_names = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class GlobalNumpyRngRule(Rule):
+    """RPL001 — no global-state ``numpy.random`` module-level API."""
+
+    code = "RPL001"
+    name = "no-global-numpy-rng"
+    summary = (
+        "numpy.random module-level API (shuffle/seed/randint/…) mutates "
+        "hidden global state; thread a seeded Generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        names = _numpy_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            # Only flag the outermost reference: ``np.random.shuffle`` is
+            # one finding, not one per nested Attribute.
+            parent = ctx.parents.get(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue
+            member = names.random_member(node)
+            if member in GLOBAL_RNG_MEMBERS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"np.random.{member} uses the process-global NumPy RNG; "
+                    "pass an explicit np.random.Generator "
+                    "(repro.utils.rng.ensure_rng) instead",
+                )
+            # ``from numpy.random import shuffle`` — flag the import site
+            # too, so the ban is visible where the name enters scope.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in GLOBAL_RNG_MEMBERS:
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"importing numpy.random.{alias.name} binds the "
+                            "process-global RNG API; use a seeded Generator "
+                            "method instead",
+                        )
+
+
+def _is_unseeded_call(call: ast.Call) -> bool:
+    """No positional seed, or an explicit ``None`` seed, and no ``seed=``."""
+    if call.args:
+        first = call.args[0]
+        if not (isinstance(first, ast.Constant) and first.value is None):
+            return False
+        return True  # explicit default_rng(None)
+    for kw in call.keywords:
+        if kw.arg in ("seed", "entropy"):
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        if kw.arg is None:  # **kwargs — assume the caller threads a seed
+            return False
+    return True
+
+
+class UnseededRngRule(Rule):
+    """RPL002 — no unseeded Generator/bit-generator construction."""
+
+    code = "RPL002"
+    name = "no-unseeded-rng"
+    summary = (
+        "np.random.default_rng() / bit generators constructed without a "
+        "seed pull OS entropy and break run-to-run reproducibility "
+        "(test code is exempt)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.is_test:
+            return
+        names = _numpy_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = names.random_member(node.func)
+            if member in UNSEEDED_CONSTRUCTORS and _is_unseeded_call(node):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"np.random.{member}() without a seed is "
+                    "non-reproducible; pass an explicit seed or thread the "
+                    "run's Generator (repro.utils.rng.ensure_rng)",
+                )

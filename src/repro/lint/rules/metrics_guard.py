@@ -1,0 +1,163 @@
+"""RPL003 — metrics call sites must be None-guarded.
+
+The obs contract (PR 6) is "disabled by default, bit-identical when
+off": every hot path holds ``metrics = None`` unless the caller opted
+in, so every ``<...>.metrics.counter/gauge/histogram(...)`` chain must
+prove the registry exists before touching it.  A guard is any of:
+
+* an enclosing ``if``/ternary whose test mentions the same base
+  expression (``if self.metrics is not None: ...``, ``m if metrics else n``);
+* an earlier early-exit in the same function
+  (``if metrics is None: return``);
+* an earlier ``assert <base> is not None`` in the same function;
+* the base being a function parameter annotated with a non-Optional
+  type — the None-guard then lives at the call boundary, enforced by
+  RPL006/mypy on the caller.
+
+The rule is textual by design: it only tracks chains whose base is
+literally named ``metrics`` (or ``*_metrics``); a registry renamed into
+a local keeps whatever proof the assignment site established.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import FileContext, Finding, Rule
+
+__all__ = ["MetricsGuardRule"]
+
+#: Registry factory methods whose call sites the rule audits.
+METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _base_is_metrics(expr: ast.expr) -> bool:
+    """Whether ``expr`` is a name/attribute chain ending in ``metrics``."""
+    if isinstance(expr, ast.Name):
+        symbol = expr.id
+    elif isinstance(expr, ast.Attribute):
+        symbol = expr.attr
+    else:
+        return False
+    return symbol == "metrics" or symbol.endswith("_metrics")
+
+
+def _mentions(test: ast.expr, base_dump: str) -> bool:
+    """Whether ``base_dump`` appears as a sub-expression of ``test``."""
+    for sub in ast.walk(test):
+        if isinstance(sub, (ast.Name, ast.Attribute)) and (
+            ast.dump(sub) == base_dump
+        ):
+            return True
+    return False
+
+
+def _is_none_exit_guard(stmt: ast.stmt, base_dump: str) -> bool:
+    """``if <base> is None: return/raise/continue`` before the call site."""
+    if not isinstance(stmt, ast.If) or not stmt.body:
+        return False
+    test = stmt.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+        and _mentions(test.left, base_dump)
+    ):
+        return False
+    return isinstance(stmt.body[-1], (ast.Return, ast.Raise, ast.Continue))
+
+
+def _annotation_excludes_none(annotation: ast.expr | None) -> bool:
+    """Whether a parameter annotation rules out ``None`` statically."""
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return "None" not in text and "Optional" not in text and (
+        "Any" not in text
+    )
+
+
+class MetricsGuardRule(Rule):
+    """RPL003 — ``metrics.counter/gauge/histogram`` needs a None-guard."""
+
+    code = "RPL003"
+    name = "metrics-none-guard"
+    summary = (
+        "metrics registries are disabled (None) by default; every "
+        ".counter/.gauge/.histogram chain on a `metrics` base needs a "
+        "None-guard or a non-Optional parameter annotation"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in METRIC_FACTORIES
+                and _base_is_metrics(node.func.value)
+            ):
+                continue
+            base = node.func.value
+            if self._is_guarded(ctx, node, base):
+                continue
+            label = ast.unparse(base)
+            yield ctx.finding(
+                node,
+                self.code,
+                f"metrics call on `{label}` is not None-guarded; wrap in "
+                f"`if {label} is not None:` (the obs contract keeps "
+                "registries disabled by default) or annotate the parameter "
+                "with a non-Optional registry type",
+            )
+
+    def _is_guarded(
+        self, ctx: FileContext, call: ast.Call, base: ast.expr
+    ) -> bool:
+        base_dump = ast.dump(base)
+        enclosing_fn: ast.AST | None = None
+        for ancestor in ctx.ancestors(call):
+            if isinstance(ancestor, (ast.If, ast.IfExp)) and _mentions(
+                ancestor.test, base_dump
+            ):
+                return True
+            if isinstance(ancestor, ast.Assert) and _mentions(
+                ancestor.test, base_dump
+            ):
+                return True
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                enclosing_fn = ancestor
+                break
+        if enclosing_fn is None:
+            return False
+        if self._param_excludes_none(enclosing_fn, base):
+            return True
+        # Earlier statements in the enclosing function: early-exit guards
+        # and assertions establish non-None-ness for everything after.
+        call_line = call.lineno
+        for stmt in ast.walk(enclosing_fn):
+            if getattr(stmt, "lineno", call_line) >= call_line:
+                continue
+            if _is_none_exit_guard(stmt, base_dump):  # type: ignore[arg-type]
+                return True
+            if isinstance(stmt, ast.Assert) and _mentions(
+                stmt.test, base_dump
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _param_excludes_none(fn: ast.AST, base: ast.expr) -> bool:
+        if not isinstance(base, ast.Name):
+            return False
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == base.id:
+                return _annotation_excludes_none(arg.annotation)
+        return False

@@ -1,0 +1,90 @@
+"""RPL004 — shared-memory segments need a reachable release path.
+
+``multiprocessing.shared_memory.SharedMemory(create=True)`` allocates a
+named OS segment that outlives the process unless somebody calls both
+``close()`` (drop this process's mapping) and ``unlink()`` (remove the
+segment).  The repo's convention (``repro.parallel.sharded``) is that
+the *creating* class owns the lifecycle: whatever class constructs a
+segment must also contain a ``close()``/``unlink()`` call pair — usually
+inside a ``close()``/``release()`` method that owners chain to.
+
+The rule is scope-based: a ``SharedMemory(create=True)`` call is clean
+when its enclosing class (or, for module-level creation, the module)
+contains at least one ``.close()`` call and one ``.unlink()`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import FileContext, Finding, Rule
+
+__all__ = ["SharedMemoryLifecycleRule"]
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return False  # attach-only (create defaults to False) — not an owner
+
+
+def _calls_method(scope: ast.AST, method: str) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+        ):
+            return True
+    return False
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """RPL004 — ``SharedMemory(create=True)`` without close()/unlink()."""
+
+    code = "RPL004"
+    name = "shared-memory-lifecycle"
+    summary = (
+        "every SharedMemory(create=True) owner must hold a reachable "
+        "close() AND unlink() call (segments leak past process exit "
+        "otherwise)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_shared_memory_create(node)):
+                continue
+            scope: ast.AST = ctx.tree
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, ast.ClassDef):
+                    scope = ancestor
+                    break
+            missing = [
+                method
+                for method in ("close", "unlink")
+                if not _calls_method(scope, method)
+            ]
+            if not missing:
+                continue
+            where = (
+                f"class {scope.name}" if isinstance(scope, ast.ClassDef)
+                else "this module"
+            )
+            needed = " and ".join(f"{method}()" for method in missing)
+            yield ctx.finding(
+                node,
+                self.code,
+                "SharedMemory(create=True) allocates an OS segment but "
+                f"{where} never calls {needed}; give the owning scope a "
+                "release path (see repro.parallel.sharded.SharedArrayBlock)",
+            )

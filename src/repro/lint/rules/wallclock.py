@@ -1,0 +1,77 @@
+"""RPL005 — no ad-hoc wall-clock reads inside kernel modules.
+
+Kernel modules (``models/*``, ``core/*``) are the code whose outputs
+must be bit-identical under a seed and whose phase costs the profiler
+attributes exactly.  A stray ``time.time()`` / ``time.perf_counter()``
+there either leaks timing into logic or double-counts a phase that the
+sanctioned :class:`repro.utils.timer.Timer` (and the obs phase spans
+built on it) already measures.  Timing belongs to the orchestration
+layers — trainer, pool, eval drivers — or to an explicitly pragma'd
+telemetry site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import FileContext, Finding, Rule
+
+__all__ = ["KernelWallClockRule"]
+
+#: ``time`` module members that read a clock.
+CLOCK_MEMBERS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "time", "time_ns",
+})
+
+
+class KernelWallClockRule(Rule):
+    """RPL005 — wall-clock reads in ``models/``/``core/`` modules."""
+
+    code = "RPL005"
+    name = "no-kernel-wallclock"
+    summary = (
+        "kernel modules (models/*, core/*) must not read wall clocks "
+        "directly; time through repro.utils.timer.Timer at the "
+        "orchestration layer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_kernel:
+            return
+        time_aliases: set[str] = set()
+        member_aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in CLOCK_MEMBERS:
+                        member_aliases[alias.asname or alias.name] = alias.name
+        for node in ast.walk(ctx.tree):
+            member: str | None = None
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_aliases
+                and node.attr in CLOCK_MEMBERS
+            ):
+                member = node.attr
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in member_aliases
+            ):
+                member = member_aliases[node.id]
+            if member is not None:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"time.{member} read inside a kernel module; kernels "
+                    "must stay clock-free (profile via "
+                    "repro.utils.timer.Timer in the orchestration layer, "
+                    "or pragma a telemetry-only site with a reason)",
+                )

@@ -42,14 +42,13 @@ from repro.data.dataset import KGDataset
 from repro.data.triples import HEAD, REL, TAIL
 from repro.models.base import KGEModel
 from repro.models.losses import LogisticLoss, Loss, MarginRankingLoss
-from repro.models.params import GradientBag
 from repro.models.regularizers import L2Regularizer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runlog import RunLogWriter
 from repro.optim import make_optimizer
 from repro.sampling.base import NegativeSampler
 from repro.train.config import TrainConfig
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
 
 __all__ = ["Trainer", "TrainingHistory"]

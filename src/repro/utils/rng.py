@@ -30,7 +30,9 @@ def ensure_rng(rng: np.random.Generator | int | None = None) -> np.random.Genera
     numpy.random.Generator
     """
     if rng is None:
-        return np.random.default_rng()
+        # None is the documented "fresh OS entropy" request; every
+        # reproducible path passes a seed instead.
+        return np.random.default_rng()  # repro-lint: ignore[RPL002] -- explicit None = entropy
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, (int, np.integer)):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.keyindex import BucketIndex, KeyIndex, TripleKeyIndex, stable_key_hash
-from repro.data.triples import HEAD, REL, TAIL
 
 
 class TestKeyIndex:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.relations import RelationCategory, categorize_relations
 from repro.data.synthetic import (
     RelationTransform,
     SyntheticKGConfig,

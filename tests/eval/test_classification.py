@@ -1,7 +1,6 @@
 """Tests for triplet classification with relation thresholds."""
 
 import numpy as np
-import pytest
 
 from repro.eval.classification import (
     _best_threshold,

@@ -1,0 +1,10 @@
+"""Bad: global numpy RNG — module-level API and a direct import."""
+import numpy as np
+from numpy.random import shuffle
+
+
+def corrupt(rows):
+    np.random.seed(0)
+    np.random.shuffle(rows)
+    shuffle(rows)
+    return np.random.randint(0, 10)

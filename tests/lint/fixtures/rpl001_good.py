@@ -1,0 +1,7 @@
+"""Good: every draw flows through an explicitly threaded Generator."""
+import numpy as np
+
+
+def corrupt(rows, rng: np.random.Generator):
+    rng.shuffle(rows)
+    return rng.integers(0, 10)

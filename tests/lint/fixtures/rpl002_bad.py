@@ -1,0 +1,11 @@
+"""Bad: unseeded generator construction (non-test code)."""
+import numpy as np
+import numpy.random as npr
+
+
+def make_rngs():
+    a = np.random.default_rng()
+    b = np.random.default_rng(None)
+    c = npr.PCG64()
+    d = np.random.SeedSequence()
+    return a, b, c, d

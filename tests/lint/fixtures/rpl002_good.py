@@ -1,0 +1,10 @@
+"""Good: every constructor receives an explicit seed."""
+import numpy as np
+
+
+def make_rngs(seed: int):
+    a = np.random.default_rng(0)
+    b = np.random.default_rng(seed)
+    c = np.random.PCG64(seed)
+    d = np.random.SeedSequence(entropy=seed)
+    return a, b, c, d

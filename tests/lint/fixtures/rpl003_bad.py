@@ -1,0 +1,14 @@
+"""Bad: metrics call sites with no proof the registry exists."""
+
+
+def record(metrics=None):
+    metrics.counter("requests_total", "requests").inc()
+
+
+class Worker:
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+
+    def tick(self):
+        self.metrics.gauge("depth", "queue depth").set(1.0)
+        self.metrics.histogram("seconds", "latency").observe(0.1)

@@ -1,0 +1,32 @@
+"""Good: every metrics chain is guarded (all four accepted forms)."""
+
+from repro.obs.registry import MetricsRegistry
+
+
+def record_guarded(metrics=None):
+    if metrics is not None:
+        metrics.counter("requests_total", "requests").inc()
+
+
+def record_early_exit(metrics=None):
+    if metrics is None:
+        return
+    metrics.gauge("depth", "queue depth").set(1.0)
+
+
+def record_asserted(metrics=None):
+    assert metrics is not None
+    metrics.histogram("seconds", "latency").observe(0.1)
+
+
+def record_annotated(metrics: MetricsRegistry) -> None:
+    metrics.counter("requests_total", "requests").inc()
+
+
+class Worker:
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+
+    def tick(self):
+        if self.metrics is not None:
+            self.metrics.gauge("depth", "queue depth").set(1.0)

@@ -1,0 +1,10 @@
+"""Bad: a class that allocates a segment and only ever close()s it."""
+from multiprocessing import shared_memory
+
+
+class LeakyBlock:
+    def __init__(self, nbytes: int):
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+
+    def half_release(self):
+        self.shm.close()  # mapping dropped, but the segment leaks

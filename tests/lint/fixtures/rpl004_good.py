@@ -1,0 +1,16 @@
+"""Good: the creating class owns a full close()+unlink() release path."""
+from multiprocessing import shared_memory
+
+
+class OwnedBlock:
+    def __init__(self, nbytes: int):
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+
+    def release(self):
+        self.shm.close()
+        self.shm.unlink()
+
+
+def attach(name: str):
+    # attach-only (create defaults to False): not an owner, no finding.
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,9 @@
+"""Bad (as a models/ or core/ module): ad-hoc wall-clock reads."""
+import time
+from time import perf_counter
+
+
+def score(block):
+    started = time.time()
+    _ = perf_counter()
+    return block, time.monotonic() - started

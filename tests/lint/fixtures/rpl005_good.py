@@ -1,0 +1,5 @@
+"""Good kernel module: clock-free; timing happens a layer up."""
+
+
+def score(block):
+    return block * 2.0

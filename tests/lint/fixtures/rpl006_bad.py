@@ -1,0 +1,13 @@
+"""Bad (as a typed-API module): public functions missing annotations."""
+
+
+def lookup(key, default=None):
+    return default
+
+
+class Engine:
+    def predict(self, queries, k=10) -> list:
+        return []
+
+    def stats(self):
+        return {}

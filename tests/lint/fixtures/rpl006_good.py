@@ -1,0 +1,21 @@
+"""Good typed-API module: complete public annotations; private helpers free."""
+from __future__ import annotations
+
+
+def lookup(key: str, default: object | None = None) -> object | None:
+    return _helper(key) or default
+
+
+def _helper(key):
+    return None
+
+
+class Engine:
+    def predict(self, queries: list[str], k: int = 10) -> list[str]:
+        return []
+
+    def stats(self, **labels: object) -> dict[str, float]:
+        return {}
+
+    def _internal(self, anything):
+        return anything

@@ -1,0 +1,24 @@
+"""Shared helpers for the lint suite: fixture loading and one-rule runs.
+
+Imported bare (``from lint_helpers import ...``) like the model
+conformance fixtures — pytest puts this directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def run_rule(code: str, source: str, path: str) -> list[Finding]:
+    """Lint ``source`` (pretending it lives at ``path``) with one rule."""
+    config = LintConfig.from_selectors(select=code)
+    return lint_source(source, path, config)

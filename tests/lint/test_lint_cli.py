@@ -1,0 +1,65 @@
+"""CLI surface of ``repro lint``: exit codes, formats, selector errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path / "src" / "repro" / "core"
+    root.mkdir(parents=True)
+    (root / "ok.py").write_text("X = 1\n")
+    (root / "bad.py").write_text(
+        "import numpy as np\n\n\ndef f() -> None:\n    np.random.seed(0)\n"
+    )
+    return tmp_path
+
+
+def test_clean_run_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "clean: 1 file(s), 0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_text_report(tree, capsys):
+    assert main(["lint", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out and "bad.py" in out
+    assert "1 finding(s) in 2 file(s)" in out
+
+
+def test_json_format_is_machine_readable(tree, capsys):
+    assert main(["lint", str(tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 2
+    assert payload["counts"] == {"RPL001": 1}
+    (finding,) = payload["findings"]
+    assert finding["code"] == "RPL001" and finding["line"] == 5
+
+
+def test_select_narrows_the_run(tree, capsys):
+    assert main(["lint", str(tree), "--select", "RPL002"]) == 0
+    assert main(["lint", str(tree), "--ignore", "RPL001"]) == 0
+
+
+def test_unknown_code_exits_two(tree, capsys):
+    assert main(["lint", str(tree), "--select", "RPL777"]) == 2
+    assert "RPL777" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        assert code in out

@@ -1,0 +1,152 @@
+"""Fixture-driven rule tests: each rule fires on its bad snippet and
+stays silent on the good one, under a path that puts the rule in scope."""
+
+from __future__ import annotations
+
+import pytest
+
+from lint_helpers import load_fixture, run_rule
+
+#: rule code → (path the fixture pretends to live at, findings in the bad one)
+RULE_FIXTURES = {
+    "RPL001": ("src/repro/data/negatives.py", 5),
+    "RPL002": ("src/repro/train/trainer.py", 4),
+    "RPL003": ("src/repro/obs/exporter.py", 3),
+    "RPL004": ("src/repro/parallel/blocks.py", 1),
+    "RPL005": ("src/repro/core/kernel.py", 3),
+    "RPL006": ("src/repro/serve/engine.py", 3),
+}
+
+
+@pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+def test_rule_fires_on_bad_fixture(code):
+    path, expected = RULE_FIXTURES[code]
+    source = load_fixture(f"{code.lower()}_bad.py")
+    findings = run_rule(code, source, path)
+    assert [f.code for f in findings] == [code] * expected
+    # Findings carry real locations and an actionable message.
+    for finding in findings:
+        assert finding.path == path
+        assert finding.line >= 1
+        assert finding.message
+
+
+@pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+def test_rule_silent_on_good_fixture(code):
+    path, _ = RULE_FIXTURES[code]
+    source = load_fixture(f"{code.lower()}_good.py")
+    assert run_rule(code, source, path) == []
+
+
+class TestPathScoping:
+    def test_rpl002_exempts_test_code(self):
+        source = load_fixture("rpl002_bad.py")
+        assert run_rule("RPL002", source, "tests/core/test_rng.py") == []
+        assert run_rule("RPL002", source, "src/repro/conftest.py") == []
+
+    def test_rpl005_only_applies_to_kernel_modules(self):
+        source = load_fixture("rpl005_bad.py")
+        assert run_rule("RPL005", source, "src/repro/train/trainer.py") == []
+        assert len(run_rule("RPL005", source, "src/repro/models/fast.py")) == 3
+
+    def test_rpl006_only_applies_to_typed_api_packages(self):
+        source = load_fixture("rpl006_bad.py")
+        assert run_rule("RPL006", source, "src/repro/bench/tables.py") == []
+        assert run_rule("RPL006", source, "src/repro/eval/sampled.py") != []
+
+    def test_rpl001_applies_everywhere(self):
+        source = load_fixture("rpl001_bad.py")
+        assert run_rule("RPL001", source, "tests/test_anything.py") != []
+        assert run_rule("RPL001", source, "benchmarks/bench_x.py") != []
+
+
+class TestRuleEdgeCases:
+    def test_rpl001_sees_through_aliases(self):
+        source = (
+            "import numpy.random as npr\n"
+            "def f(rows):\n"
+            "    npr.shuffle(rows)\n"
+        )
+        (finding,) = run_rule("RPL001", source, "src/repro/x.py")
+        assert "shuffle" in finding.message
+
+    def test_rpl001_allows_generator_annotations(self):
+        source = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+            "    return np.random.default_rng(0)\n"
+        )
+        assert run_rule("RPL001", source, "src/repro/x.py") == []
+
+    def test_rpl002_seed_keyword_counts_as_seeded(self):
+        source = (
+            "import numpy as np\n"
+            "def f(s):\n"
+            "    return np.random.default_rng(seed=s)\n"
+        )
+        assert run_rule("RPL002", source, "src/repro/x.py") == []
+
+    def test_rpl003_ternary_guard_accepted(self):
+        source = (
+            "def f(metrics=None):\n"
+            "    h = metrics.histogram('h', 'x') if metrics else None\n"
+            "    return h\n"
+        )
+        assert run_rule("RPL003", source, "src/repro/x.py") == []
+
+    def test_rpl003_optional_annotation_still_flagged(self):
+        source = (
+            "def f(metrics: 'MetricsRegistry | None') -> None:\n"
+            "    metrics.counter('c', 'x').inc()\n"
+        )
+        # A string annotation mentioning None must NOT count as a guard.
+        assert len(run_rule("RPL003", source, "src/repro/x.py")) == 1
+
+    def test_rpl003_guard_on_other_variable_not_accepted(self):
+        source = (
+            "def f(metrics=None, other=None):\n"
+            "    if other is not None:\n"
+            "        metrics.counter('c', 'x').inc()\n"
+        )
+        assert len(run_rule("RPL003", source, "src/repro/x.py")) == 1
+
+    def test_rpl004_module_level_owner_scope_is_module(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "shm = shared_memory.SharedMemory(create=True, size=8)\n"
+            "shm.close()\n"
+            "shm.unlink()\n"
+        )
+        assert run_rule("RPL004", source, "src/repro/x.py") == []
+
+    def test_rpl005_import_alias(self):
+        source = (
+            "import time as clock\n"
+            "def f():\n"
+            "    return clock.perf_counter()\n"
+        )
+        assert len(run_rule("RPL005", source, "src/repro/core/x.py")) == 1
+
+    def test_rpl006_lambda_and_nested_defs_exempt(self):
+        source = (
+            "def outer(x: int) -> int:\n"
+            "    def inner(y):\n"
+            "        return y\n"
+            "    return inner(x)\n"
+        )
+        assert run_rule("RPL006", source, "src/repro/core/x.py") == []
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    from repro.lint import RULES
+
+    assert {rule.code for rule in RULES} == set(RULE_FIXTURES)
+
+
+def test_rules_carry_docs():
+    from repro.lint import RULES
+
+    for rule in RULES:
+        assert rule.code.startswith("RPL")
+        assert rule.name
+        assert rule.summary

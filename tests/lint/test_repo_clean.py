@@ -1,0 +1,38 @@
+"""Meta-test: the repository's own source must lint clean at HEAD.
+
+This is the regression backstop the CI ``static-analysis`` job mirrors:
+a PR that introduces a global-RNG call, an unguarded metrics site, a
+leaked shared-memory segment, a kernel wall-clock read or an
+unannotated public API fails the *test suite*, not just CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+pytestmark = pytest.mark.skipif(
+    not (SRC / "repro").is_dir(),
+    reason="repro is not running from a source checkout",
+)
+
+
+def test_src_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.clean, f"repro lint src must stay clean:\n{rendered}"
+    # The tree is non-trivial — guard against silently linting nothing.
+    assert result.files_checked >= 90
+
+
+def test_benchmarks_and_examples_are_lint_clean():
+    result = lint_paths([REPO_ROOT / "benchmarks", REPO_ROOT / "examples"])
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.clean, f"benchmarks/examples must stay clean:\n{rendered}"

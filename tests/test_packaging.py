@@ -1,0 +1,112 @@
+"""Packaging smoke tests: metadata, console entry point, installability.
+
+The historical failure mode this pins down: ``setup.py`` shipped no
+metadata at all — no ``requires-python``, no console script — so
+``pip install .`` produced a package you could neither version-gate nor
+invoke as ``repro``.  Everything now lives in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import subprocess
+import sys
+import sysconfig
+import tomllib
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+pytestmark = pytest.mark.skipif(
+    not PYPROJECT.is_file(),
+    reason="repro is not running from a source checkout",
+)
+
+
+def _metadata() -> dict:
+    with PYPROJECT.open("rb") as handle:
+        return tomllib.load(handle)
+
+
+class TestDeclaredMetadata:
+    def test_core_fields_present(self):
+        project = _metadata()["project"]
+        assert project["name"] == "repro-nscaching"
+        assert project["version"] == repro.__version__
+        assert project["requires-python"].startswith(">=3.")
+        assert "numpy" in project["dependencies"]
+        assert project["description"]
+
+    def test_console_entry_point_declared_and_resolvable(self):
+        scripts = _metadata()["project"]["scripts"]
+        target = scripts["repro"]
+        module_name, _, attr = target.partition(":")
+        module = importlib.import_module(module_name)
+        assert callable(getattr(module, attr))
+
+    def test_src_layout_discovery(self):
+        find = _metadata()["tool"]["setuptools"]["packages"]["find"]
+        assert find["where"] == ["src"]
+
+    def test_static_analysis_configs_declared(self):
+        tool = _metadata()["tool"]
+        assert tool["ruff"]["lint"]["select"] == ["F", "I"]
+        overrides = tool["mypy"]["overrides"]
+        strict = [o for o in overrides if o.get("disallow_untyped_defs")]
+        modules = {m for o in strict for m in o["module"]}
+        assert {
+            "repro.core.*", "repro.eval.*", "repro.parallel.*",
+            "repro.serve.*",
+        } <= modules
+
+
+class TestRunnableWithoutInstall:
+    def test_python_m_repro_help(self):
+        env_path = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "usage: repro" in proc.stdout
+        for command in ("train", "evaluate", "serve", "metrics", "lint"):
+            assert command in proc.stdout
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("wheel") is None,
+    reason="offline toolchain cannot build wheels (no `wheel` package)",
+)
+class TestPipInstallRoundTrip:
+    def test_pip_install_then_repro_help(self, tmp_path):
+        prefix = tmp_path / "prefix"
+        install = subprocess.run(
+            [
+                sys.executable, "-m", "pip", "install",
+                "--no-build-isolation", "--no-index", "--no-deps",
+                "--quiet", f"--prefix={prefix}", str(REPO_ROOT),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert install.returncode == 0, install.stderr
+        script = prefix / "bin" / "repro"
+        assert script.is_file(), list(prefix.rglob("repro*"))
+        purelib = sysconfig.get_paths(vars={"base": str(prefix)})["purelib"]
+        proc = subprocess.run(
+            [str(script), "--help"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": purelib, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "usage: repro" in proc.stdout
