@@ -1,0 +1,177 @@
+"""Extension (X11) — span-tracing overhead on the update() hot loop.
+
+The tracer is disabled by default and every hot-path call site is
+``None``-guarded, mirroring the metrics registry's contract (bench X8):
+:mod:`repro.obs.trace` must be free when off and near-free when on.
+This benchmark measures full ``NSCachingSampler`` ``update()``
+throughput at the paper defaults (N1 = N2 = 50, batch 1024) in three
+configurations:
+
+1. **off** — no tracer attached (the seed configuration, bit-identical
+   to it by the ``tests/train/test_trainer_trace.py`` contract);
+2. **on** — a :class:`~repro.obs.trace.Tracer` attached to the sampler,
+   recording a ``refresh_side`` span per cache refresh;
+3. **on + update span** — the same tracer plus a trainer-style span
+   wrapped around every ``update()`` call (what ``--trace-out`` costs
+   per phase).
+
+The off/on passes are interleaved (off, on, off, on, ...) so thermal
+drift and allocator state hit both arms equally, and the median pass is
+compared.  Tracing-on must stay within ``MAX_OVERHEAD`` (3%) of
+tracing-off; the off arm is the seed path itself, so no separate seed
+assertion is needed.  Run under pytest (records wall time, writes
+benchmarks/out/X11.txt)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace_overhead.py --benchmark-only
+
+or as a plain script (CI smoke: tiny dataset, report-only)::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --smoke
+"""
+
+import argparse
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import build_model
+from repro.bench.tables import format_table
+from repro.core.nscaching import NSCachingSampler
+from repro.data.benchmarks import fb15k_like
+from repro.obs.trace import Tracer
+
+SEED = 0
+SCALE = 0.3
+DIM = 32
+PAPER_N1 = PAPER_N2 = 50
+PAPER_BATCH = 1024
+#: Interleaved (off, on) pass pairs; the median per-arm pass is compared.
+PASS_PAIRS = 5
+#: Tracing-on may cost at most this fraction over tracing-off.
+MAX_OVERHEAD = 0.03
+
+OUT_PATH = Path(__file__).parent / "out" / "X11.txt"
+
+
+def _make_sampler(dataset, n1, n2):
+    model = build_model("TransE", dataset, dim=DIM, seed=SEED)
+    sampler = NSCachingSampler(cache_size=n1, candidate_size=n2)
+    sampler.bind(model, dataset, rng=SEED)
+    return sampler
+
+
+def _one_pass(sampler, dataset, rows, batch_size, *, tracer=None):
+    """Seconds for one full pass of update() over the training set."""
+    n_batches = 0
+    start_time = time.perf_counter()
+    for start in range(0, len(dataset.train) - batch_size + 1, batch_size):
+        indices = np.arange(start, start + batch_size)
+        batch = dataset.train[indices]
+        if tracer is not None:
+            with tracer.start_span("update", "train"):
+                sampler.update(batch, batch, rows.take(indices))
+        else:
+            sampler.update(batch, batch, rows.take(indices))
+        n_batches += 1
+    return time.perf_counter() - start_time, n_batches * batch_size
+
+
+def run_benchmark(scale=SCALE, batch_size=PAPER_BATCH, n1=PAPER_N1,
+                  n2=PAPER_N2, pass_pairs=PASS_PAIRS):
+    """Returns (rows, on/off overhead fraction, span-arm overhead fraction)."""
+    dataset = fb15k_like(seed=SEED, scale=scale)
+    batch_size = min(batch_size, len(dataset.train))
+    tracer = Tracer()
+
+    arms = {"off": [], "on": [], "on + update span": []}
+    sampler = _make_sampler(dataset, n1, n2)
+    rows = sampler.precompute_rows(dataset.train)
+    try:
+        # Warm-up: initialise both cache sides before any timed pass.
+        first = np.arange(min(batch_size, len(dataset.train)))
+        sampler.update(dataset.train[first], dataset.train[first],
+                       rows.take(first))
+        for _ in range(pass_pairs):
+            sampler.tracer = None
+            seconds, n = _one_pass(sampler, dataset, rows, batch_size)
+            arms["off"].append(n / seconds)
+            sampler.tracer = tracer
+            seconds, n = _one_pass(sampler, dataset, rows, batch_size)
+            arms["on"].append(n / seconds)
+            seconds, n = _one_pass(sampler, dataset, rows, batch_size,
+                                   tracer=tracer)
+            arms["on + update span"].append(n / seconds)
+    finally:
+        sampler.close()
+
+    off = statistics.median(arms["off"])
+    table_rows, overheads = [], {}
+    for name, passes in arms.items():
+        throughput = statistics.median(passes)
+        overheads[name] = off / throughput - 1.0
+        table_rows.append(
+            (name, round(throughput), f"{100 * overheads[name]:+.2f}%")
+        )
+    return table_rows, overheads["on"], overheads["on + update span"]
+
+
+def render(table_rows) -> str:
+    return format_table(
+        ("instrumentation", "update() triples/s", "overhead vs off"),
+        table_rows,
+        title=(
+            "X11: span-tracing overhead on the update() hot loop "
+            f"(TransE d{DIM}, N1=N2={PAPER_N1}, batch {PAPER_BATCH}, "
+            f"median of {PASS_PAIRS} interleaved passes per arm)"
+        ),
+    )
+
+
+def test_trace_overhead(benchmark, report):
+    from conftest import run_once
+
+    table_rows, on_overhead, span_overhead = run_once(
+        benchmark, lambda: run_benchmark()
+    )
+    report("X11", render(table_rows))
+    assert on_overhead <= MAX_OVERHEAD, (
+        f"tracing-on costs {100 * on_overhead:.2f}% on update() "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset, report-only (CI-friendly: tiny workloads make "
+             "percent overheads pure noise)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        table_rows, on_overhead, _ = run_benchmark(
+            scale=0.1, batch_size=256, pass_pairs=2
+        )
+        print(render(table_rows))
+        print(
+            f"smoke ok: tracing-on measured at {100 * on_overhead:+.2f}% "
+            "(report-only at smoke scale)"
+        )
+        return 0
+    table_rows, on_overhead, span_overhead = run_benchmark()
+    text = render(table_rows)
+    print(text)
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(text + "\n", encoding="utf-8")
+    print(f"written to {OUT_PATH}")
+    assert on_overhead <= MAX_OVERHEAD, (
+        f"tracing-on costs {100 * on_overhead:.2f}% on update() "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

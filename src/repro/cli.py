@@ -1,13 +1,15 @@
 """Command-line interface.
 
-Six subcommands cover the workflow end to end, from data to serving::
+The subcommands cover the workflow end to end, from data to serving::
 
     python -m repro datasets
     python -m repro train --dataset WN18RR --model TransE --sampler NSCaching \
-        --epochs 40 --metrics-out run.jsonl --out transe.npz
+        --epochs 40 --metrics-out run.jsonl --trace-out trace.jsonl --out transe.npz
     python -m repro evaluate --checkpoint transe.npz --dataset WN18RR --top-k 5
     python -m repro serve --checkpoint transe.npz --dataset WN18RR --port 8080
     python -m repro metrics run.jsonl
+    python -m repro trace summary trace.jsonl
+    python -m repro trace export trace.jsonl --chrome trace.json
     python -m repro experiments
 
 Dataset names are the paper's (``WN18``, ``WN18RR``, ``FB15K``,
@@ -129,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
              "seconds, cache churn/survivor fraction); summarise it later "
              "with `repro metrics PATH`",
     )
+    train.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a span timeline (trainer phases, refresh dispatch, "
+             "worker shard tasks) as JSONL; analyse with `repro trace "
+             "summary PATH` or export for Perfetto with `repro trace "
+             "export PATH --chrome out.json`",
+    )
     train.add_argument("--out", default=None, help="checkpoint path (.npz)")
     train.add_argument(
         "--per-category", action="store_true",
@@ -172,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest k a query may request")
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="LRU query-cache entries (0 disables)")
+    serve.add_argument(
+        "--slow-request-ms", type=float, default=1000.0, metavar="MS",
+        help="log requests slower than this to stderr and count them in "
+             "http_slow_requests_total (default 1000)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record per-request spans (request/parse/cache/score) and "
+             "write them as a JSONL trace when the server stops",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="summarise a JSONL run log written by train --metrics-out"
@@ -180,6 +199,28 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--tail", type=_positive_int, default=None, metavar="N",
         help="only print the last N epoch rows (works on in-flight logs)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="analyse a span trace written by train/serve --trace-out"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-category span counts, wall/self seconds, and how much "
+             "worker refresh time the overlap pipeline hid behind the "
+             "gradient/optimizer step",
+    )
+    trace_summary.add_argument("trace_file", help="path to the trace (.jsonl)")
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome trace-event JSON "
+             "(chrome://tracing, Perfetto)",
+    )
+    trace_export.add_argument("trace_file", help="path to the trace (.jsonl)")
+    trace_export.add_argument(
+        "--chrome", required=True, metavar="OUT",
+        help="output path for the trace-event JSON",
     )
 
     lint = sub.add_parser(
@@ -317,6 +358,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         trainer = Trainer(
             model, dataset, sampler, config,
             profile=args.profile, metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         )
     except ValueError as exc:
         # e.g. --n-buckets/--n-shards with a backend that does not take
@@ -352,6 +394,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         trainer.close()  # stop refresh workers, release shared memory
     if args.metrics_out:
         print(f"run log written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     _print_metrics(evaluate(model, dataset, "test"))
     if args.per_category:
         _print_breakdown(model, dataset, "test")
@@ -446,6 +490,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot load checkpoint {args.checkpoint!r}: {exc}",
               file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     try:
         engine = PredictionEngine(
             snapshot,
@@ -453,27 +502,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             top_k=args.top_k,
             max_k=args.max_k,
             cache_capacity=args.cache_capacity,
+            tracer=tracer,
         )
     except ValueError as exc:
         print(f"error: {exc}; pass the --scale/--seed used at training",
               file=sys.stderr)
         return 2
     try:
-        server = make_server(engine, args.host, args.port)
+        server = make_server(
+            engine, args.host, args.port,
+            slow_request_seconds=args.slow_request_ms / 1000.0,
+        )
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     print(f"serving {snapshot.describe()} on http://{args.host}:{args.port}")
     print(
-        "routes: POST /predict, GET /healthz, GET /stats, GET /metrics  "
+        "routes: POST /predict (+ GET/HEAD /healthz /stats /metrics)  "
         "(Ctrl-C stops)"
     )
+    # SIGTERM (supervisors, `kill`) takes the same clean path as Ctrl-C
+    # so a --trace-out trace is still flushed below.
+    import signal
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
     run_server(server)
+    if tracer is not None:
+        from repro.obs.trace import write_trace
+
+        write_trace(args.trace_out, tracer.records())
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.obs.runlog import RunLogError, read_run_log
+    from repro.obs.runlog import read_run_log_lenient
     from repro.obs.summary import (
         EPOCH_COLUMNS,
         epoch_rows,
@@ -482,16 +548,18 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     )
 
     try:
-        records = read_run_log(args.run_log)
+        records, warnings = read_run_log_lenient(args.run_log)
     except OSError as exc:
         print(f"error: cannot read run log: {exc}", file=sys.stderr)
         return 2
-    except RunLogError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     if not records:
-        print(f"error: {args.run_log} holds no records", file=sys.stderr)
+        # Nothing valid to summarise: the strict failure (with the first
+        # anomaly, if any) is the only useful answer.
+        detail = f": {warnings[0]}" if warnings else ""
+        print(f"error: {args.run_log} holds no records{detail}", file=sys.stderr)
         return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     overview = run_overview(records)
     print(
         format_table(
@@ -519,6 +587,76 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                     )
                 ],
                 title="per-phase seconds (summed over epochs)",
+            )
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.runlog import RunLogError
+    from repro.obs.trace import (
+        category_summary,
+        chrome_trace,
+        overlap_report,
+        read_trace,
+    )
+
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except RunLogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: {args.trace_file} holds no spans", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "export":
+        exported = chrome_trace(records)
+        out = Path(args.chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(exported), encoding="utf-8")
+        print(
+            f"chrome trace written to {out} "
+            f"({len(exported['traceEvents'])} events); open in Perfetto or "
+            "chrome://tracing"
+        )
+        return 0
+
+    total = sum(float(r["dur"]) for r in records)
+    print(
+        format_table(
+            ("category", "spans", "seconds", "self seconds", "% self"),
+            [
+                (
+                    row["category"],
+                    row["spans"],
+                    round(row["seconds"], 4),
+                    round(row["self_seconds"], 4),
+                    round(100.0 * row["self_seconds"] / total, 1) if total else 0.0,
+                )
+                for row in category_summary(records)
+            ],
+            title=f"span summary ({args.trace_file}, {len(records)} spans)",
+        )
+    )
+    overlap = overlap_report(records)
+    if overlap is not None:
+        print(
+            format_table(
+                ("field", "value"),
+                [
+                    ("worker refresh seconds", round(overlap["worker_seconds"], 4)),
+                    ("gradient+optimizer seconds", round(overlap["step_seconds"], 4)),
+                    ("hidden behind step (s)", round(overlap["hidden_seconds"], 4)),
+                    ("hidden behind step (%)", round(overlap["hidden_pct"], 1)),
+                ],
+                title="refresh/step overlap",
             )
         )
     return 0
@@ -561,6 +699,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "experiments":

@@ -82,6 +82,7 @@ from repro.data.keyindex import TripleKeyIndex
 from repro.data.triples import HEAD, REL, TAIL
 from repro.models.base import CANDIDATE_MODES, KGEModel
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sampling.base import NegativeSampler
 from repro.utils.timer import Timer
 
@@ -361,6 +362,13 @@ class NSCachingSampler(NegativeSampler):
         #: Optional stopwatch for the parallel-refresh dispatch+wait (the
         #: trainer's ``parallel_refresh`` profile phase).
         self.parallel_timer: Timer | None = None
+        #: Optional span tracer the trainer attaches (``--trace-out``).
+        #: Refreshes then record ``refresh_side``/``dispatch``/``collect``
+        #: spans, and the pooled refresh merges the workers' shipped spans
+        #: into this ring.  ``None`` (the default) keeps the exact seed
+        #: code path.  Attach before the first parallel update(): workers
+        #: inherit their rings at fork.
+        self.tracer: Tracer | None = None
         self._metrics: MetricsRegistry | None = None
         self._mh: _RefreshMetrics | None = None  # pre-resolved handles
         self._union: np.ndarray | None = None  # fused-path candidate buffer
@@ -556,9 +564,17 @@ class NSCachingSampler(NegativeSampler):
         if self.refresh_workers > 1:
             self._parallel_refresh(batch, rows, modes, batch_index)
             return
+        tracer = self.tracer
         for mode in modes:
             side_rows = rows.head if mode == "head" else rows.tail
-            self._refresh_side(batch, side_rows, mode)
+            if tracer is not None:
+                with tracer.start_span(
+                    "refresh_side", "refresh",
+                    args={"mode": mode, "rows": int(len(batch))},
+                ):
+                    self._refresh_side(batch, side_rows, mode)
+            else:
+                self._refresh_side(batch, side_rows, mode)
 
     def _score_union(
         self, batch: np.ndarray, union: np.ndarray, mode: str
@@ -671,6 +687,7 @@ class NSCachingSampler(NegativeSampler):
                 use_processes=self.refresh_processes,
                 double_buffer=self.refresh_overlap,
                 dirty_sync=self.dirty_sync,
+                trace=self.tracer is not None,
             ).start()
         return self._pool
 
@@ -698,11 +715,18 @@ class NSCachingSampler(NegativeSampler):
         pool = self._pool
         if pool is None or not pool.inflight:
             return
+        span = (
+            self.tracer.start_span("collect", "refresh")
+            if self.tracer is not None
+            else None
+        )
         started = time.perf_counter()  # repro-lint: ignore[RPL005] -- telemetry only (overlap wait)
         try:
             results = pool.collect()
         finally:
             modes, self._pending_modes = self._pending_modes, None
+            if span is not None:
+                span.end()
         self._fold_results(results, modes or CANDIDATE_MODES)
         if self._mh is not None:
             self._mh.overlap_wait_seconds.inc(time.perf_counter() - started)  # repro-lint: ignore[RPL005] -- telemetry only
@@ -760,6 +784,16 @@ class NSCachingSampler(NegativeSampler):
         pool = self._ensure_pool()
         self.collect_refreshes()  # at most one batch in flight
         timer = self.parallel_timer
+        tracer = self.tracer
+        span = (
+            tracer.start_span(
+                "dispatch" if self.refresh_overlap else "refresh",
+                "refresh",
+                args={"batch": batch_index},
+            )
+            if tracer is not None
+            else None
+        )
         with timer if timer is not None else _NULL_CONTEXT:
             tasks = self._build_tasks(batch, rows, modes, batch_index)
             if self.refresh_overlap:
@@ -768,6 +802,8 @@ class NSCachingSampler(NegativeSampler):
                 results = None
             else:
                 results = pool.refresh(tasks)
+        if span is not None:
+            span.end()
         if tasks and self._mh is not None and pool.last_sync is not None:
             self._observe_sync(pool.last_sync)
         if results is not None:
@@ -787,12 +823,17 @@ class NSCachingSampler(NegativeSampler):
     ) -> None:
         """Fold completed shard results into store counters and metrics."""
         h = self._mh
+        tracer = self.tracer
         max_wait = 0.0
         for result in results:
             cache = self.head_cache if result.mode == "head" else self.tail_cache
             assert cache is not None
             cache.changed_elements += result.changed
             cache.initialised_entries += result.initialised
+            if tracer is not None and result.spans:
+                # The cross-process merge: worker spans rode the result
+                # queue; fold them into the parent's timeline.
+                tracer.ingest(result.spans)
             if h is not None:
                 h.rows[result.mode].inc(result.n_rows)
                 h.candidates[result.mode].inc(

@@ -47,6 +47,12 @@ class Finding:
 _TEST_PARTS = frozenset({"tests", "test"})
 #: Path parts that mark a kernel module (RPL005 applies there).
 _KERNEL_PARTS = frozenset({"models", "core"})
+#: Path part marking the observability package (RPL005's obs scope).
+_OBS_PART = "obs"
+#: The one obs module allowed to read ``time.*``: everything else in
+#: ``obs/`` routes through it, so the trace/runlog time axis has exactly
+#: one source.
+_OBS_CLOCK_FILENAME = "clock.py"
 #: Path parts naming the typed public-API packages (RPL006 applies there).
 _TYPED_API_PARTS = frozenset({"core", "eval", "parallel", "serve"})
 
@@ -94,6 +100,19 @@ class FileContext:
     def is_kernel(self) -> bool:
         """Kernel module: lives under a ``models/`` or ``core/`` package."""
         return any(part in _KERNEL_PARTS for part in self.parts[:-1])
+
+    @property
+    def is_obs(self) -> bool:
+        """Inside the ``obs/`` package, excluding the sanctioned clock.
+
+        ``obs/clock.py`` is exempt *by construction* — it is the single
+        module allowed to touch ``time.*``, so RPL005's obs scope covers
+        every other ``obs/`` file with no pragmas needed.
+        """
+        return (
+            any(part == _OBS_PART for part in self.parts[:-1])
+            and self.filename != _OBS_CLOCK_FILENAME
+        )
 
     @property
     def is_typed_api(self) -> bool:

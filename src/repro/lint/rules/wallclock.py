@@ -1,4 +1,4 @@
-"""RPL005 — no ad-hoc wall-clock reads inside kernel modules.
+"""RPL005 — clock discipline: clock-free kernels, one clock source in obs.
 
 Kernel modules (``models/*``, ``core/*``) are the code whose outputs
 must be bit-identical under a seed and whose phase costs the profiler
@@ -7,7 +7,14 @@ there either leaks timing into logic or double-counts a phase that the
 sanctioned :class:`repro.utils.timer.Timer` (and the obs phase spans
 built on it) already measures.  Timing belongs to the orchestration
 layers — trainer, pool, eval drivers — or to an explicitly pragma'd
-telemetry site.
+telemetry site.  Importing :mod:`repro.obs.clock` into a kernel is the
+same violation with a detour, so that import is banned there too.
+
+The observability package has the complementary invariant: spans, run
+logs and metrics must share *one* time axis, so every ``obs/`` module
+routes clock reads through :mod:`repro.obs.clock` — which is itself
+exempt by construction (it is the single sanctioned ``time.*`` reader),
+so no blanket pragmas are needed anywhere in ``obs/``.
 """
 
 from __future__ import annotations
@@ -25,21 +32,40 @@ CLOCK_MEMBERS = frozenset({
     "process_time", "process_time_ns", "time", "time_ns",
 })
 
+#: The sanctioned clock module (kernels must not import it either).
+_CLOCK_MODULE = "repro.obs.clock"
+
 
 class KernelWallClockRule(Rule):
-    """RPL005 — wall-clock reads in ``models/``/``core/`` modules."""
+    """RPL005 — ad-hoc clock reads in kernel and obs modules."""
 
     code = "RPL005"
     name = "no-kernel-wallclock"
     summary = (
         "kernel modules (models/*, core/*) must not read wall clocks "
-        "directly; time through repro.utils.timer.Timer at the "
-        "orchestration layer"
+        "or import repro.obs.clock; obs/* modules must read clocks "
+        "through repro.obs.clock (itself the one exempt reader)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if not ctx.is_kernel:
-            return
+        if ctx.is_kernel:
+            yield from self._clock_reads(
+                ctx,
+                "read inside a kernel module; kernels must stay "
+                "clock-free (profile via repro.utils.timer.Timer in the "
+                "orchestration layer, or pragma a telemetry-only site "
+                "with a reason)",
+            )
+            yield from self._clock_imports(ctx)
+        elif ctx.is_obs:
+            yield from self._clock_reads(
+                ctx,
+                "read directly in an obs module; route it through "
+                "repro.obs.clock so spans, run logs and metrics share "
+                "one time axis",
+            )
+
+    def _clock_reads(self, ctx: FileContext, why: str) -> Iterator[Finding]:
         time_aliases: set[str] = set()
         member_aliases: dict[str, str] = {}
         for node in ast.walk(ctx.tree):
@@ -67,11 +93,30 @@ class KernelWallClockRule(Rule):
             ):
                 member = member_aliases[node.id]
             if member is not None:
+                yield ctx.finding(node, self.code, f"time.{member} {why}")
+
+    def _clock_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        """Kernels importing the sanctioned clock module are still kernels
+        reading clocks — the laundering detour gets the same finding."""
+        for node in ast.walk(ctx.tree):
+            hit = False
+            if isinstance(node, ast.Import):
+                hit = any(
+                    alias.name == _CLOCK_MODULE
+                    or alias.name.startswith(_CLOCK_MODULE + ".")
+                    for alias in node.names
+                )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                hit = module == _CLOCK_MODULE or (
+                    module == "repro.obs"
+                    and any(alias.name == "clock" for alias in node.names)
+                )
+            if hit:
                 yield ctx.finding(
                     node,
                     self.code,
-                    f"time.{member} read inside a kernel module; kernels "
-                    "must stay clock-free (profile via "
-                    "repro.utils.timer.Timer in the orchestration layer, "
-                    "or pragma a telemetry-only site with a reason)",
+                    f"{_CLOCK_MODULE} imported into a kernel module; "
+                    "kernels must stay clock-free — the sanctioned clock "
+                    "is for obs/orchestration code, not kernels",
                 )

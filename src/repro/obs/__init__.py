@@ -13,6 +13,11 @@ reproduction without touching its semantics:
   ``repro metrics`` and the CI schema check.
 * :mod:`~repro.obs.summary` — the run-log summariser behind
   ``repro metrics``.
+* :mod:`~repro.obs.trace` — disabled-by-default span tracing with
+  cross-process collection (forked refresh workers ship spans back on
+  their results), Chrome trace-event export and the ``repro trace``
+  summary analysis; all clock reads route through
+  :mod:`~repro.obs.clock`, the single sanctioned reader RPL005 enforces.
 """
 
 from repro.obs.registry import (
@@ -29,9 +34,20 @@ from repro.obs.runlog import (
     RunLogError,
     RunLogWriter,
     read_run_log,
+    read_run_log_lenient,
     validate_record,
 )
 from repro.obs.summary import epoch_rows, phase_totals, run_overview
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    category_summary,
+    chrome_trace,
+    overlap_report,
+    read_trace,
+    validate_chrome_trace,
+    write_trace,
+)
 
 __all__ = [
     "Counter",
@@ -44,9 +60,18 @@ __all__ = [
     "RunLogError",
     "RunLogWriter",
     "Sample",
+    "Span",
+    "Tracer",
+    "category_summary",
+    "chrome_trace",
     "epoch_rows",
+    "overlap_report",
     "phase_totals",
     "read_run_log",
+    "read_run_log_lenient",
+    "read_trace",
     "run_overview",
+    "validate_chrome_trace",
     "validate_record",
+    "write_trace",
 ]

@@ -1,0 +1,43 @@
+"""The sanctioned clock: every obs-layer time read routes through here.
+
+Three readers, one per distinct job:
+
+* :func:`monotonic` — span timestamps.  ``CLOCK_MONOTONIC`` is
+  system-wide on Linux, so readings taken in ``fork``-ed refresh workers
+  land on the same axis as the parent's — the property the merged
+  cross-process timeline (and the pool's queue-wait accounting) depends
+  on.  Never use wall time for spans: an NTP step mid-run would fold the
+  timeline.
+* :func:`perf_counter` — highest-resolution interval measurement where
+  cross-process comparability does not matter (per-request latency,
+  benchmark arms).
+* :func:`wall_time` — the only reader that may name a calendar instant
+  (run-log ``unix_time`` stamps).
+
+RPL005 enforces the discipline: kernel modules (``models/*``, ``core/*``)
+read no clocks at all — not even these helpers — other ``obs/`` modules
+must route every read through this module, and this module alone touches
+:mod:`time` directly ("exempt by construction": the rule skips
+``obs/clock.py`` by name, so no pragmas appear anywhere in ``obs/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "perf_counter", "wall_time"]
+
+
+def monotonic() -> float:
+    """Seconds on the system-wide monotonic axis (span timestamps)."""
+    return time.monotonic()
+
+
+def perf_counter() -> float:
+    """Seconds on the highest-resolution local counter (intervals)."""
+    return time.perf_counter()
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch (calendar stamps, never spans)."""
+    return time.time()

@@ -16,19 +16,30 @@ Schema (``version`` = :data:`RUN_LOG_VERSION`):
   with churn / survivor fraction / refresh counters (plus
   ``refresh_shards`` per-shard task timings under the parallel refresh);
 * ``run_end`` — one per run, last line: epoch count, total train seconds
-  and the final registry snapshot.
+  and the final registry snapshot;
+* ``span`` (since version 2) — one finished trace span
+  (:mod:`repro.obs.trace`): name, category, monotonic start, duration,
+  pid, tid and optional args.  Trace files (``train --trace-out``) are
+  JSONL files of span records and share this validator.
+
+Version 2 only *adds* the span record type; every version-1 record is
+still valid, so :func:`validate_record` accepts both versions.
 
 Every record is validated by :func:`validate_record`;
 :func:`read_run_log` applies it to a whole file, which is what
-``repro metrics`` and the CI obs-smoke job run.
+``repro metrics`` and the CI obs-smoke job run.  A crashed or in-flight
+writer can leave a truncated file (half-written last line, no
+``run_end``); :func:`read_run_log_lenient` reads the valid prefix and
+reports what it skipped instead of raising, which is what the CLI uses.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 from typing import IO, Any, Iterable
+
+from repro.obs import clock
 
 __all__ = [
     "RUN_LOG_VERSION",
@@ -36,18 +47,22 @@ __all__ = [
     "RunLogError",
     "RunLogWriter",
     "read_run_log",
+    "read_run_log_lenient",
     "validate_record",
 ]
 
 #: Bump when a record's required shape changes.
-RUN_LOG_VERSION = 1
+RUN_LOG_VERSION = 2
+
+#: Schema versions :func:`validate_record` accepts (v2 is additive).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Required numeric fields of an ``epoch`` record (beside type/epoch).
 EPOCH_REQUIRED_FIELDS: tuple[str, ...] = (
     "loss", "nzl", "grad_norm", "epoch_seconds", "samples_per_sec",
 )
 
-_RECORD_TYPES = ("run_meta", "epoch", "run_end")
+_RECORD_TYPES = ("run_meta", "epoch", "run_end", "span")
 
 
 class RunLogError(ValueError):
@@ -76,9 +91,14 @@ def validate_record(record: object) -> dict[str, Any]:
         kind in _RECORD_TYPES,
         f"record type must be one of {_RECORD_TYPES}, got {kind!r}",
     )
+    version = record.get("version")
     _require(
-        record.get("version") == RUN_LOG_VERSION,
-        f"record version must be {RUN_LOG_VERSION}, got {record.get('version')!r}",
+        version in SUPPORTED_VERSIONS,
+        f"record version must be one of {SUPPORTED_VERSIONS}, got {version!r}",
+    )
+    _require(
+        not (kind == "span" and version < 2),
+        f"span records need version >= 2, got {version!r}",
     )
     if kind == "run_meta":
         for field in ("model", "dataset", "sampler"):
@@ -113,6 +133,29 @@ def validate_record(record: object) -> dict[str, Any]:
                     _is_number(record["cache"].get(field)),
                     f"epoch.cache.{field} must be a number",
                 )
+    elif kind == "span":
+        for field in ("name", "cat"):
+            _require(
+                isinstance(record.get(field), str),
+                f"span.{field} must be a string, got {record.get(field)!r}",
+            )
+        for field in ("ts", "dur"):
+            _require(
+                _is_number(record.get(field)) and record[field] >= 0,
+                f"span.{field} must be a non-negative number, "
+                f"got {record.get(field)!r}",
+            )
+        for field in ("pid", "tid"):
+            value = record.get(field)
+            _require(
+                isinstance(value, int) and not isinstance(value, bool),
+                f"span.{field} must be an integer, got {value!r}",
+            )
+        if "args" in record:
+            _require(
+                isinstance(record["args"], dict),
+                "span.args must be an object when present",
+            )
     else:  # run_end
         _require(
             _is_number(record.get("epochs")),
@@ -158,7 +201,7 @@ class RunLogWriter:
     def stamp(self, record: dict[str, Any]) -> dict[str, Any]:
         """Add the schema version and a unix timestamp to a record."""
         record.setdefault("version", RUN_LOG_VERSION)
-        record.setdefault("unix_time", time.time())
+        record.setdefault("unix_time", clock.wall_time())
         return record
 
     def close(self) -> None:
@@ -201,6 +244,49 @@ def read_run_log(path: str | Path) -> list[dict[str, Any]]:
             except RunLogError as exc:
                 raise RunLogError(f"{path}:{lineno}: {exc}") from None
     return records
+
+
+def read_run_log_lenient(
+    path: str | Path,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """The valid prefix of a run log, plus warnings about what was cut.
+
+    A crashed run leaves a truncated log: a half-written last line (the
+    writer died mid-record) and/or no ``run_end``.  The strict
+    :func:`read_run_log` raises on the former, which is right for CI but
+    wrong for ``repro metrics`` on a log you are trying to *diagnose* —
+    this reader stops at the first unparsable or invalid line and returns
+    everything before it, with one warning per anomaly (truncation point,
+    missing ``run_end``).  An empty warning list means the strict reader
+    would have accepted the file whole.
+    """
+    records: list[dict[str, Any]] = []
+    warnings: list[str] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(validate_record(json.loads(line)))
+            except json.JSONDecodeError as exc:
+                warnings.append(
+                    f"{path}:{lineno}: invalid JSON ({exc}); summarising the "
+                    f"{len(records)}-record prefix"
+                )
+                break
+            except RunLogError as exc:
+                warnings.append(
+                    f"{path}:{lineno}: {exc}; summarising the "
+                    f"{len(records)}-record prefix"
+                )
+                break
+    if records and not any(r.get("type") == "run_end" for r in records):
+        warnings.append(
+            f"{path}: no run_end record (crashed or in-flight run); "
+            "totals cover the logged epochs only"
+        )
+    return records, warnings
 
 
 def epoch_records(records: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:

@@ -48,9 +48,10 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -103,6 +104,12 @@ class ShardResult:
     pid under the inline fallback).  The sampler folds these into its
     metrics registry, giving the per-shard refresh timings of the run
     log and ``/metrics``.
+
+    ``spans`` piggybacks the worker's finished trace spans (schema-v2
+    ``span`` record dicts) when the pool was built with ``trace=True`` —
+    the result queue is the only parent↔worker channel, so shipping the
+    timeline on the results needs no extra plumbing.  Empty when tracing
+    is off, so untraced refreshes move identical bytes.
     """
 
     mode: str
@@ -113,6 +120,7 @@ class ShardResult:
     seconds: float = 0.0
     queue_wait: float = 0.0
     worker_pid: int = 0
+    spans: tuple[dict[str, Any], ...] = ()
 
 
 class SyncReport(NamedTuple):
@@ -165,6 +173,13 @@ class _WorkerState:
     current batch was published into.  The flag only ever flips between
     a :meth:`RefreshPool.collect` and the next :meth:`dispatch` (the
     pool enforces one batch in flight), so a per-task read is race-free.
+
+    With ``trace=True`` the state carries a
+    :class:`~repro.obs.trace.Tracer`: built pre-fork, so every worker
+    inherits its *own* copy-on-write ring.  ``run`` records one
+    ``queue_wait`` and one ``shard_task`` span per task (timestamped on
+    the system-wide monotonic axis, comparable with the parent's spans)
+    and drains them into the returned :attr:`ShardResult.spans`.
     """
 
     def __init__(
@@ -176,6 +191,7 @@ class _WorkerState:
         candidate_size: int,
         update_strategy: UpdateStrategy,
         seed: int,
+        trace: bool = False,
     ) -> None:
         self.models = models
         self.buffer_flag = buffer_flag
@@ -184,6 +200,14 @@ class _WorkerState:
         self.candidate_size = candidate_size
         self.update_strategy = update_strategy
         self.seed = seed
+        if trace:
+            from repro.obs.trace import Tracer
+
+            # A task ships 2 spans and drains per result: 1024 slots is
+            # pure headroom, not a sizing decision.
+            self.tracer: "Tracer | None" = Tracer(capacity=1024)
+        else:
+            self.tracer = None
 
     def task_rng(self, task: ShardTask) -> np.random.Generator:
         """The task's own stream: keyed by (seed, mode, shard, epoch, batch)."""
@@ -203,6 +227,32 @@ class _WorkerState:
             if task.enqueued_at > 0.0
             else 0.0
         )
+        tracer, task_span = self.tracer, None
+        if tracer is not None:
+            if task.enqueued_at > 0.0:
+                # The wait is already over; record it as a pre-finished
+                # span anchored at the dispatch stamp.
+                tracer.ingest((
+                    {
+                        "name": "queue_wait",
+                        "cat": "refresh_worker",
+                        "ts": task.enqueued_at,
+                        "dur": queue_wait,
+                        "pid": os.getpid(),
+                        "tid": threading.get_native_id(),
+                    },
+                ))
+            task_span = tracer.start_span(
+                "shard_task",
+                "refresh_worker",
+                args={
+                    "mode": task.mode,
+                    "shard": task.shard,
+                    "epoch": task.epoch,
+                    "batch": task.batch,
+                    "rows": int(len(task.rows)),
+                },
+            )
         started = time.perf_counter()
         model = self.models[int(self.buffer_flag[0])]
         side = self.sides[task.mode]
@@ -226,6 +276,11 @@ class _WorkerState:
         )
         changed = selection_changed_elements(selection, task.rows, n1)
         cache.scatter(task.rows, selection.ids, selection.scores, changed=changed)
+        spans: tuple[dict[str, Any], ...] = ()
+        if tracer is not None:
+            assert task_span is not None
+            task_span.end()
+            spans = tuple(tracer.drain())
         return ShardResult(
             task.mode,
             task.shard,
@@ -235,6 +290,7 @@ class _WorkerState:
             seconds=time.perf_counter() - started,
             queue_wait=queue_wait,
             worker_pid=os.getpid(),
+            spans=spans,
         )
 
 
@@ -293,6 +349,14 @@ class RefreshPool:
         only the dirty slices.  ``False`` pins the full-copy path (for
         A/B benchmarking).  Either way the first sync per buffer and
         un-marked runs take the full copy, so results are identical.
+    trace:
+        Give every worker its own span :class:`~repro.obs.trace.Tracer`
+        (built pre-fork); each task's ``queue_wait``/``shard_task``
+        spans ship back on :attr:`ShardResult.spans` for the caller to
+        merge into one timeline.  Off by default — tracing never touches
+        the refresh math, only whether span dicts ride the result queue.
+        Must be decided before :meth:`start` (workers inherit the state
+        at fork).
     """
 
     def __init__(
@@ -308,6 +372,7 @@ class RefreshPool:
         use_processes: bool = True,
         double_buffer: bool = False,
         dirty_sync: bool = True,
+        trace: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -323,6 +388,7 @@ class RefreshPool:
         self.n_workers = int(n_workers)
         self.n_buffers = 2 if double_buffer else 1
         self.dirty_sync = bool(dirty_sync)
+        self.trace = bool(trace)
         self._want_processes = bool(use_processes) and self.n_workers >= 2
         #: Per-buffer ``{name: block}`` parameter mirrors (filled by start).
         self._param_blocks: list[dict[str, SharedArrayBlock]] = []
@@ -408,6 +474,7 @@ class RefreshPool:
             self.candidate_size,
             self.update_strategy,
             self.seed,
+            trace=self.trace,
         )
 
         if self._want_processes:

@@ -11,7 +11,11 @@ sequential refresh path works against it unchanged.  What the shared
 storage buys is that :class:`~repro.parallel.pool.RefreshPool` worker
 processes can gather/scatter the same rows with zero copying: each shard
 is a contiguous row range, each batch slice touches exactly one shard,
-and concurrent shard refreshes are write-disjoint by construction.
+and concurrent shard refreshes are write-disjoint by construction.  To
+*see* that concurrency, trace a run (``repro train --trace-out``): each
+worker's ``shard_task`` spans (:mod:`repro.obs.trace`) land on their own
+pid row of the exported timeline, overlapping the trainer's gradient and
+optimizer spans when ``--refresh-overlap`` is on.
 
 Two inner schemes are supported, selected by the backend's ``inner``
 option:

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, ContextManager, Mapping, Sequence
 
 import numpy as np
 
 from repro.data.dataset import KGDataset
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serve.cache import QueryCache
 from repro.serve.snapshot import EmbeddingSnapshot
 from repro.serve.topk import TopKResult, TopKScorer
@@ -26,6 +28,9 @@ from repro.serve.topk import TopKResult, TopKScorer
 __all__ = ["PredictionEngine"]
 
 _QUERY_FIELDS = frozenset(("head", "relation", "tail", "k", "filtered"))
+
+#: Shared no-op context for the untraced path (no per-call allocation).
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
 
 
 class PredictionEngine:
@@ -51,9 +56,14 @@ class PredictionEngine:
         The registry backing ``/metrics``; the engine creates its own by
         default.  Internal counters stay plain ints under the engine's
         lock — they are mirrored into the registry at export time
-        (:meth:`sync_metrics`); only the predict-latency histogram is
-        observed per request (it takes its own lock, so the threading
-        server is safe).
+        (:meth:`sync_metrics`); only the latency histograms are observed
+        per request (they take their own lock, so the threading server is
+        safe).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when attached,
+        ``predict()`` records parse/cache/score spans (category
+        ``serve``) and the HTTP layer adds a per-request parent span.
+        ``None`` (the default) keeps the serve path span-free.
     """
 
     def __init__(
@@ -66,6 +76,7 @@ class PredictionEngine:
         cache_capacity: int = 1024,
         chunk: int = 64,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if top_k <= 0:
             raise ValueError(f"top_k must be > 0, got {top_k}")
@@ -92,6 +103,12 @@ class PredictionEngine:
         self.queries_served = 0
         #: Vectorised scorer calls issued for cache misses.
         self.scoring_batches = 0
+        self.tracer = tracer
+        # HTTP request accounting (fed by the HTTP layer's
+        # observe_request); plain ints under the engine lock, mirrored as
+        # http_requests_total / http_slow_requests_total at export time.
+        self._http_requests: dict[tuple[str, str], int] = {}
+        self._http_slow: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # The engine always owns a registry (serving is explicitly opted
         # into, unlike the hot training loop), so these chains are safe.
@@ -124,24 +141,40 @@ class PredictionEngine:
         on a malformed query (the HTTP layer maps that to a 400).
         """
         started = time.perf_counter()
-        parsed = [self._parse(q) for q in queries]
+        tracer = self.tracer
+        with (
+            tracer.start_span("parse", "serve", args={"queries": len(queries)})
+            if tracer is not None
+            else _NULL_CONTEXT
+        ):
+            parsed = [self._parse(q) for q in queries]
         answers: list[dict[str, Any] | None] = [None] * len(parsed)
 
         # Cache pass.
         misses: list[int] = []
-        for i, (direction, anchor, relation, k, filtered) in enumerate(parsed):
-            key = (direction, anchor, relation, k, filtered)
-            hit = self.cache.get(key) if self.cache is not None else None
-            if hit is not None:
-                answers[i] = self._render(parsed[i], hit, cached=True)
-            else:
-                misses.append(i)
+        with (
+            tracer.start_span("cache", "serve")
+            if tracer is not None
+            else _NULL_CONTEXT
+        ):
+            for i, (direction, anchor, relation, k, filtered) in enumerate(parsed):
+                key = (direction, anchor, relation, k, filtered)
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    answers[i] = self._render(parsed[i], hit, cached=True)
+                else:
+                    misses.append(i)
 
         # Score the misses, one vectorised call per (direction, k, filtered).
         groups: dict[tuple[str, int, bool], list[int]] = {}
         for i in misses:
             direction, _, _, k, filtered = parsed[i]
             groups.setdefault((direction, k, filtered), []).append(i)
+        score_span = (
+            tracer.start_span("score", "serve", args={"misses": len(misses)})
+            if tracer is not None and misses
+            else None
+        )
         for (direction, k, filtered), idxs in groups.items():
             anchors = np.array([parsed[i][1] for i in idxs], dtype=np.int64)
             relations = np.array([parsed[i][2] for i in idxs], dtype=np.int64)
@@ -171,6 +204,8 @@ class PredictionEngine:
                         ),
                     )
                 answers[i] = self._render(parsed[i], result, cached=False)
+        if score_span is not None:
+            score_span.end()
 
         with self._lock:
             self.queries_served += len(parsed)
@@ -181,6 +216,28 @@ class PredictionEngine:
     def predict_one(self, **query: Any) -> dict[str, Any]:
         """Answer a single keyword-style query (see :meth:`predict`)."""
         return self.predict([query])[0]
+
+    def observe_request(
+        self, route: str, status: int, seconds: float, *, slow: bool = False
+    ) -> None:
+        """Record one HTTP request (any method, any status) for ``/metrics``.
+
+        Called by the HTTP layer after every response — error paths
+        included, so 400/404/500 rates are visible.  The latency
+        histogram takes its own lock; the per-``(route, status)`` counts
+        stay plain ints under the engine lock and are exported as
+        ``http_requests_total`` by :meth:`sync_metrics`.
+        """
+        self.metrics.histogram(  # repro-lint: ignore[RPL003] -- engine always owns a registry
+            "http_request_seconds",
+            "wall time of one HTTP request",
+            labels={"route": route},
+        ).observe(seconds)
+        key = (route, str(int(status)))
+        with self._lock:
+            self._http_requests[key] = self._http_requests.get(key, 0) + 1
+            if slow:
+                self._http_slow[route] = self._http_slow.get(route, 0) + 1
 
     # -- introspection ------------------------------------------------------
     def cache_stats(self) -> dict[str, float | int]:
@@ -234,6 +291,20 @@ class PredictionEngine:
         registry = self.metrics
         with self._lock:
             queries, batches = self.queries_served, self.scoring_batches
+            http_requests = dict(self._http_requests)
+            http_slow = dict(self._http_slow)
+        for (route, status), count in sorted(http_requests.items()):
+            registry.counter(
+                "http_requests_total",
+                "HTTP requests by route and status code",
+                labels={"route": route, "status": status},
+            ).set_total(float(count))
+        for route, count in sorted(http_slow.items()):
+            registry.counter(
+                "http_slow_requests_total",
+                "requests slower than the serve layer's slow threshold",
+                labels={"route": route},
+            ).set_total(float(count))
         registry.counter(
             "serve_queries_total", "queries answered (cache hits included)"
         ).set_total(queries)

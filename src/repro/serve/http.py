@@ -14,13 +14,24 @@ scoring.  Routes:
   format (version 0.0.4); ``/metrics?format=json`` returns the same
   instruments as JSON.
 
-Malformed JSON or queries answer 400 with ``{"error": ...}``; unknown
-routes answer 404.
+``HEAD`` is supported on every GET route (load balancers probe with it):
+same status and headers, no body.  Malformed JSON or queries answer 400
+with ``{"error": ...}``; unknown routes answer 404.
+
+Every request — error paths included — is recorded through
+:meth:`~repro.serve.engine.PredictionEngine.observe_request`, so
+``/metrics`` exports ``http_requests_total{route,status}`` and a
+per-route latency histogram.  Requests slower than the handler's
+``slow_request_seconds`` are logged to stderr.  When the engine carries a
+:class:`~repro.obs.trace.Tracer`, each request gets a ``request`` span
+(category ``serve``) enclosing the engine's parse/cache/score spans.
 """
 
 from __future__ import annotations
 
 import json
+import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -36,8 +47,24 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: bigger is a mistake or abuse.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Routes the server knows; anything else is labelled ``other`` in the
+#: request metrics so unknown-path probes cannot explode label cardinality.
+KNOWN_ROUTES = frozenset(("/predict", "/healthz", "/stats", "/metrics"))
 
-def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
+#: Default slow-request threshold (seconds).
+DEFAULT_SLOW_REQUEST_SECONDS = 1.0
+
+
+def _route_label(path: str) -> str:
+    route = urlsplit(path).path
+    return route if route in KNOWN_ROUTES else "other"
+
+
+def make_handler(
+    engine: PredictionEngine,
+    *,
+    slow_request_seconds: float = DEFAULT_SLOW_REQUEST_SECONDS,
+) -> type[BaseHTTPRequestHandler]:
     """A request-handler class bound to ``engine``."""
 
     class PredictionHandler(BaseHTTPRequestHandler):
@@ -49,7 +76,56 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
 
         # -- routing --------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("GET")
+
+        def do_HEAD(self) -> None:  # noqa: N802
+            self._dispatch("HEAD")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            """Route one request, then record it whatever happened.
+
+            The accounting lives in the ``finally`` so 400/404/500 paths
+            (and even a handler bug that re-raises after replying 500)
+            still hit the counters, the latency histogram, the
+            slow-request log and — when tracing is on — the request span.
+            """
             self._body_read = False
+            self._head_only = method == "HEAD"
+            self._status = 500  # overwritten by _send; a crash before it counts as 500
+            route = _route_label(self.path)
+            tracer = engine.tracer
+            span = (
+                tracer.start_span(
+                    "request", "serve", args={"route": route, "method": method}
+                )
+                if tracer is not None
+                else None
+            )
+            started = time.perf_counter()
+            try:
+                if method == "POST":
+                    self._handle_post()
+                else:
+                    self._handle_get()
+            finally:
+                elapsed = time.perf_counter() - started
+                slow = elapsed >= slow_request_seconds
+                if slow:
+                    print(
+                        f"slow request: {method} {self.path} -> {self._status} "
+                        f"in {elapsed * 1000.0:.1f} ms",
+                        file=sys.stderr,
+                    )
+                engine.observe_request(route, self._status, elapsed, slow=slow)
+                if span is not None:
+                    if span.args is not None:
+                        span.args["status"] = self._status
+                    span.end()
+
+        def _handle_get(self) -> None:
             url = urlsplit(self.path)
             if url.path == "/healthz":
                 self._reply(200, engine.health())
@@ -65,8 +141,7 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
-        def do_POST(self) -> None:  # noqa: N802
-            self._body_read = False
+        def _handle_post(self) -> None:
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
                 return
@@ -117,8 +192,11 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
             self._send(status, body.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
 
         def _send(self, status: int, data: bytes, content_type: str) -> None:
+            self._status = status
             self.send_response(status)
             self.send_header("Content-Type", content_type)
+            # HEAD keeps the Content-Length the GET would have sent (RFC
+            # 9110 §9.3.2) but omits the body bytes themselves.
             self.send_header("Content-Length", str(len(data)))
             # Replying with the request body still unread would leave its
             # bytes on a keep-alive socket, where they would be parsed as
@@ -131,7 +209,8 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
                 self.send_header("Connection", "close")
                 self.close_connection = True
             self.end_headers()
-            self.wfile.write(data)
+            if not getattr(self, "_head_only", False):
+                self.wfile.write(data)
 
         def log_message(self, format: str, *args: Any) -> None:
             """Quiet by default; the CLI prints its own line per request."""
@@ -140,10 +219,17 @@ def make_handler(engine: PredictionEngine) -> type[BaseHTTPRequestHandler]:
 
 
 def make_server(
-    engine: PredictionEngine, host: str = "127.0.0.1", port: int = 8080
+    engine: PredictionEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    slow_request_seconds: float = DEFAULT_SLOW_REQUEST_SECONDS,
 ) -> ThreadingHTTPServer:
     """A ready-to-run threading HTTP server (``port=0`` picks a free port)."""
-    return ThreadingHTTPServer((host, port), make_handler(engine))
+    return ThreadingHTTPServer(
+        (host, port),
+        make_handler(engine, slow_request_seconds=slow_request_seconds),
+    )
 
 
 def run_server(server: ThreadingHTTPServer) -> None:
@@ -157,7 +243,13 @@ def run_server(server: ThreadingHTTPServer) -> None:
 
 
 def serve_forever(
-    engine: PredictionEngine, host: str = "127.0.0.1", port: int = 8080
+    engine: PredictionEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    slow_request_seconds: float = DEFAULT_SLOW_REQUEST_SECONDS,
 ) -> None:
     """Bind and serve ``engine`` until interrupted (one-call convenience)."""
-    run_server(make_server(engine, host, port))
+    run_server(
+        make_server(engine, host, port, slow_request_seconds=slow_request_seconds)
+    )

@@ -28,6 +28,16 @@ phase seconds into the registry, and — with ``metrics_out`` — streams one
 :mod:`repro.obs.runlog` record per epoch for ``repro metrics`` to
 summarise.  With neither, every instrumentation site is a ``None`` check:
 training is bit-identical to the uninstrumented loop under a fixed seed.
+
+Tracing: pass ``tracer`` (a :class:`~repro.obs.trace.Tracer`) and/or
+``trace_out`` (a JSONL trace path) to record a span timeline — every
+profile phase and epoch becomes a span, samplers with a ``tracer`` slot
+record their refresh/dispatch/collect spans into the same ring, and the
+pooled refresh merges spans shipped back from forked workers, so one
+timeline covers dispatch → gradients/optimizer → collect across
+processes.  ``close()`` writes the merged trace for ``repro trace``
+(summary, Chrome export).  Same contract as metrics: ``tracer=None``
+(the default) is bit-identical to the seed loop.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from repro.models.losses import LogisticLoss, Loss, MarginRankingLoss
 from repro.models.regularizers import L2Regularizer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runlog import RunLogWriter
+from repro.obs.trace import Span, Tracer, write_trace
 from repro.optim import make_optimizer
 from repro.sampling.base import NegativeSampler
 from repro.train.config import TrainConfig
@@ -78,6 +89,35 @@ class TrainingHistory:
         return self.series[name].last()
 
 
+class _TracedPhase:
+    """Span + optional stopwatch around one hot-loop phase.
+
+    A dedicated slotted context manager (not ``@contextmanager``) keeps
+    the per-phase cost at two clock reads when tracing is on — the X11
+    overhead budget is measured through this path.
+    """
+
+    __slots__ = ("tracer", "name", "timer", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, timer: Timer | None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.timer = timer
+        self._span: Span | None = None
+
+    def __enter__(self) -> "_TracedPhase":
+        self._span = self.tracer.start_span(self.name, "train")
+        if self.timer is not None:
+            self.timer.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.timer is not None:
+            self.timer.stop()
+        if self._span is not None:
+            self._span.end()
+
+
 class Trainer:
     """Runs the KG-embedding training loop for any sampler/model pair."""
 
@@ -105,6 +145,8 @@ class Trainer:
         profile: bool = False,
         metrics: MetricsRegistry | None = None,
         metrics_out: str | None = None,
+        tracer: Tracer | None = None,
+        trace_out: str | None = None,
     ) -> None:
         self.model = model
         self.dataset = dataset
@@ -115,6 +157,10 @@ class Trainer:
         if metrics is None and metrics_out is not None:
             metrics = MetricsRegistry()  # the run log needs instruments
         self.metrics = metrics
+        if tracer is None and trace_out is not None:
+            tracer = Tracer()  # the trace file needs a ring to drain
+        self.tracer = tracer
+        self._trace_out = trace_out
         # Phase stopwatches double as obs spans: they run under --profile
         # *or* whenever a registry is attached.  With neither, _phase()
         # hands back a no-op context — the seed hot loop, bit for bit.
@@ -152,6 +198,12 @@ class Trainer:
         # rows, churn, per-shard task timings) into the shared registry.
         if hasattr(self.sampler, "metrics"):
             self.sampler.metrics = metrics
+        # Samplers with a ``tracer`` slot record refresh spans into the
+        # trainer's ring (and merge their forked workers' spans into it),
+        # so one timeline covers the whole pipeline.  Must happen before
+        # the first update(): refresh workers inherit tracing at fork.
+        if hasattr(self.sampler, "tracer"):
+            self.sampler.tracer = tracer
 
         # Overlapped-refresh samplers hand back a collect hook: the
         # trainer drains the in-flight dispatch at the top of every batch
@@ -219,7 +271,18 @@ class Trainer:
 
     # -- profiling / observability ---------------------------------------------
     def _phase(self, name: str) -> ContextManager[object]:
-        """The phase's timer when profiling or instrumented, else a no-op."""
+        """The phase's timer/span when instrumented, else a no-op.
+
+        Three shapes: a tracer attached wraps the phase in a span (plus
+        the stopwatch when timing is also on); timing alone hands back
+        the stopwatch; neither hands back a no-op context — the seed hot
+        loop, bit for bit.
+        """
+        if self.tracer is not None:
+            return _TracedPhase(
+                self.tracer, name,
+                self.phase_timers[name] if self._timed else None,
+            )
         return self.phase_timers[name] if self._timed else nullcontext()
 
     def phase_seconds(self) -> dict[str, float]:
@@ -298,10 +361,14 @@ class Trainer:
         Safe to call repeatedly and on samplers without resources; training
         can not continue on this trainer afterwards unless the sampler is
         re-bound.  Also closes the run-log writer, so an aborted run's
-        JSONL ends cleanly at the last complete record (no ``run_end``).
+        JSONL ends cleanly at the last complete record (no ``run_end``),
+        and flushes the trace file when ``trace_out`` was given — spans
+        recorded so far survive an abort, like the run log does.
         """
         if self._run_log is not None:
             self._run_log.close()
+        if self.tracer is not None and self._trace_out is not None:
+            write_trace(self._trace_out, self.tracer.records())
         release = getattr(self.sampler, "close", None)
         if callable(release):
             release()
@@ -341,26 +408,35 @@ class Trainer:
         losses: list[float] = []
         nzl_values: list[float] = []
         grad_norms: list[float] = []
+        epoch_span = (
+            self.tracer.start_span("epoch", "train", args={"epoch": epoch})
+            if self.tracer is not None
+            else None
+        )
         epoch_timer = Timer()
-        with epoch_timer, self._timer:
-            for start in range(0, len(train), self.config.batch_size):
-                indices = order[start : start + self.config.batch_size]
-                batch = train[indices]
-                rows = (
-                    self._train_rows.take(indices)
-                    if self._train_rows is not None
-                    else None
-                )
-                batch_stats = self.train_batch(batch, rows)
-                losses.append(batch_stats["loss"])
-                nzl_values.append(batch_stats["nzl"])
-                grad_norms.append(batch_stats["grad_norm"])
-            # The last batch's overlapped refresh is still in flight:
-            # wait for it inside the epoch clock so epoch_seconds stays
-            # honest about the full refresh cost.
-            if self._collect_refreshes is not None:
-                with self._phase("refresh_overlap"):
-                    self._collect_refreshes()
+        try:
+            with epoch_timer, self._timer:
+                for start in range(0, len(train), self.config.batch_size):
+                    indices = order[start : start + self.config.batch_size]
+                    batch = train[indices]
+                    rows = (
+                        self._train_rows.take(indices)
+                        if self._train_rows is not None
+                        else None
+                    )
+                    batch_stats = self.train_batch(batch, rows)
+                    losses.append(batch_stats["loss"])
+                    nzl_values.append(batch_stats["nzl"])
+                    grad_norms.append(batch_stats["grad_norm"])
+                # The last batch's overlapped refresh is still in flight:
+                # wait for it inside the epoch clock so epoch_seconds stays
+                # honest about the full refresh cost.
+                if self._collect_refreshes is not None:
+                    with self._phase("refresh_overlap"):
+                        self._collect_refreshes()
+        finally:
+            if epoch_span is not None:
+                epoch_span.end()
 
         stats: dict[str, float] = {
             "loss": float(np.mean(losses)) if losses else 0.0,

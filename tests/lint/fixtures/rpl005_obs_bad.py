@@ -1,0 +1,12 @@
+"""Bad (as an obs/ module that is not clock.py): direct time reads."""
+import time
+from time import monotonic
+
+
+def span_start():
+    return monotonic()
+
+
+def stamp(record):
+    record["unix_time"] = time.time()
+    return record

@@ -1,0 +1,11 @@
+"""Good obs module: every clock read routes through repro.obs.clock."""
+from repro.obs import clock
+
+
+def span_start():
+    return clock.monotonic()
+
+
+def stamp(record):
+    record["unix_time"] = clock.wall_time()
+    return record

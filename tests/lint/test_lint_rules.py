@@ -49,6 +49,41 @@ class TestPathScoping:
         assert run_rule("RPL005", source, "src/repro/train/trainer.py") == []
         assert len(run_rule("RPL005", source, "src/repro/models/fast.py")) == 3
 
+    def test_rpl005_obs_scope_fires_on_direct_time_reads(self):
+        source = load_fixture("rpl005_obs_bad.py")
+        findings = run_rule("RPL005", source, "src/repro/obs/trace.py")
+        assert [f.code for f in findings] == ["RPL005"] * 2
+        assert all("repro.obs.clock" in f.message for f in findings)
+
+    def test_rpl005_obs_scope_silent_on_clock_routed_reads(self):
+        source = load_fixture("rpl005_obs_good.py")
+        assert run_rule("RPL005", source, "src/repro/obs/trace.py") == []
+
+    def test_rpl005_obs_clock_module_exempt_by_filename(self):
+        # clock.py is the single sanctioned time.* reader: the bad
+        # fixture's reads are fine when the file *is* the clock.
+        source = load_fixture("rpl005_obs_bad.py")
+        assert run_rule("RPL005", source, "src/repro/obs/clock.py") == []
+
+    def test_rpl005_obs_scope_outside_obs_silent(self):
+        source = load_fixture("rpl005_obs_bad.py")
+        assert run_rule("RPL005", source, "src/repro/serve/engine.py") == []
+
+    def test_rpl005_kernel_must_not_import_sanctioned_clock(self):
+        # Routing through repro.obs.clock is for obs/orchestration code;
+        # a kernel importing it is the same violation with a detour.
+        source = load_fixture("rpl005_obs_good.py")
+        findings = run_rule("RPL005", source, "src/repro/core/kernel.py")
+        assert len(findings) == 1
+        assert "repro.obs.clock" in findings[0].message
+        for form in (
+            "import repro.obs.clock\n",
+            "from repro.obs.clock import monotonic\n",
+        ):
+            assert run_rule("RPL005", form, "src/repro/core/kernel.py") != []
+        # ...but orchestration layers may use it freely.
+        assert run_rule("RPL005", source, "src/repro/train/trainer.py") == []
+
     def test_rpl006_only_applies_to_typed_api_packages(self):
         source = load_fixture("rpl006_bad.py")
         assert run_rule("RPL006", source, "src/repro/bench/tables.py") == []

@@ -6,10 +6,12 @@ import pytest
 
 from repro.obs.runlog import (
     RUN_LOG_VERSION,
+    SUPPORTED_VERSIONS,
     RunLogError,
     RunLogWriter,
     epoch_records,
     read_run_log,
+    read_run_log_lenient,
     validate_record,
 )
 from repro.obs.summary import EPOCH_COLUMNS, epoch_rows, phase_totals, run_overview
@@ -40,6 +42,16 @@ def _end():
     }
 
 
+def _span(**extra):
+    record = {
+        "type": "span", "version": RUN_LOG_VERSION,
+        "name": "gradients", "cat": "train",
+        "ts": 12.5, "dur": 0.25, "pid": 100, "tid": 200,
+    }
+    record.update(extra)
+    return record
+
+
 class TestValidate:
     def test_valid_records_pass(self):
         for record in (_meta(), _epoch(0), _end()):
@@ -68,6 +80,43 @@ class TestValidate:
 
     def test_cache_block_with_both_fields_passes(self):
         validate_record(_epoch(0, cache={"churn": 5, "refreshed_rows": 10}))
+
+
+class TestSchemaVersions:
+    """Version 2 is additive: v1 records stay valid, spans need v2."""
+
+    def test_both_versions_supported(self):
+        assert SUPPORTED_VERSIONS == (1, 2)
+        assert RUN_LOG_VERSION == 2
+
+    def test_version_1_records_still_valid(self):
+        for record in (_meta(), _epoch(0), _end()):
+            validate_record({**record, "version": 1})
+
+    def test_span_record_valid_at_v2(self):
+        assert validate_record(_span())
+        validate_record(_span(args={"epoch": 3}))
+
+    def test_span_record_rejected_at_v1(self):
+        with pytest.raises(RunLogError, match="version >= 2"):
+            validate_record(_span(version=1))
+
+    @pytest.mark.parametrize(
+        "record, match",
+        [
+            (_span(name=3), "span.name"),
+            (_span(cat=None), "span.cat"),
+            ({k: v for k, v in _span().items() if k != "ts"}, "span.ts"),
+            (_span(ts=-1.0), "span.ts"),
+            (_span(dur="long"), "span.dur"),
+            (_span(pid=1.5), "span.pid"),
+            (_span(tid=True), "span.tid"),
+            (_span(args=[1]), "span.args"),
+        ],
+    )
+    def test_malformed_span_rejected(self, record, match):
+        with pytest.raises(RunLogError, match=match):
+            validate_record(record)
 
 
 class TestWriter:
@@ -137,6 +186,60 @@ class TestReader:
     def test_epoch_records_filter(self):
         records = [_meta(), _epoch(0), _epoch(1), _end()]
         assert [r["epoch"] for r in epoch_records(records)] == [0, 1]
+
+
+class TestLenientReader:
+    def _write(self, tmp_path, *lines):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_clean_complete_log_no_warnings(self, tmp_path):
+        path = self._write(
+            tmp_path, json.dumps(_meta()), json.dumps(_epoch(0)),
+            json.dumps(_end()),
+        )
+        records, warnings = read_run_log_lenient(path)
+        assert len(records) == 3
+        assert warnings == []
+
+    def test_half_written_last_line_returns_prefix(self, tmp_path):
+        path = self._write(
+            tmp_path, json.dumps(_meta()), json.dumps(_epoch(0)),
+            json.dumps(_epoch(1))[:20],  # writer died mid-record
+        )
+        records, warnings = read_run_log_lenient(path)
+        assert [r["type"] for r in records] == ["run_meta", "epoch"]
+        assert any("invalid JSON" in w and ":3:" in w for w in warnings)
+        assert any("no run_end" in w for w in warnings)
+
+    def test_invalid_record_returns_prefix_with_warning(self, tmp_path):
+        path = self._write(
+            tmp_path, json.dumps(_meta()), json.dumps({"type": "bogus"}),
+        )
+        records, warnings = read_run_log_lenient(path)
+        assert len(records) == 1
+        assert any("record type" in w for w in warnings)
+
+    def test_missing_run_end_alone_warns(self, tmp_path):
+        path = self._write(tmp_path, json.dumps(_meta()), json.dumps(_epoch(0)))
+        records, warnings = read_run_log_lenient(path)
+        assert len(records) == 2
+        assert len(warnings) == 1
+        assert "no run_end" in warnings[0]
+
+    def test_empty_file_no_records_no_warnings(self, tmp_path):
+        path = self._write(tmp_path, "")
+        records, warnings = read_run_log_lenient(path)
+        assert records == []
+        assert warnings == []
+
+    def test_strict_reader_still_raises_on_truncation(self, tmp_path):
+        path = self._write(tmp_path, json.dumps(_meta()), "{broken")
+        with pytest.raises(RunLogError):
+            read_run_log(path)
+        records, _ = read_run_log_lenient(path)
+        assert len(records) == 1
 
 
 class TestSummary:

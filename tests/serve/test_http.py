@@ -309,3 +309,261 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(request, timeout=5)
         assert err.value.code == 400
+
+
+class TestHead:
+    """HEAD on every GET route: status + headers, no body (satellite for
+    load balancers whose probes default to HEAD)."""
+
+    def _head(self, server, path):
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            connection.request("HEAD", path)
+            response = connection.getresponse()
+            body = response.read()
+            return response.status, dict(response.getheaders()), body
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("path", ["/healthz", "/stats", "/metrics"])
+    def test_head_matches_get_without_body(self, server, path):
+        status, headers, body = self._head(server, path)
+        assert status == 200
+        assert body == b""
+        assert int(headers["Content-Length"]) > 0
+
+    def test_head_metrics_content_type(self, server):
+        _, headers, _ = self._head(server, "/metrics")
+        assert headers["Content-Type"].startswith("text/plain")
+
+    def test_head_unknown_path_404(self, server):
+        status, headers, body = self._head(server, "/nope")
+        assert status == 404
+        assert body == b""
+        assert int(headers["Content-Length"]) > 0
+
+    def test_head_then_get_on_same_connection(self, server):
+        # The advertised-but-unsent Content-Length must not desync a
+        # keep-alive connection.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            connection.request("HEAD", "/healthz")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200
+            assert body["status"] == "ok"
+        finally:
+            connection.close()
+
+
+class TestRequestMetrics:
+    """http_requests_total{route,status} covers error paths too."""
+
+    def _counters(self, server, name):
+        _, body = _get(server, "/metrics?format=json")
+        return {
+            tuple(sorted(m["labels"].items())): m["value"]
+            for m in body["metrics"]
+            if m["name"] == name
+        }
+
+    def test_success_and_errors_both_counted(self, server, tiny_kg):
+        query = {"head": int(tiny_kg.test[0, HEAD]),
+                 "relation": int(tiny_kg.test[0, REL])}
+        _post(server, "/predict", query)
+        with pytest.raises(urllib.error.HTTPError):
+            _post(server, "/predict", {"relation": 0})  # 400
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, "/nowhere")  # 404
+        counters = self._counters(server, "http_requests_total")
+        assert counters[(("route", "/predict"), ("status", "200"))] == 1.0
+        assert counters[(("route", "/predict"), ("status", "400"))] == 1.0
+        assert counters[(("route", "other"), ("status", "404"))] == 1.0
+
+    def test_unknown_paths_collapse_to_other(self, server):
+        for path in ("/a", "/b", "/c/d"):
+            with pytest.raises(urllib.error.HTTPError):
+                _get(server, path)
+        counters = self._counters(server, "http_requests_total")
+        assert counters[(("route", "other"), ("status", "404"))] == 3.0
+        # No per-path labels leak through (cardinality stays bounded); a
+        # scrape only counts itself on the *next* export, so 'other' may
+        # be the sole series here.
+        routes = {dict(key)["route"] for key in counters}
+        assert routes <= {"other", "/metrics"}
+
+    def test_latency_histogram_per_route(self, server):
+        _get(server, "/healthz")
+        _, body = _get(server, "/metrics?format=json")
+        histograms = {
+            m["labels"]["route"]: m
+            for m in body["metrics"]
+            if m["name"] == "http_request_seconds"
+        }
+        assert histograms["/healthz"]["count"] >= 1
+
+    def test_head_requests_counted(self, server):
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            connection.request("HEAD", "/healthz")
+            connection.getresponse().read()
+        finally:
+            connection.close()
+        counters = self._counters(server, "http_requests_total")
+        assert counters[(("route", "/healthz"), ("status", "200"))] == 1.0
+
+
+class TestSlowRequestLog:
+    def test_slow_requests_logged_and_counted(self, tiny_kg, small_transe, capsys):
+        engine = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5
+        )
+        httpd = make_server(
+            engine, "127.0.0.1", 0, slow_request_seconds=0.0
+        )  # threshold 0: every request is slow
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            _get(httpd, "/healthz")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+        stderr = capsys.readouterr().err
+        assert "slow request: GET /healthz -> 200" in stderr
+        registry = engine.sync_metrics()
+        assert registry.value(
+            "http_slow_requests_total", labels={"route": "/healthz"}
+        ) == 1.0
+
+    def test_fast_requests_not_logged(self, server, capsys):
+        _get(server, "/healthz")  # default threshold: 1s
+        assert "slow request" not in capsys.readouterr().err
+
+
+class TestConcurrentKeepAlive:
+    """N threads hammer keep-alive connections in parallel: every body
+    arrives whole (no interleaving), Content-Length always matches, and
+    the request counters add up afterwards."""
+
+    N_THREADS = 6
+    N_REQUESTS = 8
+
+    def _worker(self, server, tiny_kg, results, index):
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            query = {
+                "head": int(tiny_kg.test[index % len(tiny_kg.test), HEAD]),
+                "relation": int(tiny_kg.test[index % len(tiny_kg.test), REL]),
+            }
+            for i in range(self.N_REQUESTS):
+                if i % 2 == 0:
+                    connection.request(
+                        "POST", "/predict", json.dumps(query),
+                        {"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    raw = response.read()
+                    assert response.status == 200
+                    assert len(raw) == int(response.getheader("Content-Length"))
+                    body = json.loads(raw.decode("utf-8"))  # whole, not interleaved
+                    assert body["results"][0]["head"] == query["head"]
+                else:
+                    connection.request("GET", "/metrics")
+                    response = connection.getresponse()
+                    raw = response.read()
+                    assert response.status == 200
+                    assert len(raw) == int(response.getheader("Content-Length"))
+                    assert raw.decode("utf-8").rstrip().startswith("#")
+            results[index] = None
+        except BaseException as exc:  # noqa: BLE001 - reported by the main thread
+            results[index] = exc
+        finally:
+            connection.close()
+
+    def test_parallel_keepalive_requests(self, server, tiny_kg):
+        results = [NotImplemented] * self.N_THREADS
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(server, tiny_kg, results, i)
+            )
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        failures = [r for r in results if r is not None]
+        assert failures == [], f"worker failures: {failures!r}"
+
+        # Counters are consistent after the storm: every request landed
+        # exactly once.
+        _, body = _get(server, "/metrics?format=json")
+        per_predict = self.N_REQUESTS // 2
+        predict_count = sum(
+            m["value"]
+            for m in body["metrics"]
+            if m["name"] == "http_requests_total"
+            and m["labels"]["route"] == "/predict"
+        )
+        assert predict_count == self.N_THREADS * per_predict
+        queries = next(
+            m["value"] for m in body["metrics"]
+            if m["name"] == "serve_queries_total"
+        )
+        assert queries == self.N_THREADS * per_predict
+
+
+class TestRequestSpans:
+    def test_request_span_wraps_engine_spans(self, tiny_kg, small_transe):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        engine = PredictionEngine(
+            EmbeddingSnapshot.from_model(small_transe), tiny_kg, top_k=5,
+            tracer=tracer,
+        )
+        httpd = make_server(engine, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            query = {"head": int(tiny_kg.test[0, HEAD]),
+                     "relation": int(tiny_kg.test[0, REL])}
+            _post(httpd, "/predict", query)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+        records = tracer.records()
+        request = next(r for r in records if r["name"] == "request")
+        assert request["args"] == {
+            "route": "/predict", "method": "POST", "status": 200,
+        }
+        inner = {r["name"] for r in records if r["name"] != "request"}
+        assert {"parse", "cache", "score"} <= inner
+        # The request span encloses the engine spans it triggered.
+        for record in records:
+            if record["name"] in ("parse", "cache", "score"):
+                assert record["ts"] >= request["ts"]
+                end = record["ts"] + record["dur"]
+                assert end <= request["ts"] + request["dur"] + 1e-6
+
+    def test_untraced_engine_records_nothing(self, server):
+        _get(server, "/healthz")
+        assert server.RequestHandlerClass is not None  # plain smoke: no tracer attr errors

@@ -576,3 +576,164 @@ class TestSampledEvaluateCLI:
         # Same K and seed -> identical metrics on a second run.
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestLenientMetricsCLI:
+    """`repro metrics` on truncated/partial logs: summarise, don't raise."""
+
+    def _valid_lines(self):
+        import json
+
+        from repro.obs.runlog import RUN_LOG_VERSION
+
+        meta = {
+            "type": "run_meta", "version": RUN_LOG_VERSION,
+            "model": "TransE", "dataset": "tiny", "sampler": "NSCaching",
+            "config": {},
+        }
+        epoch = {
+            "type": "epoch", "version": RUN_LOG_VERSION, "epoch": 0,
+            "loss": 1.0, "nzl": 0.5, "grad_norm": 2.0,
+            "epoch_seconds": 0.1, "samples_per_sec": 100.0,
+        }
+        return json.dumps(meta), json.dumps(epoch)
+
+    def test_half_written_last_line_summarised_with_warning(
+        self, tmp_path, capsys
+    ):
+        meta, epoch = self._valid_lines()
+        path = tmp_path / "crashed.jsonl"
+        path.write_text(meta + "\n" + epoch + "\n" + epoch[:25] + "\n")
+        assert main(["metrics", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "run overview" in captured.out
+        assert "warning" in captured.err
+        assert "prefix" in captured.err
+
+    def test_missing_run_end_summarised_with_warning(self, tmp_path, capsys):
+        meta, epoch = self._valid_lines()
+        path = tmp_path / "inflight.jsonl"
+        path.write_text(meta + "\n" + epoch + "\n")
+        assert main(["metrics", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "per-epoch telemetry" in captured.out
+        assert "no run_end" in captured.err
+
+    def test_complete_log_stays_warning_free(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.runlog import RUN_LOG_VERSION
+
+        meta, epoch = self._valid_lines()
+        end = json.dumps({
+            "type": "run_end", "version": RUN_LOG_VERSION,
+            "epochs": 1, "train_seconds": 0.1,
+        })
+        path = tmp_path / "ok.jsonl"
+        path.write_text(meta + "\n" + epoch + "\n" + end + "\n")
+        assert main(["metrics", str(path)]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestTraceCLI:
+    def _train_with_trace(self, path, *extra):
+        return main(
+            [
+                "train",
+                "--dataset", "WN18RR",
+                "--model", "TransE",
+                "--epochs", "2",
+                "--dim", "8",
+                "--scale", "0.05",
+                "--cache-size", "4",
+                "--candidate-size", "4",
+                "--trace-out", str(path),
+                *extra,
+            ]
+        )
+
+    def test_parser_accepts_trace_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "WN18RR", "--model", "TransE",
+             "--trace-out", "t.jsonl"]
+        )
+        assert args.trace_out == "t.jsonl"
+        args = build_parser().parse_args(["trace", "summary", "t.jsonl"])
+        assert args.trace_command == "summary"
+        args = build_parser().parse_args(
+            ["trace", "export", "t.jsonl", "--chrome", "t.json"]
+        )
+        assert args.chrome == "t.json"
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "m.npz", "--dataset", "WN18RR",
+             "--trace-out", "t.jsonl", "--slow-request-ms", "250"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.slow_request_ms == 250.0
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_train_trace_then_summary_and_export(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert self._train_with_trace(trace_path) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert trace_path.exists()
+
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "span summary" in out
+        assert "train" in out
+
+        chrome_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "export", str(trace_path), "--chrome", str(chrome_path)]
+        ) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        validate_chrome_trace(json.loads(chrome_path.read_text()))
+
+    def test_overlap_trace_reports_hiding_percentage(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = self._train_with_trace(
+            trace_path,
+            "--cache-backend", "sharded-array",
+            "--refresh-workers", "2",
+            "--refresh-overlap",
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "refresh/step overlap" in out
+        assert "hidden behind step (%)" in out
+        assert "refresh_worker" in out
+
+    def test_trace_missing_file_fails_cleanly(self, capsys):
+        assert main(["trace", "summary", "/nonexistent/t.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_on_run_log_fails_with_guidance(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "train", "--dataset", "WN18RR", "--model", "TransE",
+                "--epochs", "1", "--dim", "8", "--scale", "0.05",
+                "--cache-size", "4", "--candidate-size", "4",
+                "--metrics-out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 2
+        assert "not a trace file" in capsys.readouterr().err
+
+    def test_trace_empty_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "summary", str(path)]) == 2
+        assert "no spans" in capsys.readouterr().err
